@@ -1,0 +1,159 @@
+// bench_fig7_impossibility — reproduces Figure 7 / Theorem 5 as a scaling
+// experiment: for growing base rings R, build the adversarial ring R'
+// (2qn + 2n nodes, configuration repeated q+1 times) and measure
+//
+//   - the indistinguishability horizon: the number of synchronous rounds for
+//     which the repeated region's local configurations match R exactly
+//     (Lemma 1 predicts ≥ the strawman's full run, since T(E_R) ≤ qn);
+//   - the strawman's verdict on R (succeeds) vs R' (halts prematurely);
+//   - the relaxed algorithm's verdict on the same R' (succeeds, suspended).
+
+#include <memory>
+
+#include "core/premature_halt.h"
+#include "core/unknown_relaxed.h"
+#include "sim/checker.h"
+#include "support/bench_common.h"
+
+namespace {
+
+using namespace udring;
+using namespace udring::bench;
+
+// One exact lockstep round via the public API (agents enabled at the round
+// boundary act once, in id order).
+bool lockstep_round(sim::Simulator& simulator) {
+  std::vector<sim::AgentId> enabled = simulator.enabled();
+  if (enabled.empty()) return false;
+  std::sort(enabled.begin(), enabled.end());
+  for (const sim::AgentId id : enabled) (void)simulator.step_agent(id);
+  return true;
+}
+
+struct Local {
+  std::size_t tokens;
+  std::vector<std::tuple<sim::AgentStatus, std::uint64_t, std::size_t>> agents;
+  bool operator==(const Local&) const = default;
+};
+
+std::vector<Local> locals_of(const sim::Snapshot& snapshot) {
+  std::vector<Local> locals(snapshot.node_count);
+  for (std::size_t v = 0; v < snapshot.node_count; ++v) {
+    locals[v].tokens = snapshot.tokens[v];
+  }
+  for (const auto& agent : snapshot.agents) {
+    locals[agent.node].agents.emplace_back(agent.status, agent.state_hash,
+                                           agent.moves);
+  }
+  for (auto& local : locals) std::sort(local.agents.begin(), local.agents.end());
+  return locals;
+}
+
+void print_report() {
+  std::cout << "Reproduction of Fig 7 / Theorem 5: the indistinguishability\n"
+               "construction at increasing scale. Strawman = estimate-then-halt.\n";
+
+  print_section(std::cout, "Lemma 1 horizon and premature termination");
+  Table table({"base n", "k", "T(E_R) rounds", "q", "R' nodes", "R' agents",
+               "match horizon", ">= qn?", "R uniform+halt", "R' uniform+halt",
+               "R' relaxed ok"});
+
+  struct Base {
+    std::size_t n;
+    std::vector<std::size_t> homes;
+  };
+  for (const Base& base :
+       {Base{12, {0, 1, 5}}, Base{20, {0, 2, 3, 9}}, Base{30, {0, 1, 4, 9, 11}},
+        Base{40, {0, 3, 4, 10, 17, 19}}}) {
+    const auto factory = [](sim::AgentId) {
+      return std::make_unique<core::PrematureHaltAgent>();
+    };
+
+    // Run R to quiescence, counting rounds.
+    sim::Simulator reference(base.n, base.homes, factory);
+    std::size_t rounds = 0;
+    while (lockstep_round(reference)) ++rounds;
+    const bool r_ok =
+        sim::check_uniform_deployment_with_termination(reference).ok;
+
+    const std::size_t q = (rounds + base.n) / base.n;
+    const auto instance = gen::impossibility_ring(base.homes, base.n, q);
+
+    // Lockstep R vs R', measuring the horizon where the repeated region's
+    // local configurations match.
+    sim::Simulator small(base.n, base.homes, factory);
+    sim::Simulator large(instance.node_count, instance.homes, factory);
+    const std::size_t qn = q * base.n;
+    std::size_t horizon = 0;
+    for (std::size_t t = 1; t <= qn; ++t) {
+      const bool small_live = lockstep_round(small);
+      (void)lockstep_round(large);
+      if (!small_live) {
+        horizon = qn;  // R finished while still matching: full horizon
+        break;
+      }
+      const auto small_locals = locals_of(small.snapshot());
+      const auto large_locals = locals_of(large.snapshot());
+      bool match = true;
+      for (std::size_t j = t; j < qn + base.n && match; ++j) {
+        match = (large_locals[j] == small_locals[j % base.n]);
+      }
+      if (!match) break;
+      horizon = t;
+    }
+
+    // Finish R' and evaluate both verdicts.
+    sim::Simulator verdict(instance.node_count, instance.homes, factory);
+    sim::RoundRobinScheduler scheduler;
+    (void)verdict.run(scheduler);
+    const bool rp_ok = sim::check_uniform_deployment_with_termination(verdict).ok;
+
+    sim::SimOptions options;
+    options.max_actions = 128 * instance.node_count * instance.homes.size();
+    sim::Simulator relaxed(instance.node_count, instance.homes,
+                           [](sim::AgentId) {
+                             return std::make_unique<core::UnknownRelaxedAgent>();
+                           },
+                           options);
+    sim::RoundRobinScheduler relaxed_scheduler;
+    (void)relaxed.run(relaxed_scheduler);
+    const bool relaxed_ok =
+        sim::check_uniform_deployment_without_termination(relaxed).ok;
+
+    table.add_row({Table::num(base.n), Table::num(base.homes.size()),
+                   Table::num(rounds), Table::num(q),
+                   Table::num(instance.node_count),
+                   Table::num(instance.homes.size()), Table::num(horizon),
+                   horizon >= qn ? "yes" : "NO", r_ok ? "yes" : "NO",
+                   rp_ok ? "YES (bad!)" : "no (as predicted)",
+                   relaxed_ok ? "yes" : "NO"});
+  }
+  std::cout << table;
+  std::cout
+      << "\nReading the table: the repeated region stays indistinguishable for\n"
+         "the full qn-round horizon (Lemma 1), so the strawman replays R and\n"
+         "halts at the wrong spacing on every R' — while the relaxed Algorithm 6\n"
+         "(which suspends instead of halting) deploys the same R' correctly.\n"
+         "Termination detection is exactly what is impossible (Theorem 5).\n";
+}
+
+void register_timings() {
+  benchmark::RegisterBenchmark("fig7/construction/n=30", [](benchmark::State& state) {
+    for (auto _ : state) {
+      const auto instance = gen::impossibility_ring({0, 1, 4, 9, 11}, 30, 14);
+      sim::Simulator large(instance.node_count, instance.homes,
+                           [](sim::AgentId) {
+                             return std::make_unique<core::PrematureHaltAgent>();
+                           });
+      sim::RoundRobinScheduler scheduler;
+      const auto result = large.run(scheduler);
+      benchmark::DoNotOptimize(result.actions);
+    }
+  })->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, print_report, register_timings);
+}

@@ -1,0 +1,104 @@
+// bench_rendezvous_contrast — the paper's §1.3 framing as an experiment:
+// rendezvous (symmetry breaking) fails on symmetric configurations; uniform
+// deployment (symmetry attaining) succeeds on *all* of them, and gets
+// *cheaper* the more symmetric the start is.
+//
+// We sweep random and periodic configuration families and report, side by
+// side, the solvability rate of the rendezvous baseline vs the uniform
+// deployment algorithms, and the relaxed algorithm's cost trend across l.
+
+#include "support/bench_common.h"
+
+namespace {
+
+using namespace udring;
+using namespace udring::bench;
+
+void print_report() {
+  std::cout << "Rendezvous vs uniform deployment (§1.3): solvability across\n"
+               "configuration families (n = 96, k = 12; 20 seeds per family).\n";
+
+  print_section(std::cout, "Solvability");
+  {
+    Table table({"family", "l", "rendezvous solves", "UD algo1", "UD algo2+3",
+                 "UD relaxed"});
+    struct Family {
+      const char* name;
+      ConfigFamily family;
+      std::size_t l;
+    };
+    for (const Family& family :
+         {Family{"random aperiodic", ConfigFamily::RandomAperiodic, 1},
+          Family{"periodic l=2", ConfigFamily::Periodic, 2},
+          Family{"periodic l=3", ConfigFamily::Periodic, 3},
+          Family{"periodic l=6", ConfigFamily::Periodic, 6},
+          Family{"uniform l=k", ConfigFamily::Uniform, 12}}) {
+      double rendezvous_rate = 0;
+      std::array<double, 3> ud_rate = {0, 0, 0};
+      const int seeds = 20;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        Rng rng(seed * 977 + family.l);
+        const auto homes = draw_homes(family.family, 96, 12, family.l, rng);
+        core::RunSpec spec;
+        spec.node_count = 96;
+        spec.homes = homes;
+        // Rendezvous "solves" iff it actually gathers (detecting
+        // unsolvability is correct behaviour but not a solution).
+        auto simulator = core::make_simulator(core::Algorithm::Rendezvous, spec);
+        sim::RoundRobinScheduler scheduler;
+        (void)simulator->run(scheduler);
+        if (sim::check_gathered(*simulator).ok) rendezvous_rate += 1.0 / seeds;
+
+        const core::Algorithm algorithms[] = {core::Algorithm::KnownKFull,
+                                              core::Algorithm::KnownKLogMem,
+                                              core::Algorithm::UnknownRelaxed};
+        for (std::size_t a = 0; a < 3; ++a) {
+          if (core::run_algorithm(algorithms[a], spec).success) {
+            ud_rate[a] += 1.0 / seeds;
+          }
+        }
+      }
+      table.add_row({family.name, Table::num(family.l),
+                     Table::num(rendezvous_rate * 100, 0) + "%",
+                     Table::num(ud_rate[0] * 100, 0) + "%",
+                     Table::num(ud_rate[1] * 100, 0) + "%",
+                     Table::num(ud_rate[2] * 100, 0) + "%"});
+    }
+    std::cout << table
+              << "rendezvous collapses to 0% the moment l > 1; all three uniform\n"
+                 "deployment algorithms stay at 100% everywhere — the paper's\n"
+                 "central contrast.\n";
+  }
+
+  print_section(std::cout, "Symmetry is profit, not poison (relaxed algorithm cost)");
+  {
+    Table table({"l", "rendezvous", "relaxed UD moves", "relative to l=1"});
+    double baseline = 0;
+    for (const std::size_t l : {1u, 2u, 3u, 6u, 12u}) {
+      const ConfigFamily family =
+          l == 1 ? ConfigFamily::RandomAperiodic : ConfigFamily::Periodic;
+      const Averages avg =
+          measure(core::Algorithm::UnknownRelaxed, family, 96, 12, l, 10);
+      if (l == 1) baseline = avg.moves;
+      table.add_row({Table::num(l), l == 1 ? "solvable" : "unsolvable",
+                     Table::num(avg.moves, 0),
+                     Table::num(avg.moves / baseline, 2)});
+    }
+    std::cout << table
+              << "precisely the configurations where rendezvous is impossible\n"
+                 "are where uniform deployment is cheapest (Theorem 6's 1/l).\n";
+  }
+}
+
+void register_timings() {
+  register_timing("contrast/rendezvous/n=96", core::Algorithm::Rendezvous,
+                  ConfigFamily::RandomAperiodic, 96, 12);
+  register_timing("contrast/ud-algo1/n=96", core::Algorithm::KnownKFull,
+                  ConfigFamily::RandomAperiodic, 96, 12);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, print_report, register_timings);
+}

@@ -1,0 +1,142 @@
+#include "config/generators.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bits.h"
+
+namespace udring::gen {
+
+using udring::core::DistanceSeq;
+
+std::vector<std::size_t> random_homes(std::size_t n, std::size_t k, udring::Rng& rng) {
+  if (k > n) throw std::invalid_argument("random_homes: k > n");
+  // Floyd's algorithm would avoid the O(n) vector, but n is small here and a
+  // partial Fisher–Yates keeps the distribution exactly uniform.
+  std::vector<std::size_t> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) nodes[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.below(n - i));
+    std::swap(nodes[i], nodes[j]);
+  }
+  nodes.resize(k);
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+std::vector<std::size_t> packed_quarter_homes(std::size_t n, std::size_t k) {
+  const std::size_t quarter = udring::ceil_div(n, 4);
+  if (k > quarter) {
+    throw std::invalid_argument("packed_quarter_homes: k exceeds the quarter arc");
+  }
+  std::vector<std::size_t> homes(k);
+  for (std::size_t i = 0; i < k; ++i) homes[i] = i;  // consecutive: densest pack
+  return homes;
+}
+
+std::vector<std::size_t> homes_from_distances(const DistanceSeq& distances,
+                                              std::size_t n, std::size_t start) {
+  if (udring::core::sum(distances) != n) {
+    throw std::invalid_argument("homes_from_distances: distances must sum to n");
+  }
+  std::vector<std::size_t> homes;
+  homes.reserve(distances.size());
+  std::size_t position = start % n;
+  for (const std::size_t d : distances) {
+    homes.push_back(position);
+    position = (position + d) % n;
+  }
+  std::sort(homes.begin(), homes.end());
+  return homes;
+}
+
+std::vector<std::size_t> uniform_homes(std::size_t n, std::size_t k) {
+  if (k == 0 || k > n) throw std::invalid_argument("uniform_homes: bad k");
+  DistanceSeq d(k, n / k);
+  for (std::size_t i = 0; i < n % k; ++i) ++d[i];
+  return homes_from_distances(d, n);
+}
+
+std::vector<std::size_t> periodic_homes(std::size_t n, std::size_t k, std::size_t l,
+                                        udring::Rng& rng) {
+  if (l == 0 || n % l != 0 || k % l != 0) {
+    throw std::invalid_argument("periodic_homes: l must divide n and k");
+  }
+  const std::size_t seg_nodes = n / l;
+  const std::size_t seg_agents = k / l;
+  if (seg_agents > seg_nodes) {
+    throw std::invalid_argument("periodic_homes: k/l > n/l");
+  }
+  if (seg_agents == 1 && l != k) {
+    // One agent per segment forces equal spacing, i.e. full symmetry l = k.
+    throw std::invalid_argument("periodic_homes: k/l = 1 only admits l = k");
+  }
+
+  // Draw an aperiodic factor: distances of seg_agents agents on a
+  // seg_nodes-segment. Rejection-sample until the factor is aperiodic (for
+  // seg_agents ≥ 2 almost every draw is; for seg_agents = 1 the factor (n/l)
+  // is trivially aperiodic as a length-1 sequence).
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    std::vector<std::size_t> cuts = random_homes(seg_nodes, seg_agents, rng);
+    DistanceSeq factor;
+    factor.reserve(seg_agents);
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      factor.push_back(cuts[i + 1] - cuts[i]);
+    }
+    factor.push_back(seg_nodes - cuts.back() + cuts.front());
+    if (seg_agents > 1 && udring::core::is_periodic(factor)) continue;
+
+    DistanceSeq full;
+    full.reserve(k);
+    for (std::size_t rep = 0; rep < l; ++rep) {
+      full.insert(full.end(), factor.begin(), factor.end());
+    }
+    auto homes = homes_from_distances(full, n);
+    // Sanity: the construction must realize exactly symmetry degree l.
+    if (udring::core::config_symmetry_degree(homes, n) != l) continue;
+    return homes;
+  }
+  throw std::runtime_error("periodic_homes: could not draw an aperiodic factor");
+}
+
+// ---- worked figure examples -------------------------------------------------
+
+std::vector<std::size_t> fig1a_homes() {
+  return homes_from_distances({1, 4, 2, 1, 2, 2}, kFig1aNodes);
+}
+
+std::vector<std::size_t> fig1b_homes() {
+  return homes_from_distances({1, 2, 3, 1, 2, 3}, kFig1bNodes);
+}
+
+std::vector<std::size_t> fig5_homes() {
+  // Fig 5's shape: three base nodes 6 apart with two home nodes between each
+  // adjacent pair. Segment factor (1,2,3): sub-phase 1 keeps the gap-1
+  // agents, sub-phase 2 sees three identical IDs (6,2) → three leaders.
+  return homes_from_distances({1, 2, 3, 1, 2, 3, 1, 2, 3}, kFig5Nodes);
+}
+
+std::vector<std::size_t> fig9_homes() {
+  return homes_from_distances({11, 1, 3, 1, 3, 1, 3, 1, 3}, kFig9Nodes);
+}
+
+std::vector<std::size_t> fig11_homes() {
+  return homes_from_distances({1, 2, 3, 1, 2, 3}, kFig11Nodes);
+}
+
+std::vector<std::size_t> logmem_stress_homes() { return {0, 1, 3, 6, 7, 10}; }
+
+ImpossibilityInstance impossibility_ring(const std::vector<std::size_t>& base_homes,
+                                         std::size_t base_nodes, std::size_t q) {
+  ImpossibilityInstance instance;
+  instance.node_count = 2 * q * base_nodes + 2 * base_nodes;
+  instance.homes.reserve((q + 1) * base_homes.size());
+  for (std::size_t rep = 0; rep <= q; ++rep) {
+    for (const std::size_t home : base_homes) {
+      instance.homes.push_back(rep * base_nodes + home);
+    }
+  }
+  return instance;
+}
+
+}  // namespace udring::gen

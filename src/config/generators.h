@@ -1,0 +1,99 @@
+// udring/config/generators.h
+//
+// Initial-configuration generators: every experiment instance the paper
+// draws (randomly placed agents, the Theorem-1 packed lower-bound witness,
+// periodic (N, l)-rings, the estimator trap of Fig 9) plus each worked
+// figure example as a named constructor, so tests can assert against the
+// paper's own numbers.
+//
+// All generators return distinct home nodes on an n-ring and are seeded /
+// deterministic.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/distance_sequence.h"
+#include "util/rng.h"
+
+namespace udring::gen {
+
+/// k distinct homes drawn uniformly from an n-ring.
+[[nodiscard]] std::vector<std::size_t> random_homes(std::size_t n, std::size_t k,
+                                                    udring::Rng& rng);
+
+/// The Theorem-1 / Fig-3 lower-bound witness: all k agents packed into the
+/// first quarter arc (requires k ≤ ⌈n/4⌉). Forces Ω(kn) total moves.
+[[nodiscard]] std::vector<std::size_t> packed_quarter_homes(std::size_t n,
+                                                            std::size_t k);
+
+/// A configuration with symmetry degree exactly l: an aperiodic factor of
+/// k/l agents on an n/l-segment, repeated l times (an (n/l, l)-ring in the
+/// paper's §4.2.2 notation). Requires l | n, l | k, k/l ≤ n/l. Throws if an
+/// aperiodic factor cannot be constructed (k/l = 1 forces equal spacing, so
+/// it requires l = k... see implementation notes).
+[[nodiscard]] std::vector<std::size_t> periodic_homes(std::size_t n, std::size_t k,
+                                                      std::size_t l,
+                                                      udring::Rng& rng);
+
+/// Homes from a distance sequence: agent i+1 sits distance d[i] after agent
+/// i, with agent 0 at node `start`. sum(d) must equal n.
+[[nodiscard]] std::vector<std::size_t> homes_from_distances(
+    const udring::core::DistanceSeq& distances, std::size_t n, std::size_t start = 0);
+
+/// Already uniformly deployed homes (l = k): gaps ⌊n/k⌋ / ⌈n/k⌉. When
+/// k ∤ n the config's symmetry degree is gcd-driven; with k | n it is k.
+[[nodiscard]] std::vector<std::size_t> uniform_homes(std::size_t n, std::size_t k);
+
+// ---- the paper's worked examples, by figure --------------------------------
+
+/// Fig 1(a): n = 12, k = 6, distance sequence (1,4,2,1,2,2) — l = 1.
+[[nodiscard]] std::vector<std::size_t> fig1a_homes();
+inline constexpr std::size_t kFig1aNodes = 12;
+
+/// Fig 1(b): n = 12, k = 6, distance sequence (1,2,3,1,2,3) — l = 2.
+[[nodiscard]] std::vector<std::size_t> fig1b_homes();
+inline constexpr std::size_t kFig1bNodes = 12;
+
+/// Fig 5: n = 18, k = 9, three base segments of three agents (d = 2 after
+/// deployment): homes at distances (2,2,2) per 6-node segment.
+[[nodiscard]] std::vector<std::size_t> fig5_homes();
+inline constexpr std::size_t kFig5Nodes = 18;
+
+/// Fig 8/9: n = 27, k = 9, distance sequence (11,1,3,1,3,1,3,1,3): an
+/// aperiodic ring with a periodic proper subsequence (1,3)⁴ that traps the
+/// estimator of agents starting inside it (they first estimate n' = 4).
+[[nodiscard]] std::vector<std::size_t> fig9_homes();
+inline constexpr std::size_t kFig9Nodes = 27;
+
+/// Fig 11: the (6,2)-ring — n = 12, k = 6, D = (1,2,3)²: every agent's
+/// estimate converges to N = 6 = n/l.
+[[nodiscard]] std::vector<std::size_t> fig11_homes();
+inline constexpr std::size_t kFig11Nodes = 12;
+
+/// The Algorithm-3 deployment stress instance: n = 12, k = 6, homes
+/// {0,1,3,6,7,10} — two base nodes {0,6} with *asymmetric* segment
+/// interiors and a follower home (10) sitting exactly on a target. Starving
+/// the home-6 leader drives the literal pseudocode to the brink of
+/// double-booking node 0; FIFO pushing is the only thing that saves it (the
+/// prober queues behind the lagging leader and shoves it into its base node
+/// first). Used by the adversarial-search tests in test_algo_logmem.cpp.
+[[nodiscard]] std::vector<std::size_t> logmem_stress_homes();
+inline constexpr std::size_t kLogmemStressNodes = 12;
+
+/// Theorem 5 / Fig 7 construction: given a base ring of n nodes with homes
+/// `base_homes` (k agents) and a repetition count q, builds the larger ring
+/// R' with 2qn + 2n nodes and (q+1)·k agents: the base placement repeated
+/// q+1 times followed by an empty half. Corresponding agents of R and R'
+/// behave identically for at least qn synchronous rounds (Lemma 1).
+struct ImpossibilityInstance {
+  std::size_t node_count = 0;
+  std::vector<std::size_t> homes;
+};
+[[nodiscard]] ImpossibilityInstance impossibility_ring(
+    const std::vector<std::size_t>& base_homes, std::size_t base_nodes,
+    std::size_t q);
+
+}  // namespace udring::gen

@@ -1,0 +1,9 @@
+// udring/core/memory_meter.cpp — header-only; this TU pins the target.
+
+#include "core/memory_meter.h"
+
+namespace udring::core {
+
+static_assert(sizeof(MemoryMeter) > 0);
+
+}  // namespace udring::core

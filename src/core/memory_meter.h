@@ -1,0 +1,46 @@
+// udring/core/memory_meter.h
+//
+// Bit accounting that makes the paper's space bounds measurable.
+//
+// Convention (matching how the paper counts): a scalar variable whose value
+// is bounded by m occupies bit_width(m) bits; an array of length L with
+// elements bounded by m occupies L · bit_width(m) bits; booleans occupy one
+// bit. Algorithms report the *current* total through
+// AgentProgram::memory_bits(); the simulator records the peak.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bits.h"
+
+namespace udring::core {
+
+class MemoryMeter {
+ public:
+  /// Adds one scalar holding `value`.
+  MemoryMeter& counter(std::uint64_t value) {
+    bits_ += udring::bit_width(value);
+    return *this;
+  }
+
+  /// Adds one boolean flag.
+  MemoryMeter& flag() {
+    bits_ += 1;
+    return *this;
+  }
+
+  /// Adds an array of `length` elements, each bounded by `max_element`.
+  MemoryMeter& array(std::size_t length, std::uint64_t max_element) {
+    bits_ += length * udring::bit_width(max_element);
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t bits() const noexcept { return bits_; }
+
+ private:
+  std::size_t bits_ = 0;
+};
+
+}  // namespace udring::core

@@ -1,0 +1,59 @@
+#include "core/rendezvous.h"
+
+#include <algorithm>
+
+#include "core/memory_meter.h"
+
+namespace udring::core {
+
+sim::Behavior RendezvousAgent::run(sim::AgentContext& ctx) {
+  ctx.set_phase(kExplore);
+  ctx.release_token();
+
+  for (std::size_t j = 0; j < k_; ++j) {
+    std::size_t dis = 0;
+    do {
+      co_await ctx.move();
+      ++dis;
+    } while (ctx.tokens_here() == 0);
+    d_.push_back(dis);
+  }
+  n_ = sum(d_);
+
+  if (is_periodic(d_)) {
+    // Symmetric views: gathering is impossible (classical rendezvous lower
+    // bound). Report and stop at home.
+    unsolvable_ = true;
+    co_return;
+  }
+
+  // Aperiodic: the lexicographically minimal rotation starts at a unique
+  // agent; everyone walks to that agent's home node.
+  ctx.set_phase(kGather);
+  const std::size_t rank = min_rotation(d_);
+  std::size_t dis_base = 0;
+  for (std::size_t i = 0; i < rank; ++i) dis_base += d_[i];
+  for (std::size_t i = 0; i < dis_base; ++i) {
+    co_await ctx.move();
+  }
+  co_return;
+}
+
+std::size_t RendezvousAgent::memory_bits() const {
+  const std::uint64_t max_d =
+      d_.empty() ? 1 : *std::max_element(d_.begin(), d_.end());
+  return MemoryMeter{}
+      .counter(k_)
+      .array(d_.size(), std::max<std::uint64_t>(max_d, n_))
+      .counter(n_)
+      .flag()
+      .bits();
+}
+
+std::uint64_t RendezvousAgent::state_hash() const {
+  std::uint64_t h = hash_sequence(0x52445aULL, d_);  // "RDZ"
+  h = hash_sequence(h, {n_, static_cast<std::size_t>(unsolvable_)});
+  return h;
+}
+
+}  // namespace udring::core

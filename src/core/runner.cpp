@@ -1,0 +1,108 @@
+#include "core/runner.h"
+
+#include <stdexcept>
+
+#include "core/known_k_full.h"
+#include "core/known_k_logmem.h"
+#include "core/rendezvous.h"
+#include "core/unknown_relaxed.h"
+
+namespace udring::core {
+
+std::string_view to_string(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::KnownKFull: return "known-k-full";
+    case Algorithm::KnownNFull: return "known-n-full";
+    case Algorithm::KnownKLogMem: return "known-k-logmem";
+    case Algorithm::KnownKLogMemStrict: return "known-k-logmem-strict";
+    case Algorithm::UnknownRelaxed: return "unknown-relaxed";
+    case Algorithm::Rendezvous: return "rendezvous";
+  }
+  return "?";
+}
+
+sim::ProgramFactory make_program_factory(Algorithm algorithm, std::size_t k,
+                                         std::size_t n) {
+  switch (algorithm) {
+    case Algorithm::KnownKFull:
+      return [k](sim::AgentId) { return std::make_unique<KnownKFullAgent>(k); };
+    case Algorithm::KnownNFull:
+      return [n](sim::AgentId) { return std::make_unique<KnownNFullAgent>(n); };
+    case Algorithm::KnownKLogMem:
+      return [k](sim::AgentId) { return std::make_unique<KnownKLogMemAgent>(k); };
+    case Algorithm::KnownKLogMemStrict:
+      return [k](sim::AgentId) {
+        return std::make_unique<KnownKLogMemAgent>(
+            k, KnownKLogMemAgent::Options{.strict_paper = true});
+      };
+    case Algorithm::UnknownRelaxed:
+      return [](sim::AgentId) { return std::make_unique<UnknownRelaxedAgent>(); };
+    case Algorithm::Rendezvous:
+      return [k](sim::AgentId) { return std::make_unique<RendezvousAgent>(k); };
+  }
+  throw std::invalid_argument("make_program_factory: unknown algorithm");
+}
+
+std::unique_ptr<sim::Simulator> make_simulator(Algorithm algorithm,
+                                               const RunSpec& spec) {
+  return std::make_unique<sim::Simulator>(
+      spec.node_count, spec.homes,
+      make_program_factory(algorithm, spec.homes.size(), spec.node_count),
+      spec.sim_options);
+}
+
+sim::CheckResult evaluate_goal(Algorithm algorithm, const sim::Simulator& sim) {
+  switch (algorithm) {
+    case Algorithm::KnownKFull:
+    case Algorithm::KnownNFull:
+    case Algorithm::KnownKLogMem:
+    case Algorithm::KnownKLogMemStrict:
+      return sim::check_uniform_deployment_with_termination(sim);
+    case Algorithm::UnknownRelaxed:
+      return sim::check_uniform_deployment_without_termination(sim);
+    case Algorithm::Rendezvous: {
+      // Gathered, or the instance proven unsolvable by every agent.
+      bool all_unsolvable = true;
+      bool any_unsolvable = false;
+      for (sim::AgentId id = 0; id < sim.agent_count(); ++id) {
+        const auto& agent =
+            dynamic_cast<const RendezvousAgent&>(sim.program(id));
+        all_unsolvable = all_unsolvable && agent.detected_unsolvable();
+        any_unsolvable = any_unsolvable || agent.detected_unsolvable();
+      }
+      if (all_unsolvable) return sim::CheckResult::pass();
+      if (any_unsolvable) {
+        return sim::CheckResult::fail(
+            "agents disagree on solvability of the rendezvous instance");
+      }
+      return sim::check_gathered(sim);
+    }
+  }
+  throw std::invalid_argument("evaluate_goal: unknown algorithm");
+}
+
+RunReport run_algorithm(Algorithm algorithm, const RunSpec& spec) {
+  auto simulator = make_simulator(algorithm, spec);
+  auto scheduler =
+      sim::make_scheduler(spec.scheduler, spec.seed, spec.homes.size());
+
+  RunReport report;
+  report.result = simulator->run(*scheduler);
+  if (report.result.quiescent()) {
+    const sim::CheckResult goal = evaluate_goal(algorithm, *simulator);
+    report.success = goal.ok;
+    report.failure = goal.reason;
+  } else {
+    report.success = false;
+    report.failure = "action limit reached (livelock or broken algorithm)";
+  }
+  report.total_moves = simulator->metrics().total_moves();
+  report.makespan = simulator->metrics().makespan();
+  report.scheduler_rounds = scheduler->rounds();
+  report.max_memory_bits = simulator->metrics().max_memory_bits();
+  report.moves_by_phase = simulator->metrics().moves_by_phase();
+  report.final_positions = simulator->staying_nodes();
+  return report;
+}
+
+}  // namespace udring::core

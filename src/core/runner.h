@@ -1,0 +1,75 @@
+// udring/core/runner.h
+//
+// One-call experiment driver: build a Simulator for an initial
+// configuration, run a chosen algorithm under a chosen scheduler, check the
+// appropriate correctness oracle, and collect the paper's three complexity
+// measures. Tests, benches and examples all go through this layer.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/checker.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+
+namespace udring::core {
+
+enum class Algorithm {
+  KnownKFull,         ///< Algorithm 1  (§3.1)
+  KnownNFull,         ///< Algorithm 1, knowledge of n instead of k (footnote 2)
+  KnownKLogMem,       ///< Algorithms 2+3 (§3.2), hardened deployment
+  KnownKLogMemStrict, ///< Algorithms 2+3, literal pseudocode (FIFO-dependent)
+  UnknownRelaxed,     ///< Algorithms 4+5+6 (§4.2)
+  Rendezvous,         ///< baseline (contrast experiments)
+};
+
+[[nodiscard]] std::string_view to_string(Algorithm algorithm) noexcept;
+
+/// Factory for `k` agents of the given algorithm on an n-ring. `n` is needed
+/// only by the KnownNFull variant (0 is fine for all others).
+[[nodiscard]] sim::ProgramFactory make_program_factory(Algorithm algorithm,
+                                                       std::size_t k,
+                                                       std::size_t n = 0);
+
+struct RunSpec {
+  std::size_t node_count = 0;
+  std::vector<std::size_t> homes;  ///< distinct home nodes; k = homes.size()
+  sim::SchedulerKind scheduler = sim::SchedulerKind::RoundRobin;
+  std::uint64_t seed = 1;
+  sim::SimOptions sim_options;
+};
+
+struct RunReport {
+  sim::RunResult result;
+  bool success = false;       ///< oracle for this algorithm's goal passed
+  std::string failure;        ///< oracle failure reason (when !success)
+  std::size_t total_moves = 0;
+  std::uint64_t makespan = 0;            ///< causal ideal-time
+  std::uint64_t scheduler_rounds = 0;    ///< lockstep rounds (synchronous only)
+  std::size_t max_memory_bits = 0;
+  std::vector<std::size_t> moves_by_phase;
+  std::vector<std::size_t> final_positions;  ///< sorted staying positions
+};
+
+/// Runs `algorithm` on the configuration described by `spec` and evaluates
+/// the matching oracle: Definition 1 for the known-k algorithms,
+/// Definition 2 for the relaxed algorithm, gathering for rendezvous (where
+/// a correctly detected unsolvable instance also counts as success).
+[[nodiscard]] RunReport run_algorithm(Algorithm algorithm, const RunSpec& spec);
+
+/// Lower-level variant when the caller needs the simulator afterwards:
+/// builds the simulator only.
+[[nodiscard]] std::unique_ptr<sim::Simulator> make_simulator(Algorithm algorithm,
+                                                             const RunSpec& spec);
+
+/// Evaluates the algorithm's oracle against a finished simulator.
+[[nodiscard]] sim::CheckResult evaluate_goal(Algorithm algorithm,
+                                             const sim::Simulator& sim);
+
+}  // namespace udring::core

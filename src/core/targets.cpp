@@ -1,0 +1,42 @@
+#include "core/targets.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace udring::core {
+
+TargetPlan make_target_plan(std::size_t n, std::size_t k, std::size_t bases) {
+  if (n == 0 || k == 0 || bases == 0) {
+    throw std::invalid_argument("make_target_plan: zero argument");
+  }
+  if (k > n) throw std::invalid_argument("make_target_plan: k > n");
+  if (n % bases != 0 || k % bases != 0) {
+    throw std::invalid_argument("make_target_plan: b must divide n and k");
+  }
+  TargetPlan plan;
+  plan.n = n;
+  plan.k = k;
+  plan.bases = bases;
+  plan.seg_len = n / bases;
+  plan.per_seg = k / bases;
+  plan.floor_gap = n / k;
+  const std::size_t r = n % k;
+  // b | n and b | k imply b | r (r = n − k·⌊n/k⌋).
+  plan.ceil_gaps = r / bases;
+  return plan;
+}
+
+std::vector<std::size_t> all_targets(const TargetPlan& plan, std::size_t base_node) {
+  std::vector<std::size_t> targets;
+  targets.reserve(plan.k);
+  for (std::size_t seg = 0; seg < plan.bases; ++seg) {
+    const std::size_t seg_base = (base_node + seg * plan.seg_len) % plan.n;
+    for (std::size_t j = 0; j < plan.per_seg; ++j) {
+      targets.push_back((seg_base + plan.offset(j)) % plan.n);
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+  return targets;
+}
+
+}  // namespace udring::core

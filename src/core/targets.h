@@ -1,0 +1,53 @@
+// udring/core/targets.h
+//
+// Target-node arithmetic for uniform deployment, including the paper's
+// §3.1.1 extension to n ≠ ck.
+//
+// With b base nodes (b = the configuration's symmetry degree for
+// Algorithm 1; the number of elected leaders for Algorithm 2), the ring
+// splits into b segments of identical length n/b. Each segment holds
+// per_seg = k/b targets: the base node itself plus per_seg − 1 interior
+// targets. Writing r = n mod k, each segment's first r/b inter-target gaps
+// are ⌈n/k⌉ and the rest ⌊n/k⌋ — the paper's rule for distributing the
+// remainder. (b | n, b | k and therefore b | r always hold; see §3.1.1.)
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace udring::core {
+
+struct TargetPlan {
+  std::size_t n = 0;          ///< ring size
+  std::size_t k = 0;          ///< number of agents
+  std::size_t bases = 0;      ///< b: number of base nodes
+  std::size_t seg_len = 0;    ///< n / b
+  std::size_t per_seg = 0;    ///< k / b: targets per segment (incl. base)
+  std::size_t ceil_gaps = 0;  ///< r / b: leading ⌈n/k⌉ gaps per segment
+  std::size_t floor_gap = 0;  ///< ⌊n/k⌋
+
+  /// Offset of the j-th target from its segment's base node, 0 ≤ j ≤ per_seg
+  /// (offset(per_seg) == seg_len, the next base node).
+  [[nodiscard]] std::size_t offset(std::size_t j) const {
+    return j * floor_gap + std::min(j, ceil_gaps);
+  }
+
+  /// Distance from target j−1 to target j (1 ≤ j ≤ per_seg).
+  [[nodiscard]] std::size_t interval(std::size_t j) const {
+    return floor_gap + (j <= ceil_gaps && j >= 1 ? 1 : 0);
+  }
+};
+
+/// Builds the plan; throws std::invalid_argument unless b | n, b | k and
+/// k ≤ n with all quantities positive.
+[[nodiscard]] TargetPlan make_target_plan(std::size_t n, std::size_t k,
+                                          std::size_t bases);
+
+/// All k global target positions given the position of one base node
+/// (instrumentation / expected-value computation in tests).
+[[nodiscard]] std::vector<std::size_t> all_targets(const TargetPlan& plan,
+                                                   std::size_t base_node);
+
+}  // namespace udring::core

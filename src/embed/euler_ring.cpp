@@ -1,0 +1,67 @@
+#include "embed/euler_ring.h"
+
+#include <stdexcept>
+
+namespace udring::embed {
+
+EulerRing::EulerRing(const TreeNetwork& tree, TreeNodeId root)
+    : first_position_(tree.size(), static_cast<std::size_t>(-1)) {
+  if (root >= tree.size()) {
+    throw std::invalid_argument("EulerRing: root out of range");
+  }
+  if (tree.size() == 1) {
+    tour_ = {root};
+    first_position_[root] = 0;
+    return;
+  }
+
+  tour_.reserve(2 * (tree.size() - 1));
+  // Iterative DFS; next_port_[v] is the next neighbour index to descend to.
+  std::vector<std::size_t> next_port(tree.size(), 0);
+  std::vector<TreeNodeId> parent(tree.size(), static_cast<TreeNodeId>(-1));
+  TreeNodeId current = root;
+  parent[root] = root;
+
+  // Each step appends the node we are leaving; the closed walk visits every
+  // edge twice, so the tour has exactly 2(n-1) steps.
+  do {
+    const auto& neighbors = tree.neighbors(current);
+    bool descended = false;
+    while (next_port[current] < neighbors.size()) {
+      const TreeNodeId next = neighbors[next_port[current]++];
+      if (next == parent[current] && next != current) continue;
+      // Unvisited child (a tree has no cross edges).
+      if (first_position_[next] != static_cast<std::size_t>(-1)) continue;
+      parent[next] = current;
+      if (first_position_[current] == static_cast<std::size_t>(-1)) {
+        first_position_[current] = tour_.size();
+      }
+      tour_.push_back(current);
+      current = next;
+      descended = true;
+      break;
+    }
+    if (!descended) {
+      // Done with this subtree: go back up.
+      if (first_position_[current] == static_cast<std::size_t>(-1)) {
+        first_position_[current] = tour_.size();
+      }
+      tour_.push_back(current);
+      current = parent[current];
+    }
+  } while (!(current == root && next_port[root] >= tree.neighbors(root).size()));
+
+  if (tour_.size() != 2 * (tree.size() - 1)) {
+    throw std::logic_error("EulerRing: tour length mismatch (not a tree?)");
+  }
+}
+
+std::vector<std::size_t> EulerRing::positions_of(TreeNodeId node) const {
+  std::vector<std::size_t> positions;
+  for (std::size_t v = 0; v < tour_.size(); ++v) {
+    if (tour_[v] == node) positions.push_back(v);
+  }
+  return positions;
+}
+
+}  // namespace udring::embed

@@ -1,0 +1,60 @@
+// udring/embed/euler_ring.h
+//
+// The Euler-tour ring embedding of §5: walking a tree depth-first and
+// traversing every edge twice yields a closed walk of length 2(n−1); reading
+// its steps as the nodes of a *virtual unidirectional ring* lets every ring
+// algorithm run unchanged on the tree. One virtual move = one tree edge
+// traversal, so the total moves on the virtual ring equal total tree moves,
+// and the paper's "the total moves between the embedded ring and the
+// original network is asymptotically equivalent" holds by construction.
+//
+// Modelling note (documented substitution): a token released at virtual
+// node i marks the i-th tour step — concretely, a (tree node, out-port) mark
+// — not the tree node as a whole. Agents following the same tour see these
+// marks consistently, which is all the paper's algorithms need.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "embed/tree.h"
+
+namespace udring::embed {
+
+/// The Euler tour of a tree as a virtual ring.
+class EulerRing {
+ public:
+  /// Builds the tour by iterative DFS from `root`, visiting neighbours in
+  /// port order. For the single-node tree the virtual ring has one node.
+  explicit EulerRing(const TreeNetwork& tree, TreeNodeId root = 0);
+
+  /// Virtual ring size: 2(n−1) for n ≥ 2, else 1.
+  [[nodiscard]] std::size_t size() const noexcept { return tour_.size(); }
+
+  /// Tree node visited at virtual position v.
+  [[nodiscard]] TreeNodeId tree_node(std::size_t virtual_node) const {
+    return tour_.at(virtual_node);
+  }
+
+  /// The whole tour, tour()[v] = tree node at virtual position v; moving
+  /// from virtual v to v+1 crosses the tree edge
+  /// (tour()[v], tour()[(v+1) % size()]).
+  [[nodiscard]] const std::vector<TreeNodeId>& tour() const noexcept { return tour_; }
+
+  /// First virtual position whose tour step is `node` (every tree node
+  /// appears at least once). Used to place agents: distinct tree homes map
+  /// to distinct virtual homes.
+  [[nodiscard]] std::size_t first_position(TreeNodeId node) const {
+    return first_position_.at(node);
+  }
+
+  /// All virtual positions of a tree node (deg(node) many for n ≥ 2).
+  [[nodiscard]] std::vector<std::size_t> positions_of(TreeNodeId node) const;
+
+ private:
+  std::vector<TreeNodeId> tour_;
+  std::vector<std::size_t> first_position_;
+};
+
+}  // namespace udring::embed

@@ -1,0 +1,141 @@
+#include "embed/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+namespace udring::embed {
+
+GraphNetwork::GraphNetwork(std::size_t node_count,
+                           std::vector<std::pair<TreeNodeId, TreeNodeId>> edges)
+    : adjacency_(node_count) {
+  if (node_count == 0) {
+    throw std::invalid_argument("GraphNetwork: need at least one node");
+  }
+  std::set<std::pair<TreeNodeId, TreeNodeId>> seen;
+  for (const auto& [a, b] : edges) {
+    if (a >= node_count || b >= node_count || a == b) {
+      throw std::invalid_argument("GraphNetwork: bad edge");
+    }
+    if (!seen.insert({std::min(a, b), std::max(a, b)}).second) {
+      throw std::invalid_argument("GraphNetwork: parallel edge");
+    }
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+    ++edge_count_;
+  }
+  // Connectivity.
+  std::vector<bool> visited(node_count, false);
+  std::deque<TreeNodeId> frontier = {0};
+  visited[0] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const TreeNodeId node = frontier.front();
+    frontier.pop_front();
+    for (const TreeNodeId next : adjacency_[node]) {
+      if (!visited[next]) {
+        visited[next] = true;
+        ++reached;
+        frontier.push_back(next);
+      }
+    }
+  }
+  if (reached != node_count) {
+    throw std::invalid_argument("GraphNetwork: graph is not connected");
+  }
+}
+
+TreeNetwork GraphNetwork::spanning_tree(TreeNodeId root) const {
+  if (root >= size()) {
+    throw std::invalid_argument("spanning_tree: root out of range");
+  }
+  std::vector<std::pair<TreeNodeId, TreeNodeId>> tree_edges;
+  tree_edges.reserve(size() - 1);
+  std::vector<bool> visited(size(), false);
+  // Iterative DFS in port order — the deterministic walk an agent with local
+  // port labels would perform.
+  std::vector<std::pair<TreeNodeId, std::size_t>> stack = {{root, 0}};
+  visited[root] = true;
+  while (!stack.empty()) {
+    auto& [node, port] = stack.back();
+    if (port >= adjacency_[node].size()) {
+      stack.pop_back();
+      continue;
+    }
+    const TreeNodeId next = adjacency_[node][port++];
+    if (!visited[next]) {
+      visited[next] = true;
+      tree_edges.emplace_back(node, next);
+      stack.emplace_back(next, 0);
+    }
+  }
+  return TreeNetwork(size(), std::move(tree_edges));
+}
+
+GraphNetwork random_connected_graph(std::size_t node_count, std::size_t extra_edges,
+                                    Rng& rng) {
+  const TreeNetwork backbone = random_tree(node_count, rng);
+  std::vector<std::pair<TreeNodeId, TreeNodeId>> edges;
+  std::set<std::pair<TreeNodeId, TreeNodeId>> seen;
+  for (TreeNodeId a = 0; a < node_count; ++a) {
+    for (const TreeNodeId b : backbone.neighbors(a)) {
+      if (a < b) {
+        edges.emplace_back(a, b);
+        seen.insert({a, b});
+      }
+    }
+  }
+  const std::size_t max_extra =
+      node_count * (node_count - 1) / 2 - (node_count - 1);
+  extra_edges = std::min(extra_edges, max_extra);
+  std::size_t added = 0;
+  while (added < extra_edges) {
+    const auto a = static_cast<TreeNodeId>(rng.below(node_count));
+    const auto b = static_cast<TreeNodeId>(rng.below(node_count));
+    if (a == b) continue;
+    const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+    if (!seen.insert(key).second) continue;
+    edges.push_back(key);
+    ++added;
+  }
+  return GraphNetwork(node_count, std::move(edges));
+}
+
+GraphNetwork grid_graph(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("grid_graph: empty grid");
+  }
+  std::vector<std::pair<TreeNodeId, TreeNodeId>> edges;
+  const auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return GraphNetwork(rows * cols, std::move(edges));
+}
+
+GraphNetwork complete_graph(std::size_t node_count) {
+  std::vector<std::pair<TreeNodeId, TreeNodeId>> edges;
+  for (TreeNodeId a = 0; a < node_count; ++a) {
+    for (TreeNodeId b = a + 1; b < node_count; ++b) {
+      edges.emplace_back(a, b);
+    }
+  }
+  return GraphNetwork(node_count, std::move(edges));
+}
+
+GraphNetwork cycle_graph(std::size_t node_count) {
+  if (node_count < 3) {
+    throw std::invalid_argument("cycle_graph: need at least 3 nodes");
+  }
+  std::vector<std::pair<TreeNodeId, TreeNodeId>> edges;
+  for (TreeNodeId i = 0; i < node_count; ++i) {
+    edges.emplace_back(i, (i + 1) % node_count);
+  }
+  return GraphNetwork(node_count, std::move(edges));
+}
+
+}  // namespace udring::embed

@@ -1,0 +1,62 @@
+// udring/embed/graph.h
+//
+// General networks — the second half of the §5 future-work extension: "For
+// general network, agents can embed a ring by constructing a spanning tree
+// and embedding a ring in the spanning tree."
+//
+// GraphNetwork is a connected undirected graph with per-node port order; a
+// DFS spanning tree (deterministic in the port order, so every agent builds
+// the same tree from the same root mark) turns any connected network into a
+// TreeNetwork, and the Euler-tour machinery does the rest. Combined with
+// deploy_on_tree this runs the paper's ring algorithms unchanged on
+// arbitrary connected topologies.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "embed/tree.h"
+#include "util/rng.h"
+
+namespace udring::embed {
+
+/// Connected undirected simple graph with ordered adjacency.
+class GraphNetwork {
+ public:
+  /// Throws unless the edge list describes a connected simple graph.
+  GraphNetwork(std::size_t node_count,
+               std::vector<std::pair<TreeNodeId, TreeNodeId>> edges);
+
+  [[nodiscard]] std::size_t size() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+  [[nodiscard]] const std::vector<TreeNodeId>& neighbors(TreeNodeId node) const {
+    return adjacency_.at(node);
+  }
+
+  /// The DFS spanning tree from `root` (port-order deterministic). Node ids
+  /// are preserved, so tree homes and coverage stay directly comparable.
+  [[nodiscard]] TreeNetwork spanning_tree(TreeNodeId root = 0) const;
+
+ private:
+  std::vector<std::vector<TreeNodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+// ---- generators --------------------------------------------------------------
+
+/// Connected Erdős–Rényi-style graph: a random tree plus `extra_edges`
+/// random non-parallel edges.
+[[nodiscard]] GraphNetwork random_connected_graph(std::size_t node_count,
+                                                  std::size_t extra_edges, Rng& rng);
+
+/// rows × cols grid (4-neighbour).
+[[nodiscard]] GraphNetwork grid_graph(std::size_t rows, std::size_t cols);
+
+/// Complete graph K_n.
+[[nodiscard]] GraphNetwork complete_graph(std::size_t node_count);
+
+/// Ring of `node_count` nodes (sanity case: the embedding of a ring).
+[[nodiscard]] GraphNetwork cycle_graph(std::size_t node_count);
+
+}  // namespace udring::embed

@@ -1,0 +1,134 @@
+#include "embed/tree.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+namespace udring::embed {
+
+TreeNetwork::TreeNetwork(std::size_t node_count,
+                         std::vector<std::pair<TreeNodeId, TreeNodeId>> edges)
+    : adjacency_(node_count) {
+  if (node_count == 0) {
+    throw std::invalid_argument("TreeNetwork: need at least one node");
+  }
+  if (edges.size() != node_count - 1) {
+    throw std::invalid_argument("TreeNetwork: a tree has exactly n-1 edges");
+  }
+  for (const auto& [a, b] : edges) {
+    if (a >= node_count || b >= node_count || a == b) {
+      throw std::invalid_argument("TreeNetwork: bad edge");
+    }
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+  // Connectivity check: n-1 edges + connected ⇒ tree (no explicit cycle check
+  // needed).
+  if (node_count > 1) {
+    std::vector<bool> seen(node_count, false);
+    std::deque<TreeNodeId> frontier = {0};
+    seen[0] = true;
+    std::size_t reached = 1;
+    while (!frontier.empty()) {
+      const TreeNodeId node = frontier.front();
+      frontier.pop_front();
+      for (const TreeNodeId next : adjacency_[node]) {
+        if (!seen[next]) {
+          seen[next] = true;
+          ++reached;
+          frontier.push_back(next);
+        }
+      }
+    }
+    if (reached != node_count) {
+      throw std::invalid_argument("TreeNetwork: edges do not connect all nodes");
+    }
+  }
+}
+
+std::vector<std::size_t> TreeNetwork::distances_from(TreeNodeId from) const {
+  std::vector<std::size_t> dist(size(), static_cast<std::size_t>(-1));
+  std::deque<TreeNodeId> frontier = {from};
+  dist.at(from) = 0;
+  while (!frontier.empty()) {
+    const TreeNodeId node = frontier.front();
+    frontier.pop_front();
+    for (const TreeNodeId next : adjacency_[node]) {
+      if (dist[next] == static_cast<std::size_t>(-1)) {
+        dist[next] = dist[node] + 1;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return dist;
+}
+
+std::size_t TreeNetwork::distance(TreeNodeId from, TreeNodeId to) const {
+  return distances_from(from).at(to);
+}
+
+TreeNetwork path_tree(std::size_t node_count) {
+  std::vector<std::pair<TreeNodeId, TreeNodeId>> edges;
+  for (TreeNodeId i = 0; i + 1 < node_count; ++i) edges.emplace_back(i, i + 1);
+  return TreeNetwork(node_count, std::move(edges));
+}
+
+TreeNetwork star_tree(std::size_t node_count) {
+  std::vector<std::pair<TreeNodeId, TreeNodeId>> edges;
+  for (TreeNodeId i = 1; i < node_count; ++i) edges.emplace_back(0, i);
+  return TreeNetwork(node_count, std::move(edges));
+}
+
+TreeNetwork binary_tree(std::size_t node_count) {
+  std::vector<std::pair<TreeNodeId, TreeNodeId>> edges;
+  for (TreeNodeId i = 1; i < node_count; ++i) edges.emplace_back((i - 1) / 2, i);
+  return TreeNetwork(node_count, std::move(edges));
+}
+
+TreeNetwork random_tree(std::size_t node_count, Rng& rng) {
+  if (node_count <= 2) {
+    return path_tree(node_count);
+  }
+  // Random Prüfer sequence of length n-2 → uniformly random labelled tree.
+  std::vector<TreeNodeId> pruefer(node_count - 2);
+  for (auto& value : pruefer) {
+    value = static_cast<TreeNodeId>(rng.below(node_count));
+  }
+  std::vector<std::size_t> degree(node_count, 1);
+  for (const TreeNodeId node : pruefer) ++degree[node];
+
+  std::vector<std::pair<TreeNodeId, TreeNodeId>> edges;
+  edges.reserve(node_count - 1);
+  // Standard decoding with a pointer + leaf candidate.
+  std::size_t ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  std::size_t leaf = ptr;
+  for (const TreeNodeId node : pruefer) {
+    edges.emplace_back(leaf, node);
+    if (--degree[node] == 1 && node < ptr) {
+      leaf = node;
+    } else {
+      ++ptr;
+      while (ptr < node_count && degree[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  edges.emplace_back(leaf, node_count - 1);
+  return TreeNetwork(node_count, std::move(edges));
+}
+
+TreeNetwork caterpillar_tree(std::size_t spine, std::size_t legs_per_node) {
+  if (spine == 0) throw std::invalid_argument("caterpillar_tree: empty spine");
+  std::vector<std::pair<TreeNodeId, TreeNodeId>> edges;
+  for (TreeNodeId i = 0; i + 1 < spine; ++i) edges.emplace_back(i, i + 1);
+  TreeNodeId next = spine;
+  for (TreeNodeId i = 0; i < spine; ++i) {
+    for (std::size_t leg = 0; leg < legs_per_node; ++leg) {
+      edges.emplace_back(i, next++);
+    }
+  }
+  return TreeNetwork(next, std::move(edges));
+}
+
+}  // namespace udring::embed

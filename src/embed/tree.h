@@ -1,0 +1,72 @@
+// udring/embed/tree.h
+//
+// Tree networks — the substrate for the paper's §5 future-work extension:
+// "for tree networks agents embed the ring by the Euler tour technique,
+// that is, if an agent moves in the tree network by the depth-first manner
+// and visits 2(n−1) nodes, the agent can see the nodes as a virtual ring of
+// 2(n−1) nodes."
+//
+// Nodes are anonymous (ids are instrumentation, as in the ring); what the
+// model relies on is only local port labels — each node orders its incident
+// edges, which is exactly what a DFS/Euler tour needs.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace udring::embed {
+
+using TreeNodeId = std::size_t;
+
+/// An undirected tree on n ≥ 1 nodes with per-node ordered adjacency
+/// (port labels). Immutable after construction.
+class TreeNetwork {
+ public:
+  /// Builds from an edge list; throws unless the edges form a tree.
+  TreeNetwork(std::size_t node_count,
+              std::vector<std::pair<TreeNodeId, TreeNodeId>> edges);
+
+  [[nodiscard]] std::size_t size() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return size() - 1; }
+
+  /// Neighbours of `node` in port order.
+  [[nodiscard]] const std::vector<TreeNodeId>& neighbors(TreeNodeId node) const {
+    return adjacency_.at(node);
+  }
+
+  [[nodiscard]] std::size_t degree(TreeNodeId node) const {
+    return adjacency_.at(node).size();
+  }
+
+  /// Hop distance between two nodes (BFS; instrumentation only).
+  [[nodiscard]] std::size_t distance(TreeNodeId from, TreeNodeId to) const;
+
+  /// Hop distances from `from` to every node (BFS).
+  [[nodiscard]] std::vector<std::size_t> distances_from(TreeNodeId from) const;
+
+ private:
+  std::vector<std::vector<TreeNodeId>> adjacency_;
+};
+
+// ---- generators --------------------------------------------------------------
+
+/// Path 0 − 1 − … − (n−1).
+[[nodiscard]] TreeNetwork path_tree(std::size_t node_count);
+
+/// Star with centre 0.
+[[nodiscard]] TreeNetwork star_tree(std::size_t node_count);
+
+/// Complete-as-possible binary tree, parent(i) = (i−1)/2.
+[[nodiscard]] TreeNetwork binary_tree(std::size_t node_count);
+
+/// Uniformly random labelled tree (random Prüfer sequence).
+[[nodiscard]] TreeNetwork random_tree(std::size_t node_count, Rng& rng);
+
+/// Caterpillar: a path spine with legs — a worst-case-ish diameter shape.
+[[nodiscard]] TreeNetwork caterpillar_tree(std::size_t spine, std::size_t legs_per_node);
+
+}  // namespace udring::embed

@@ -1,0 +1,87 @@
+#include "embed/tree_deploy.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace udring::embed {
+
+std::pair<std::size_t, double> tree_coverage(const TreeNetwork& tree,
+                                             const std::vector<TreeNodeId>& agents) {
+  if (agents.empty()) {
+    throw std::invalid_argument("tree_coverage: no agents");
+  }
+  // Multi-source BFS from all agent nodes.
+  std::vector<std::size_t> best(tree.size(), static_cast<std::size_t>(-1));
+  std::vector<TreeNodeId> frontier;
+  for (const TreeNodeId agent : agents) {
+    if (best.at(agent) == static_cast<std::size_t>(-1)) {
+      best[agent] = 0;
+      frontier.push_back(agent);
+    }
+  }
+  std::size_t depth = 0;
+  std::size_t worst = 0;
+  double total = 0;
+  while (!frontier.empty()) {
+    std::vector<TreeNodeId> next_frontier;
+    for (const TreeNodeId node : frontier) {
+      worst = std::max(worst, best[node]);
+      total += static_cast<double>(best[node]);
+      for (const TreeNodeId next : tree.neighbors(node)) {
+        if (best[next] == static_cast<std::size_t>(-1)) {
+          best[next] = depth + 1;
+          next_frontier.push_back(next);
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+    ++depth;
+  }
+  return {worst, total / static_cast<double>(tree.size())};
+}
+
+TreeDeployReport deploy_on_tree(const TreeNetwork& tree,
+                                const std::vector<TreeNodeId>& tree_homes,
+                                core::Algorithm algorithm,
+                                core::RunSpec base_spec, TreeNodeId root) {
+  const std::set<TreeNodeId> distinct(tree_homes.begin(), tree_homes.end());
+  if (distinct.size() != tree_homes.size()) {
+    throw std::invalid_argument("deploy_on_tree: tree homes must be distinct");
+  }
+
+  const EulerRing ring(tree, root);
+
+  core::RunSpec spec = base_spec;
+  spec.node_count = ring.size();
+  spec.homes.clear();
+  spec.homes.reserve(tree_homes.size());
+  for (const TreeNodeId home : tree_homes) {
+    spec.homes.push_back(ring.first_position(home));
+  }
+
+  const core::RunReport ring_report = core::run_algorithm(algorithm, spec);
+
+  TreeDeployReport report;
+  report.success = ring_report.success;
+  report.failure = ring_report.failure;
+  report.virtual_ring_size = ring.size();
+  report.virtual_positions = ring_report.final_positions;
+  report.total_moves = ring_report.total_moves;
+  report.makespan = ring_report.makespan;
+  report.max_memory_bits = ring_report.max_memory_bits;
+  report.tree_positions.reserve(report.virtual_positions.size());
+  for (const std::size_t v : report.virtual_positions) {
+    report.tree_positions.push_back(ring.tree_node(v));
+  }
+  if (!report.tree_positions.empty()) {
+    // Note: two agents may map to the same *tree* node (a node appears
+    // deg(node) times on the tour); they still occupy distinct tour steps.
+    const auto [worst, mean] = tree_coverage(tree, report.tree_positions);
+    report.worst_tree_distance = worst;
+    report.mean_tree_distance = mean;
+  }
+  return report;
+}
+
+}  // namespace udring::embed

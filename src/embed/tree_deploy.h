@@ -1,0 +1,54 @@
+// udring/embed/tree_deploy.h
+//
+// Uniform deployment on tree networks via the Euler-tour embedding (§5).
+//
+// Agents living on tree nodes are mapped to the virtual ring (each agent's
+// home = the first tour position of its tree home; distinct tree homes give
+// distinct virtual homes), any of the paper's ring algorithms runs
+// unchanged, and the result maps back: an agent at virtual position v
+// stands at tree node tour[v]. Uniformity is with respect to tour distance
+// — agents end ⌊m/k⌋ or ⌈m/k⌉ tour steps apart (m = 2(n−1)) — which bounds
+// the tree-level service interval: a patrol following the tour visits every
+// node of the tree within one tour lap, so consecutive-agent tour gaps are
+// exactly the patrol staleness bound on the tree.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "embed/euler_ring.h"
+#include "embed/tree.h"
+
+namespace udring::embed {
+
+struct TreeDeployReport {
+  bool success = false;           ///< virtual-ring oracle passed
+  std::string failure;            ///< oracle failure reason if any
+  std::size_t virtual_ring_size = 0;           ///< m = 2(n−1)
+  std::vector<std::size_t> virtual_positions;  ///< final ring positions (sorted)
+  std::vector<TreeNodeId> tree_positions;      ///< tour[v] for each of them
+  std::size_t total_moves = 0;    ///< = total tree edge traversals
+  std::uint64_t makespan = 0;
+  std::size_t max_memory_bits = 0;
+
+  /// Worst/mean hop distance from any tree node to its nearest agent
+  /// (instrumentation; computed on the tree, not the tour).
+  std::size_t worst_tree_distance = 0;
+  double mean_tree_distance = 0;
+};
+
+/// Runs `algorithm` for agents starting at distinct tree nodes `tree_homes`
+/// via the Euler-tour embedding rooted at `root`.
+[[nodiscard]] TreeDeployReport deploy_on_tree(
+    const TreeNetwork& tree, const std::vector<TreeNodeId>& tree_homes,
+    core::Algorithm algorithm, core::RunSpec base_spec = {},
+    TreeNodeId root = 0);
+
+/// Tree-coverage statistics for an arbitrary agent placement (hop metric).
+[[nodiscard]] std::pair<std::size_t, double> tree_coverage(
+    const TreeNetwork& tree, const std::vector<TreeNodeId>& agents);
+
+}  // namespace udring::embed

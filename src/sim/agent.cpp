@@ -1,0 +1,43 @@
+#include "sim/agent.h"
+
+#include <stdexcept>
+
+#include "sim/simulator.h"
+
+namespace udring::sim {
+
+Request Behavior::resume() {
+  if (!handle_ || handle_.done()) {
+    throw std::logic_error("Behavior::resume: coroutine is not resumable");
+  }
+  handle_.promise().pending = Request::None;
+  handle_.resume();
+  if (handle_.promise().exception) {
+    std::rethrow_exception(handle_.promise().exception);
+  }
+  if (handle_.done()) {
+    return Request::Done;
+  }
+  const Request request = handle_.promise().pending;
+  if (request == Request::None) {
+    throw std::logic_error(
+        "Behavior::resume: agent program suspended without a control request");
+  }
+  return request;
+}
+
+std::size_t AgentContext::tokens_here() const { return sim_->tokens_at_agent(self_); }
+
+std::size_t AgentContext::others_staying_here() const {
+  return sim_->others_staying_at_agent(self_);
+}
+
+void AgentContext::release_token() { sim_->agent_release_token(self_); }
+
+void AgentContext::broadcast(Message message) {
+  sim_->agent_broadcast(self_, std::move(message));
+}
+
+void AgentContext::set_phase(std::size_t phase) { sim_->agent_set_phase(self_, phase); }
+
+}  // namespace udring::sim

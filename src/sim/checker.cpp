@@ -1,0 +1,174 @@
+#include "sim/checker.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace udring::sim {
+
+std::vector<std::size_t> ring_gaps(std::vector<std::size_t> positions,
+                                   std::size_t node_count) {
+  std::sort(positions.begin(), positions.end());
+  std::vector<std::size_t> gaps;
+  gaps.reserve(positions.size());
+  for (std::size_t i = 0; i + 1 < positions.size(); ++i) {
+    gaps.push_back(positions[i + 1] - positions[i]);
+  }
+  if (!positions.empty()) {
+    gaps.push_back(node_count - positions.back() + positions.front());
+  }
+  return gaps;
+}
+
+CheckResult check_positions_uniform(std::vector<std::size_t> positions,
+                                    std::size_t node_count) {
+  const std::size_t k = positions.size();
+  if (k == 0) return CheckResult::fail("no agent positions");
+  if (k == 1) return CheckResult::pass();
+
+  std::sort(positions.begin(), positions.end());
+  if (std::adjacent_find(positions.begin(), positions.end()) != positions.end()) {
+    std::ostringstream why;
+    why << "two agents share node "
+        << *std::adjacent_find(positions.begin(), positions.end());
+    return CheckResult::fail(why.str());
+  }
+
+  const std::size_t floor_gap = node_count / k;
+  const std::size_t ceil_gap = floor_gap + (node_count % k == 0 ? 0 : 1);
+  const std::size_t expected_ceil = node_count % k;
+
+  std::size_t ceil_count = 0;
+  for (const std::size_t gap : ring_gaps(positions, node_count)) {
+    if (gap == ceil_gap && ceil_gap != floor_gap) {
+      ++ceil_count;
+    } else if (gap != floor_gap) {
+      std::ostringstream why;
+      why << "gap " << gap << " is neither ⌊n/k⌋=" << floor_gap
+          << " nor ⌈n/k⌉=" << ceil_gap;
+      return CheckResult::fail(why.str());
+    }
+  }
+  if (ceil_gap != floor_gap && ceil_count != expected_ceil) {
+    std::ostringstream why;
+    why << "found " << ceil_count << " gaps of ⌈n/k⌉, expected " << expected_ceil;
+    return CheckResult::fail(why.str());
+  }
+  return CheckResult::pass();
+}
+
+namespace {
+
+CheckResult check_queues_empty(const Simulator& sim) {
+  for (NodeId node = 0; node < sim.ring().size(); ++node) {
+    if (sim.queue_length(node) != 0) {
+      std::ostringstream why;
+      why << "link queue into node " << node << " still holds "
+          << sim.queue_length(node) << " agent(s)";
+      return CheckResult::fail(why.str());
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_all_status(const Simulator& sim, AgentStatus wanted) {
+  for (AgentId id = 0; id < sim.agent_count(); ++id) {
+    if (sim.status(id) != wanted) {
+      std::ostringstream why;
+      why << "agent " << id << " is " << to_string(sim.status(id)) << ", expected "
+          << to_string(wanted);
+      return CheckResult::fail(why.str());
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace
+
+CheckResult check_uniform_deployment_with_termination(const Simulator& sim) {
+  if (auto r = check_all_status(sim, AgentStatus::Halted); !r) return r;
+  if (auto r = check_queues_empty(sim); !r) return r;
+  return check_positions_uniform(sim.staying_nodes(), sim.ring().size());
+}
+
+CheckResult check_uniform_deployment_without_termination(const Simulator& sim) {
+  if (auto r = check_all_status(sim, AgentStatus::Suspended); !r) return r;
+  if (auto r = check_queues_empty(sim); !r) return r;
+  const Snapshot snap = sim.snapshot();
+  for (const AgentSnap& agent : snap.agents) {
+    if (agent.mailbox_size != 0) {
+      std::ostringstream why;
+      why << "agent " << agent.id << " has " << agent.mailbox_size
+          << " undelivered message(s); Definition 2 requires m_i = ∅";
+      return CheckResult::fail(why.str());
+    }
+  }
+  return check_positions_uniform(sim.staying_nodes(), sim.ring().size());
+}
+
+CheckResult check_model_invariants(const Simulator& sim,
+                                   std::size_t min_expected_tokens) {
+  const Snapshot snap = sim.snapshot();
+
+  // Token monotonicity: tokens are indelible, so the total may only grow,
+  // and in this paper's algorithms it is bounded by the number of agents.
+  const std::size_t total_tokens = sim.ring().total_tokens();
+  if (total_tokens < min_expected_tokens) {
+    std::ostringstream why;
+    why << "token count decreased: " << total_tokens << " < "
+        << min_expected_tokens;
+    return CheckResult::fail(why.str());
+  }
+
+  // Every agent is either in exactly one link queue (in transit) or staying;
+  // queue members must have InTransit status and match their queue's node.
+  std::vector<std::size_t> seen_in_queue(sim.agent_count(), 0);
+  for (NodeId node = 0; node < snap.queues.size(); ++node) {
+    for (const AgentId id : snap.queues[node]) {
+      ++seen_in_queue.at(id);
+      if (snap.agents.at(id).status != AgentStatus::InTransit) {
+        std::ostringstream why;
+        why << "agent " << id << " is in queue to node " << node << " but has status "
+            << to_string(snap.agents.at(id).status);
+        return CheckResult::fail(why.str());
+      }
+      if (snap.agents.at(id).node != node) {
+        std::ostringstream why;
+        why << "agent " << id << " queue/destination mismatch";
+        return CheckResult::fail(why.str());
+      }
+    }
+  }
+  for (AgentId id = 0; id < sim.agent_count(); ++id) {
+    const bool in_transit = snap.agents[id].status == AgentStatus::InTransit;
+    if (in_transit && seen_in_queue[id] != 1) {
+      std::ostringstream why;
+      why << "in-transit agent " << id << " appears in " << seen_in_queue[id]
+          << " queues";
+      return CheckResult::fail(why.str());
+    }
+    if (!in_transit && seen_in_queue[id] != 0) {
+      std::ostringstream why;
+      why << "staying agent " << id << " also appears in a link queue";
+      return CheckResult::fail(why.str());
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_gathered(const Simulator& sim) {
+  const std::vector<NodeId> nodes = sim.staying_nodes();
+  if (nodes.size() != sim.agent_count()) {
+    return CheckResult::fail("not all agents are staying");
+  }
+  std::vector<NodeId> distinct = nodes;
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  if (distinct.size() > 1) {
+    std::ostringstream why;
+    why << "agents are spread over " << distinct.size()
+        << " distinct nodes; expected one";
+    return CheckResult::fail(why.str());
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace udring::sim

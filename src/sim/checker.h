@@ -1,0 +1,68 @@
+// udring/sim/checker.h
+//
+// Machine-checked oracles for the uniform deployment problem
+// (Definitions 1 and 2 of the paper).
+//
+// The checker is deliberately *independent* of the core algorithm library:
+// it recomputes gaps and target arithmetic from first principles so that a
+// bug shared between an algorithm and its checker cannot hide. It consumes
+// only observable simulator state (positions, statuses, queues, mailboxes).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace udring::sim {
+
+/// Result of a predicate evaluation: `ok` plus a human-readable reason when
+/// the predicate fails (used directly in gtest messages).
+struct CheckResult {
+  bool ok = true;
+  std::string reason;
+
+  explicit operator bool() const noexcept { return ok; }
+
+  static CheckResult pass() { return {}; }
+  static CheckResult fail(std::string why) { return {false, std::move(why)}; }
+};
+
+/// The distance between consecutive positions around an n-ring; positions
+/// need not be sorted; the result is sorted by position. Requires at least
+/// one position.
+[[nodiscard]] std::vector<std::size_t> ring_gaps(std::vector<std::size_t> positions,
+                                                 std::size_t node_count);
+
+/// Are `positions` (distinct nodes) a uniform deployment of k agents on an
+/// n-ring? True iff every gap between adjacent agents is ⌊n/k⌋ or ⌈n/k⌉ —
+/// equivalently, exactly (n mod k) gaps equal ⌈n/k⌉ and the rest ⌊n/k⌋.
+/// k = 1 is trivially uniform.
+[[nodiscard]] CheckResult check_positions_uniform(std::vector<std::size_t> positions,
+                                                  std::size_t node_count);
+
+/// Definition 1: every agent is in the halt state, all link queues are
+/// empty, and the staying positions form a uniform deployment.
+[[nodiscard]] CheckResult check_uniform_deployment_with_termination(
+    const Simulator& sim);
+
+/// Definition 2: every agent is in the suspended state, all mailboxes and
+/// link queues are empty, and the staying positions form a uniform
+/// deployment.
+[[nodiscard]] CheckResult check_uniform_deployment_without_termination(
+    const Simulator& sim);
+
+/// Model invariants that must hold in *any* reachable configuration:
+/// agent/staying-set consistency, token conservation (tokens never exceed
+/// the number of agents and never decrease — callers track the prior count),
+/// and queue sanity. Used by randomized tests after every step.
+[[nodiscard]] CheckResult check_model_invariants(const Simulator& sim,
+                                                 std::size_t min_expected_tokens);
+
+/// Rendezvous oracle for the baseline contrast: all staying agents at one
+/// node.
+[[nodiscard]] CheckResult check_gathered(const Simulator& sim);
+
+}  // namespace udring::sim

@@ -1,0 +1,47 @@
+#include "sim/event_log.h"
+
+#include <ostream>
+
+namespace udring::sim {
+
+std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::Arrive: return "arrive";
+    case EventKind::Depart: return "depart";
+    case EventKind::StayPut: return "stay";
+    case EventKind::EnterWait: return "wait";
+    case EventKind::EnterSuspend: return "suspend";
+    case EventKind::Halt: return "halt";
+    case EventKind::TokenDrop: return "token";
+    case EventKind::Broadcast: return "broadcast";
+    case EventKind::Wake: return "wake";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& out, const Event& event) {
+  out << '#' << event.action_index << " t=" << event.causal_ts << " agent "
+      << event.agent << ' ' << to_string(event.kind) << " @node " << event.node;
+  if (event.kind == EventKind::Broadcast || event.kind == EventKind::Wake) {
+    out << " (" << event.detail << ')';
+  }
+  return out;
+}
+
+std::vector<Event> EventLog::of_kind(EventKind kind) const {
+  std::vector<Event> result;
+  for (const Event& event : events_) {
+    if (event.kind == kind) result.push_back(event);
+  }
+  return result;
+}
+
+std::vector<Event> EventLog::of_agent(AgentId agent) const {
+  std::vector<Event> result;
+  for (const Event& event : events_) {
+    if (event.agent == agent) result.push_back(event);
+  }
+  return result;
+}
+
+}  // namespace udring::sim

@@ -1,0 +1,70 @@
+// udring/sim/event_log.h
+//
+// Optional structured trace of every atomic action. Off by default (the
+// property sweeps run millions of actions); tests turn it on to assert
+// model invariants (FIFO link discipline, home-node-first rule, atomicity)
+// and examples use it to narrate executions.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace udring::sim {
+
+enum class EventKind : std::uint8_t {
+  Arrive,        ///< agent left a link queue and arrived at `node`
+  Depart,        ///< agent left `node` over the forward link
+  StayPut,       ///< agent acted and stayed schedulable at `node`
+  EnterWait,     ///< agent parked waiting for a message at `node`
+  EnterSuspend,  ///< agent entered the Definition-2 suspended state
+  Halt,          ///< agent's program returned (Definition-1 halt state)
+  TokenDrop,     ///< agent released a token at `node`
+  Broadcast,     ///< agent broadcast a message; `detail` = receiver count
+  Wake,          ///< parked agent became schedulable; `detail` = sender id
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
+
+struct Event {
+  std::size_t action_index = 0;  ///< global atomic-action counter
+  EventKind kind = EventKind::Arrive;
+  AgentId agent = 0;
+  NodeId node = 0;
+  std::uint64_t causal_ts = 0;  ///< ideal-time stamp of the enclosing action
+  std::size_t detail = 0;       ///< kind-specific extra (see EventKind)
+};
+
+std::ostream& operator<<(std::ostream& out, const Event& event);
+
+/// Append-only event container with convenience filters used by tests.
+class EventLog {
+ public:
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void record(Event event) {
+    if (enabled_) events_.push_back(event);
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
+
+  /// All events of one kind, in order.
+  [[nodiscard]] std::vector<Event> of_kind(EventKind kind) const;
+
+  /// All events for one agent, in order.
+  [[nodiscard]] std::vector<Event> of_agent(AgentId agent) const;
+
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<Event> events_;
+};
+
+}  // namespace udring::sim

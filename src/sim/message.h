@@ -1,0 +1,57 @@
+// udring/sim/message.h
+//
+// Message payloads agents may broadcast to co-located staying agents.
+//
+// The paper allows messages "of any size". We model the two concrete
+// payloads its algorithms send, plus a free-form text payload for tests and
+// examples:
+//
+//  - BaseInfoMessage:  Algorithm 3 (deployment phase), leader → follower.
+//  - EstimateMessage:  Algorithms 5/6, patrolling agent → suspended agent.
+//  - TextMessage:      tests / examples / extensions.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace udring::sim {
+
+/// Leader → follower notification that the selection phase finished
+/// (Algorithm 3 line 7). `t_base` is the number of token nodes the follower
+/// must observe to reach the nearest base node. The three geometry fields
+/// extend the paper's message so a follower can (a) handle n ≠ ck per
+/// §3.1.1 and (b) skip base-node stops, which are reserved for leaders (see
+/// DESIGN.md §6 and the known_k_logmem strict-mode discussion).
+struct BaseInfoMessage {
+  std::size_t t_base = 0;      ///< tokens to observe before the base node
+  std::size_t seg_agents = 0;  ///< k / b: targets per base segment (incl. base)
+  std::size_t ceil_gaps = 0;   ///< r / b: leading ⌈n/k⌉ gaps per segment
+  std::size_t floor_gap = 0;   ///< ⌊n/k⌋
+
+  friend bool operator==(const BaseInfoMessage&, const BaseInfoMessage&) = default;
+};
+
+/// Patrolling agent → suspended agent (Algorithm 5 line 5): the sender's
+/// estimates and its observed distance sequence D (length 4·k_est).
+struct EstimateMessage {
+  std::size_t n_est = 0;          ///< n': estimated ring size
+  std::size_t k_est = 0;          ///< k': estimated number of agents
+  std::size_t nodes_visited = 0;  ///< sender's total moves so far ("nodes")
+  std::vector<std::size_t> distance_seq;  ///< D = S^4, |D| = 4·k_est
+
+  friend bool operator==(const EstimateMessage&, const EstimateMessage&) = default;
+};
+
+/// Free-form payload for tests, examples, and extensions.
+struct TextMessage {
+  std::string text;
+
+  friend bool operator==(const TextMessage&, const TextMessage&) = default;
+};
+
+using Message = std::variant<BaseInfoMessage, EstimateMessage, TextMessage>;
+
+}  // namespace udring::sim

@@ -1,0 +1,48 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+namespace udring::sim {
+
+std::size_t Metrics::total_moves() const noexcept {
+  std::size_t total = 0;
+  for (const auto& agent : per_agent_) total += agent.moves;
+  return total;
+}
+
+std::size_t Metrics::total_actions() const noexcept {
+  std::size_t total = 0;
+  for (const auto& agent : per_agent_) total += agent.actions;
+  return total;
+}
+
+std::uint64_t Metrics::makespan() const noexcept {
+  std::uint64_t makespan = 0;
+  for (const auto& agent : per_agent_) {
+    makespan = std::max(makespan, agent.causal_time);
+  }
+  return makespan;
+}
+
+std::size_t Metrics::max_memory_bits() const noexcept {
+  std::size_t peak = 0;
+  for (const auto& agent : per_agent_) {
+    peak = std::max(peak, agent.peak_memory_bits);
+  }
+  return peak;
+}
+
+std::vector<std::size_t> Metrics::moves_by_phase() const {
+  std::vector<std::size_t> totals;
+  for (const auto& agent : per_agent_) {
+    if (totals.size() < agent.moves_by_phase.size()) {
+      totals.resize(agent.moves_by_phase.size(), 0);
+    }
+    for (std::size_t phase = 0; phase < agent.moves_by_phase.size(); ++phase) {
+      totals[phase] += agent.moves_by_phase[phase];
+    }
+  }
+  return totals;
+}
+
+}  // namespace udring::sim

@@ -1,0 +1,18 @@
+#include "sim/ring.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace udring::sim {
+
+Ring::Ring(std::size_t node_count) : tokens_(node_count, 0) {
+  if (node_count == 0) {
+    throw std::invalid_argument("Ring: node_count must be positive");
+  }
+}
+
+std::size_t Ring::total_tokens() const noexcept {
+  return std::accumulate(tokens_.begin(), tokens_.end(), std::size_t{0});
+}
+
+}  // namespace udring::sim

@@ -1,0 +1,54 @@
+// udring/sim/ring.h
+//
+// The anonymous unidirectional ring R = (V, E) of §2.1: n nodes
+// v_0 … v_{n-1}, link e_i = (v_i, v_{i+1 mod n}). Nodes are anonymous in the
+// model; the only per-node state visible to agents is the token count
+// (tokens are indelible one-bit marks — once released they stay forever).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace udring::sim {
+
+class Ring {
+ public:
+  /// A ring must have at least one node.
+  explicit Ring(std::size_t node_count);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tokens_.size(); }
+
+  /// The forward neighbour of `node` (the only direction agents can move).
+  [[nodiscard]] NodeId next(NodeId node) const noexcept {
+    return node + 1 == tokens_.size() ? 0 : node + 1;
+  }
+
+  /// Forward distance from `from` to `to`: (to - from) mod n (§2.1).
+  [[nodiscard]] std::size_t distance(NodeId from, NodeId to) const noexcept {
+    return to >= from ? to - from : tokens_.size() - from + to;
+  }
+
+  /// Number of tokens at `node`. In this paper's algorithms it is 0 or 1
+  /// (each agent drops its single token at its distinct home node), but the
+  /// substrate supports arbitrary counts.
+  [[nodiscard]] std::size_t tokens(NodeId node) const { return tokens_.at(node); }
+
+  /// Releases one indelible token at `node`.
+  void add_token(NodeId node) { ++tokens_.at(node); }
+
+  /// Total tokens in the ring.
+  [[nodiscard]] std::size_t total_tokens() const noexcept;
+
+  /// Snapshot of all token counts (index = node).
+  [[nodiscard]] const std::vector<std::size_t>& token_counts() const noexcept {
+    return tokens_;
+  }
+
+ private:
+  std::vector<std::size_t> tokens_;
+};
+
+}  // namespace udring::sim

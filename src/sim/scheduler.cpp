@@ -1,0 +1,144 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace udring::sim {
+
+// ---- RoundRobinScheduler ----------------------------------------------------
+
+void RoundRobinScheduler::reset(std::size_t agent_count) {
+  agent_count_ = agent_count;
+  cursor_ = 0;
+}
+
+AgentId RoundRobinScheduler::pick(const std::vector<AgentId>& enabled) {
+  // Choose the enabled agent with the smallest cyclic distance from cursor_.
+  AgentId best = enabled.front();
+  std::size_t best_key = agent_count_;
+  for (const AgentId id : enabled) {
+    const std::size_t key =
+        id >= cursor_ ? id - cursor_ : agent_count_ - cursor_ + id;
+    if (key < best_key) {
+      best_key = key;
+      best = id;
+    }
+  }
+  cursor_ = (best + 1) % std::max<std::size_t>(agent_count_, 1);
+  return best;
+}
+
+// ---- RandomScheduler --------------------------------------------------------
+
+void RandomScheduler::reset(std::size_t /*agent_count*/) { rng_ = Rng(seed_); }
+
+AgentId RandomScheduler::pick(const std::vector<AgentId>& enabled) {
+  return enabled[rng_.index(enabled.size())];
+}
+
+// ---- SynchronousScheduler ---------------------------------------------------
+
+void SynchronousScheduler::reset(std::size_t agent_count) {
+  acted_.assign(agent_count, false);
+  rounds_ = 0;
+}
+
+AgentId SynchronousScheduler::pick(const std::vector<AgentId>& enabled) {
+  for (const AgentId id : enabled) {
+    if (!acted_[id]) {
+      acted_[id] = true;
+      return id;
+    }
+  }
+  // Every enabled agent has acted: the round is complete.
+  ++rounds_;
+  std::fill(acted_.begin(), acted_.end(), false);
+  const AgentId id = enabled.front();
+  acted_[id] = true;
+  return id;
+}
+
+// ---- PriorityScheduler ------------------------------------------------------
+
+PriorityScheduler::PriorityScheduler(std::vector<AgentId> order)
+    : order_(std::move(order)) {}
+
+void PriorityScheduler::reset(std::size_t agent_count) {
+  rank_.assign(agent_count, agent_count + order_.size());
+  std::size_t next_rank = 0;
+  for (const AgentId id : order_) {
+    if (id < agent_count) rank_[id] = next_rank++;
+  }
+  // Agents not listed keep a stable id-ordered tail.
+  for (AgentId id = 0; id < agent_count; ++id) {
+    if (rank_[id] == agent_count + order_.size()) rank_[id] = order_.size() + id;
+  }
+}
+
+AgentId PriorityScheduler::pick(const std::vector<AgentId>& enabled) {
+  AgentId best = enabled.front();
+  for (const AgentId id : enabled) {
+    if (rank_[id] < rank_[best]) best = id;
+  }
+  return best;
+}
+
+// ---- BurstScheduler ---------------------------------------------------------
+
+void BurstScheduler::reset(std::size_t /*agent_count*/) { current_ = kNoAgent; }
+
+AgentId BurstScheduler::pick(const std::vector<AgentId>& enabled) {
+  if (current_ != kNoAgent &&
+      std::find(enabled.begin(), enabled.end(), current_) != enabled.end()) {
+    return current_;
+  }
+  current_ = enabled[rng_.index(enabled.size())];
+  return current_;
+}
+
+// ---- factory ----------------------------------------------------------------
+
+std::string_view to_string(SchedulerKind kind) noexcept {
+  switch (kind) {
+    case SchedulerKind::RoundRobin: return "round-robin";
+    case SchedulerKind::Random: return "random";
+    case SchedulerKind::Synchronous: return "synchronous";
+    case SchedulerKind::Priority: return "priority";
+    case SchedulerKind::Burst: return "burst";
+  }
+  return "?";
+}
+
+const std::vector<SchedulerKind>& all_scheduler_kinds() {
+  static const std::vector<SchedulerKind> kinds = {
+      SchedulerKind::RoundRobin, SchedulerKind::Random,
+      SchedulerKind::Synchronous, SchedulerKind::Priority,
+      SchedulerKind::Burst,
+  };
+  return kinds;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, std::uint64_t seed,
+                                          std::size_t agent_count) {
+  switch (kind) {
+    case SchedulerKind::RoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case SchedulerKind::Random:
+      return std::make_unique<RandomScheduler>(seed);
+    case SchedulerKind::Synchronous:
+      return std::make_unique<SynchronousScheduler>();
+    case SchedulerKind::Priority: {
+      // Descending ids: the highest id runs first, agent 0 is starved.
+      std::vector<AgentId> order(agent_count);
+      for (std::size_t i = 0; i < agent_count; ++i) {
+        order[i] = agent_count - 1 - i;
+      }
+      return std::make_unique<PriorityScheduler>(std::move(order));
+    }
+    case SchedulerKind::Burst:
+      return std::make_unique<BurstScheduler>(seed);
+  }
+  throw std::invalid_argument("make_scheduler: unknown kind");
+}
+
+}  // namespace udring::sim

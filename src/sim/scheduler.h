@@ -1,0 +1,145 @@
+// udring/sim/scheduler.h
+//
+// Fair schedulers. The paper quantifies over *all* fair schedules (§2.1); an
+// execution is produced by repeatedly letting a scheduler choose among the
+// currently enabled agents (queue heads, schedulable stayers, and parked
+// agents with pending messages). The families here sample that quantifier
+// from several directions:
+//
+//  - RoundRobinScheduler:  the canonical fair schedule.
+//  - RandomScheduler:      seeded uniform choice (fair with probability 1).
+//  - SynchronousScheduler: lockstep rounds — every enabled agent acts once
+//                          per round. Realizes the ideal-time measure and
+//                          the synchronous executions used in Theorem 5.
+//  - PriorityScheduler:    always runs the highest-priority enabled agent;
+//                          maximally starves the lowest. This is the
+//                          adversary that exposes asynchrony bugs (it found
+//                          the Algorithm-3 base-node race; see DESIGN.md).
+//  - BurstScheduler:       runs one agent as long as it stays enabled before
+//                          switching — extreme asynchrony bursts.
+//
+// All schedulers are fair on terminating workloads: an enabled agent is
+// never ignored forever because the others eventually park or halt.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace udring::sim {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Called by Simulator::run before the first action.
+  virtual void reset(std::size_t agent_count) { (void)agent_count; }
+
+  /// Chooses the next agent to act from `enabled` (never empty, unordered).
+  [[nodiscard]] virtual AgentId pick(const std::vector<AgentId>& enabled) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Completed lockstep rounds; 0 for schedulers without round structure.
+  [[nodiscard]] virtual std::uint64_t rounds() const { return 0; }
+};
+
+/// Cycles through agent ids, running the first enabled agent at or after the
+/// cursor.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  void reset(std::size_t agent_count) override;
+  AgentId pick(const std::vector<AgentId>& enabled) override;
+  [[nodiscard]] std::string_view name() const override { return "round-robin"; }
+
+ private:
+  std::size_t agent_count_ = 0;
+  std::size_t cursor_ = 0;
+};
+
+/// Uniformly random choice among enabled agents (seeded, reproducible).
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+  void reset(std::size_t agent_count) override;
+  AgentId pick(const std::vector<AgentId>& enabled) override;
+  [[nodiscard]] std::string_view name() const override { return "random"; }
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+/// Lockstep rounds: within a round every enabled agent acts exactly once
+/// (agents enabled mid-round join the next round). rounds() then equals the
+/// execution's synchronous length, which matches the ideal-time makespan.
+class SynchronousScheduler final : public Scheduler {
+ public:
+  void reset(std::size_t agent_count) override;
+  AgentId pick(const std::vector<AgentId>& enabled) override;
+  [[nodiscard]] std::string_view name() const override { return "synchronous"; }
+  [[nodiscard]] std::uint64_t rounds() const override { return rounds_; }
+
+ private:
+  std::vector<bool> acted_;
+  std::uint64_t rounds_ = 0;
+};
+
+/// Always runs the enabled agent that appears earliest in `order`; agents
+/// absent from `order` come last in id order. Deterministic adversary.
+class PriorityScheduler final : public Scheduler {
+ public:
+  explicit PriorityScheduler(std::vector<AgentId> order);
+  void reset(std::size_t agent_count) override;
+  AgentId pick(const std::vector<AgentId>& enabled) override;
+  [[nodiscard]] std::string_view name() const override { return "priority"; }
+
+ private:
+  std::vector<AgentId> order_;
+  std::vector<std::size_t> rank_;  // agent id -> priority rank
+};
+
+/// Keeps scheduling the same agent while it remains enabled; switches (in
+/// seeded random order) only when it parks, halts, or enters a link queue
+/// behind another agent.
+class BurstScheduler final : public Scheduler {
+ public:
+  explicit BurstScheduler(std::uint64_t seed) : rng_(seed) {}
+  void reset(std::size_t agent_count) override;
+  AgentId pick(const std::vector<AgentId>& enabled) override;
+  [[nodiscard]] std::string_view name() const override { return "burst"; }
+
+ private:
+  Rng rng_;
+  AgentId current_ = kNoAgent;
+
+  static constexpr AgentId kNoAgent = static_cast<AgentId>(-1);
+};
+
+/// Scheduler families used by parameterized sweeps.
+enum class SchedulerKind {
+  RoundRobin,
+  Random,
+  Synchronous,
+  Priority,  ///< victim = last agent (lowest priority = highest id)
+  Burst,
+};
+
+[[nodiscard]] std::string_view to_string(SchedulerKind kind) noexcept;
+
+/// All kinds, for INSTANTIATE_TEST_SUITE_P sweeps.
+[[nodiscard]] const std::vector<SchedulerKind>& all_scheduler_kinds();
+
+/// Factory. `seed` feeds the randomized kinds; `agent_count` shapes the
+/// default priority order (descending ids ⇒ agent 0 is starved hardest).
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                                        std::uint64_t seed,
+                                                        std::size_t agent_count);
+
+}  // namespace udring::sim

@@ -1,0 +1,304 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace udring::sim {
+
+Simulator::Simulator(std::size_t node_count, std::vector<NodeId> homes,
+                     const ProgramFactory& factory, SimOptions options)
+    : ring_(node_count),
+      homes_(std::move(homes)),
+      queues_(node_count),
+      staying_(node_count),
+      queue_arrival_ts_(node_count, 0),
+      metrics_(homes_.size()),
+      options_(options) {
+  if (homes_.empty()) {
+    throw std::invalid_argument("Simulator: need at least one agent");
+  }
+  if (homes_.size() > node_count) {
+    throw std::invalid_argument("Simulator: more agents than nodes");
+  }
+  std::unordered_set<NodeId> seen;
+  for (const NodeId home : homes_) {
+    if (home >= node_count) {
+      throw std::invalid_argument("Simulator: home node out of range");
+    }
+    if (!seen.insert(home).second) {
+      throw std::invalid_argument("Simulator: home nodes must be distinct");
+    }
+  }
+  if (options_.max_actions == 0) {
+    // Generous default: the paper's algorithms need ≤ ~14n moves per agent;
+    // actions ≈ moves + a few parks each. 64·n·k + 4096 has wide margin.
+    options_.max_actions = 64 * node_count * homes_.size() + 4096;
+  }
+  options_.max_actions = std::max<std::size_t>(options_.max_actions, 1);
+
+  log_.set_enabled(options_.record_events);
+
+  agents_.reserve(homes_.size());
+  enabled_pos_.assign(homes_.size(), kNotEnabled);
+  for (AgentId id = 0; id < homes_.size(); ++id) {
+    AgentCell c;
+    c.program = factory(id);
+    if (!c.program) {
+      throw std::invalid_argument("Simulator: factory returned null program");
+    }
+    c.ctx = std::make_unique<AgentContext>(*this, id);
+    c.behavior = c.program->run(*c.ctx);
+    c.status = AgentStatus::InTransit;
+    c.node = homes_[id];  // destination: the home node's incoming buffer
+    agents_.push_back(std::move(c));
+    queues_[homes_[id]].push_back(id);
+  }
+  for (AgentId id = 0; id < agents_.size(); ++id) {
+    refresh_enabled(id);
+  }
+}
+
+RunResult Simulator::run(Scheduler& scheduler) {
+  scheduler.reset(agents_.size());
+  RunResult result;
+  while (!enabled_.empty()) {
+    if (action_counter_ >= options_.max_actions) {
+      result.outcome = RunResult::Outcome::ActionLimit;
+      result.actions = action_counter_;
+      return result;
+    }
+    execute_action(scheduler.pick(enabled_));
+  }
+  result.outcome = RunResult::Outcome::Quiescent;
+  result.actions = action_counter_;
+  return result;
+}
+
+bool Simulator::step(Scheduler& scheduler) {
+  if (enabled_.empty()) return false;
+  execute_action(scheduler.pick(enabled_));
+  return true;
+}
+
+bool Simulator::step_agent(AgentId id) {
+  if (id >= agents_.size() || enabled_pos_.at(id) == kNotEnabled) return false;
+  execute_action(id);
+  return true;
+}
+
+bool Simulator::all_halted() const noexcept {
+  return std::all_of(agents_.begin(), agents_.end(), [](const AgentCell& c) {
+    return c.status == AgentStatus::Halted;
+  });
+}
+
+bool Simulator::all_suspended() const noexcept {
+  return std::all_of(agents_.begin(), agents_.end(), [](const AgentCell& c) {
+    return c.status == AgentStatus::Suspended;
+  });
+}
+
+std::vector<NodeId> Simulator::staying_nodes() const {
+  std::vector<NodeId> nodes;
+  for (const AgentCell& c : agents_) {
+    if (c.in_staying_set) nodes.push_back(c.node);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+Snapshot Simulator::snapshot() const {
+  Snapshot snap;
+  snap.node_count = ring_.size();
+  snap.tokens = ring_.token_counts();
+  snap.agents.reserve(agents_.size());
+  for (AgentId id = 0; id < agents_.size(); ++id) {
+    const AgentCell& c = agents_[id];
+    AgentSnap a;
+    a.id = id;
+    a.status = c.status;
+    a.node = c.node;
+    a.moves = metrics_.agent(id).moves;
+    a.phase = metrics_.agent(id).phase;
+    a.mailbox_size = c.mailbox.size();
+    a.state_hash = c.program->state_hash();
+    snap.agents.push_back(a);
+  }
+  snap.queues.reserve(queues_.size());
+  for (const auto& queue : queues_) {
+    snap.queues.emplace_back(queue.begin(), queue.end());
+  }
+  return snap;
+}
+
+// ---- action engine ----------------------------------------------------------
+
+void Simulator::execute_action(AgentId id) {
+  AgentCell& c = cell(id);
+  ++action_counter_;
+
+  const bool arrival = (c.status == AgentStatus::InTransit);
+  std::uint64_t ts = c.last_ts;
+  if (arrival) {
+    auto& queue = queues_[c.node];
+    if (queue.empty() || queue.front() != id) {
+      throw std::logic_error("Simulator: scheduled a non-head in-transit agent");
+    }
+    queue.pop_front();
+    ts = std::max(ts, queue_arrival_ts_[c.node]);
+    if (!queue.empty()) refresh_enabled(queue.front());
+  } else if (!c.mailbox.empty()) {
+    ts = std::max(ts, c.wake_ts);
+  }
+  ts += 1;
+  c.last_ts = ts;
+  if (arrival) {
+    queue_arrival_ts_[c.node] = ts;
+    log_.record({action_counter_, EventKind::Arrive, id, c.node, ts, 0});
+  }
+
+  // Receive all pending messages (step 2 of the atomic action).
+  c.ctx->inbox_ = std::move(c.mailbox);
+  c.mailbox.clear();
+  c.wake_ts = 0;
+
+  // Local computation + broadcasts + token drops (steps 3–5).
+  acting_agent_ = id;
+  const Request request = c.behavior.resume();
+  acting_agent_ = kNoAgentActing;
+  c.ctx->inbox_.clear();
+
+  AgentMetrics& m = metrics_.agent(id);
+  ++m.actions;
+  m.causal_time = ts;
+  m.peak_memory_bits = std::max(m.peak_memory_bits, c.program->memory_bits());
+
+  switch (request) {
+    case Request::Move: {
+      if (c.in_staying_set) remove_from_staying(id);
+      log_.record({action_counter_, EventKind::Depart, id, c.node, ts, 0});
+      const NodeId dest = ring_.next(c.node);
+      c.status = AgentStatus::InTransit;
+      c.node = dest;
+      queues_[dest].push_back(id);
+      m.count_move();
+      break;
+    }
+    case Request::Stay:
+      c.status = AgentStatus::Staying;
+      if (!c.in_staying_set) add_to_staying(id);
+      log_.record({action_counter_, EventKind::StayPut, id, c.node, ts, 0});
+      break;
+    case Request::WaitMessage:
+      c.status = AgentStatus::Waiting;
+      if (!c.in_staying_set) add_to_staying(id);
+      log_.record({action_counter_, EventKind::EnterWait, id, c.node, ts, 0});
+      break;
+    case Request::Suspend:
+      c.status = AgentStatus::Suspended;
+      if (!c.in_staying_set) add_to_staying(id);
+      log_.record({action_counter_, EventKind::EnterSuspend, id, c.node, ts, 0});
+      break;
+    case Request::Done:
+      c.status = AgentStatus::Halted;
+      if (!c.in_staying_set) add_to_staying(id);
+      log_.record({action_counter_, EventKind::Halt, id, c.node, ts, 0});
+      break;
+    case Request::None:
+      throw std::logic_error("Simulator: agent yielded no request");
+  }
+
+  refresh_enabled(id);
+}
+
+bool Simulator::should_be_enabled(AgentId id) const {
+  const AgentCell& c = cell(id);
+  switch (c.status) {
+    case AgentStatus::InTransit: {
+      const auto& queue = queues_[c.node];
+      return !queue.empty() && queue.front() == id;
+    }
+    case AgentStatus::Staying:
+      return true;
+    case AgentStatus::Waiting:
+    case AgentStatus::Suspended:
+      return !c.mailbox.empty();
+    case AgentStatus::Halted:
+      return false;
+  }
+  return false;
+}
+
+void Simulator::refresh_enabled(AgentId id) {
+  const bool want = should_be_enabled(id);
+  const std::size_t pos = enabled_pos_[id];
+  if (want && pos == kNotEnabled) {
+    enabled_pos_[id] = enabled_.size();
+    enabled_.push_back(id);
+  } else if (!want && pos != kNotEnabled) {
+    const AgentId moved = enabled_.back();
+    enabled_[pos] = moved;
+    enabled_pos_[moved] = pos;
+    enabled_.pop_back();
+    enabled_pos_[id] = kNotEnabled;
+  }
+}
+
+void Simulator::add_to_staying(AgentId id) {
+  AgentCell& c = cell(id);
+  staying_[c.node].push_back(id);
+  c.in_staying_set = true;
+}
+
+void Simulator::remove_from_staying(AgentId id) {
+  AgentCell& c = cell(id);
+  auto& set = staying_[c.node];
+  set.erase(std::remove(set.begin(), set.end(), id), set.end());
+  c.in_staying_set = false;
+}
+
+// ---- AgentContext hooks ------------------------------------------------------
+
+std::size_t Simulator::tokens_at_agent(AgentId id) const {
+  return ring_.tokens(cell(id).node);
+}
+
+std::size_t Simulator::others_staying_at_agent(AgentId id) const {
+  const AgentCell& c = cell(id);
+  const std::size_t here = staying_[c.node].size();
+  return c.in_staying_set ? here - 1 : here;
+}
+
+void Simulator::agent_release_token(AgentId id) {
+  const AgentCell& c = cell(id);
+  ring_.add_token(c.node);
+  log_.record({action_counter_, EventKind::TokenDrop, id, c.node, c.last_ts, 0});
+}
+
+void Simulator::agent_broadcast(AgentId id, Message message) {
+  const AgentCell& sender = cell(id);
+  std::size_t receivers = 0;
+  for (const AgentId other : staying_[sender.node]) {
+    if (other == id) continue;
+    AgentCell& rc = cell(other);
+    if (rc.status == AgentStatus::Halted) continue;  // Definition 1
+    rc.mailbox.push_back(message);
+    rc.wake_ts = std::max(rc.wake_ts, sender.last_ts);
+    const bool was_enabled = enabled_pos_[other] != kNotEnabled;
+    refresh_enabled(other);
+    if (!was_enabled && enabled_pos_[other] != kNotEnabled) {
+      log_.record({action_counter_, EventKind::Wake, other, rc.node, sender.last_ts, id});
+    }
+    ++receivers;
+  }
+  log_.record(
+      {action_counter_, EventKind::Broadcast, id, sender.node, sender.last_ts, receivers});
+}
+
+void Simulator::agent_set_phase(AgentId id, std::size_t phase) {
+  metrics_.agent(id).phase = phase;
+}
+
+}  // namespace udring::sim

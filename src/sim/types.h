@@ -1,0 +1,53 @@
+// udring/sim/types.h
+//
+// Shared identifier and status types for the asynchronous-ring simulator.
+//
+// NodeId / AgentId exist for *instrumentation only* (metrics, logs, the
+// checker). Agent programs are anonymous in the paper's model and the
+// AgentContext API never exposes these ids to algorithm code.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace udring::sim {
+
+using NodeId = std::size_t;
+using AgentId = std::size_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// Lifecycle status of an agent inside the simulator, mirroring the paper's
+/// model (§2.1) and Definitions 1/2:
+///
+///  - InTransit:  in the FIFO queue of some link (element of some q_i).
+///  - Staying:    in p_i and unconditionally schedulable (used by test
+///                programs that yield with stay()).
+///  - Waiting:    in p_i, parked until a message arrives (non-terminal wait,
+///                e.g. Algorithm 3 followers waiting for tBase).
+///  - Suspended:  in p_i, parked until a message arrives, *terminal unless
+///                woken* — the suspended state of Definition 2.
+///  - Halted:     in p_i, forever inert — the halt state of Definition 1.
+enum class AgentStatus : std::uint8_t {
+  InTransit,
+  Staying,
+  Waiting,
+  Suspended,
+  Halted,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(AgentStatus status) noexcept {
+  switch (status) {
+    case AgentStatus::InTransit: return "in-transit";
+    case AgentStatus::Staying: return "staying";
+    case AgentStatus::Waiting: return "waiting";
+    case AgentStatus::Suspended: return "suspended";
+    case AgentStatus::Halted: return "halted";
+  }
+  return "?";
+}
+
+}  // namespace udring::sim

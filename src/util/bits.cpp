@@ -1,0 +1,28 @@
+// udring/util/bits.cpp — compile-time checks for the header-only helpers.
+
+#include "util/bits.h"
+
+namespace udring {
+
+static_assert(bit_width(0) == 1);
+static_assert(bit_width(1) == 1);
+static_assert(bit_width(2) == 2);
+static_assert(bit_width(255) == 8);
+static_assert(bit_width(256) == 9);
+
+static_assert(ceil_div(10, 3) == 4);
+static_assert(ceil_div(9, 3) == 3);
+static_assert(ceil_div(1, 7) == 1);
+
+static_assert(ceil_log2(1) == 0);
+static_assert(ceil_log2(2) == 1);
+static_assert(ceil_log2(3) == 2);
+static_assert(ceil_log2(1024) == 10);
+
+static_assert(gcd(12, 18) == 6);
+static_assert(gcd(0, 5) == 5);
+static_assert(gcd(7, 13) == 1);
+
+static_assert(is_pow2(1) && is_pow2(64) && !is_pow2(0) && !is_pow2(12));
+
+}  // namespace udring

@@ -1,0 +1,66 @@
+// udring/util/bits.h
+//
+// Small integer helpers used throughout udring: bit widths for the paper's
+// memory accounting (a counter whose value is bounded by m costs
+// bit_width(m) bits), ceiling division for ⌈n/k⌉ target intervals, and
+// checked narrowing.
+
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace udring {
+
+/// Number of bits needed to represent `value` (0 needs 1 bit by convention,
+/// so that a counter that only ever holds 0 still occupies storage).
+[[nodiscard]] constexpr std::size_t bit_width(std::uint64_t value) noexcept {
+  return value == 0 ? 1 : static_cast<std::size_t>(std::bit_width(value));
+}
+
+/// ⌈a / b⌉ for b > 0.
+[[nodiscard]] constexpr std::size_t ceil_div(std::size_t a, std::size_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// ⌈log2(value)⌉ for value >= 1; ceil_log2(1) == 0.
+[[nodiscard]] constexpr std::size_t ceil_log2(std::size_t value) noexcept {
+  std::size_t bits = 0;
+  std::size_t power = 1;
+  while (power < value) {
+    power *= 2;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Greatest common divisor (Euclid); gcd(0, b) == b.
+[[nodiscard]] constexpr std::size_t gcd(std::size_t a, std::size_t b) noexcept {
+  while (b != 0) {
+    const std::size_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// True if `value` is a power of two (0 is not).
+[[nodiscard]] constexpr bool is_pow2(std::size_t value) noexcept {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Checked narrowing conversion; throws std::overflow_error on loss.
+template <typename To, typename From>
+[[nodiscard]] constexpr To checked_cast(From value) {
+  const To narrowed = static_cast<To>(value);
+  if (static_cast<From>(narrowed) != value ||
+      ((narrowed < To{}) != (value < From{}))) {
+    throw std::overflow_error("udring::checked_cast: value out of range");
+  }
+  return narrowed;
+}
+
+}  // namespace udring

@@ -1,0 +1,81 @@
+#include "util/cli.h"
+
+#include <array>
+#include <iostream>
+#include <stdexcept>
+
+namespace udring {
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "udring";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      // Only the unambiguous forms: --name=value, or bare --name (boolean).
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      } else {
+        values_[arg.substr(2)] = "true";  // boolean flag
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+void Cli::register_flag(const std::string& name, const std::string& help,
+                        const std::string& fallback) const {
+  for (const auto& entry : registered_) {
+    if (entry[0] == name) return;
+  }
+  registered_.push_back({name, help, fallback});
+}
+
+std::optional<std::string> Cli::get(const std::string& name, const std::string& help,
+                                    const std::string& fallback) {
+  register_flag(name, help, fallback);
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback.empty() ? std::nullopt : std::optional<std::string>(fallback);
+  }
+  return it->second;
+}
+
+std::size_t Cli::get_size(const std::string& name, std::size_t fallback,
+                          const std::string& help) {
+  register_flag(name, help, std::to_string(fallback));
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return static_cast<std::size_t>(std::stoull(it->second));
+}
+
+std::uint64_t Cli::get_u64(const std::string& name, std::uint64_t fallback,
+                           const std::string& help) {
+  register_flag(name, help, std::to_string(fallback));
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stoull(it->second);
+}
+
+bool Cli::get_flag(const std::string& name, const std::string& help) {
+  register_flag(name, help, "false");
+  const auto it = values_.find(name);
+  return it != values_.end() && it->second != "false" && it->second != "0";
+}
+
+void Cli::print_help(const std::string& program_description) const {
+  std::cout << program_ << " — " << program_description << "\n\nFlags:\n";
+  for (const auto& [name, help, fallback] : registered_) {
+    std::cout << "  --" << name;
+    if (!fallback.empty()) std::cout << " (default: " << fallback << ")";
+    std::cout << "\n      " << help << "\n";
+  }
+  std::cout << "  --help\n      Show this message.\n";
+}
+
+}  // namespace udring

@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace udring {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string Table::num(std::size_t value) { return std::to_string(value); }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      if (c == 0) {
+        out << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      } else {
+        out << std::right << std::setw(static_cast<int>(width[c])) << row[c];
+      }
+    }
+    out << '\n';
+  };
+
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+std::ostream& operator<<(std::ostream& out, const Table& table) {
+  table.print(out);
+  return out;
+}
+
+void print_section(std::ostream& out, std::string_view title) {
+  out << '\n' << "== " << title << " " << std::string(std::max<std::size_t>(4, 76 - title.size()), '=') << '\n';
+}
+
+}  // namespace udring

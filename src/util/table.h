@@ -1,0 +1,49 @@
+// udring/util/table.h
+//
+// Minimal aligned console tables. The bench binaries print the same kind of
+// rows/series the paper's Table 1 and figures report; this keeps their
+// output readable and diff-able without pulling in a formatting library.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace udring {
+
+/// A simple column-aligned text table.
+///
+/// Usage:
+///   Table t({"n", "k", "moves", "moves/kn"});
+///   t.add_row({"64", "8", "812", "1.59"});
+///   std::cout << t;
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with to_string / fixed precision.
+  static std::string num(double value, int precision = 2);
+  static std::string num(std::size_t value);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule; columns are right-aligned except the first.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& out, const Table& table);
+
+/// Draws a titled section separator used between bench sub-reports.
+void print_section(std::ostream& out, std::string_view title);
+
+}  // namespace udring

@@ -1,0 +1,98 @@
+// Unit tests for util/bits.h: the bit-accounting primitives behind the
+// paper's memory measurements.
+
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace udring {
+namespace {
+
+TEST(Bits, BitWidthZeroCostsOneBit) {
+  // A counter that only ever holds 0 still occupies storage.
+  EXPECT_EQ(bit_width(0), 1u);
+}
+
+TEST(Bits, BitWidthPowersOfTwoBoundaries) {
+  EXPECT_EQ(bit_width(1), 1u);
+  EXPECT_EQ(bit_width(2), 2u);
+  EXPECT_EQ(bit_width(3), 2u);
+  EXPECT_EQ(bit_width(4), 3u);
+  EXPECT_EQ(bit_width((1ULL << 32) - 1), 32u);
+  EXPECT_EQ(bit_width(1ULL << 32), 33u);
+  EXPECT_EQ(bit_width(std::numeric_limits<std::uint64_t>::max()), 64u);
+}
+
+TEST(Bits, CeilDivMatchesDefinition) {
+  for (std::size_t a = 0; a <= 40; ++a) {
+    for (std::size_t b = 1; b <= 9; ++b) {
+      EXPECT_EQ(ceil_div(a, b), (a + b - 1) / b) << a << "/" << b;
+      EXPECT_GE(ceil_div(a, b) * b, a);
+      if (a > 0) {
+        EXPECT_LT((ceil_div(a, b) - 1) * b, a);
+      }
+    }
+  }
+}
+
+TEST(Bits, CeilLog2Boundaries) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1023), 10u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Bits, CeilLog2CoversSubPhaseBound) {
+  // Algorithm 2 runs at most ⌈log k⌉ sub-phases; the bound must be
+  // meaningful for every k ≥ 2.
+  for (std::size_t k = 2; k <= 512; ++k) {
+    const std::size_t bound = ceil_log2(k);
+    EXPECT_GE(std::size_t{1} << bound, k);
+  }
+}
+
+TEST(Bits, GcdAgainstBruteForce) {
+  for (std::size_t a = 1; a <= 36; ++a) {
+    for (std::size_t b = 1; b <= 36; ++b) {
+      std::size_t expected = 1;
+      for (std::size_t d = 1; d <= 36; ++d) {
+        if (a % d == 0 && b % d == 0) expected = d;
+      }
+      EXPECT_EQ(gcd(a, b), expected) << a << "," << b;
+    }
+  }
+  EXPECT_EQ(gcd(0, 5), 5u);
+  EXPECT_EQ(gcd(5, 0), 5u);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  for (std::size_t shift = 0; shift < 20; ++shift) {
+    EXPECT_TRUE(is_pow2(std::size_t{1} << shift));
+    if (shift >= 2) {
+      EXPECT_FALSE(is_pow2((std::size_t{1} << shift) - 1));
+    }
+  }
+}
+
+TEST(Bits, CheckedCastPassesInRange) {
+  EXPECT_EQ(checked_cast<std::uint8_t>(std::size_t{255}), 255u);
+  EXPECT_EQ(checked_cast<std::int32_t>(std::int64_t{-5}), -5);
+}
+
+TEST(Bits, CheckedCastThrowsOnLoss) {
+  EXPECT_THROW((void)checked_cast<std::uint8_t>(std::size_t{256}),
+               std::overflow_error);
+  EXPECT_THROW((void)checked_cast<std::uint32_t>(std::int64_t{-1}),
+               std::overflow_error);
+}
+
+}  // namespace
+}  // namespace udring

@@ -1,0 +1,217 @@
+// Tests for the §5 future-work extension: tree networks, the Euler-tour
+// virtual ring, and uniform deployment on trees through the embedding.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "embed/euler_ring.h"
+#include "embed/tree.h"
+#include "embed/tree_deploy.h"
+#include "sim/checker.h"
+#include "util/rng.h"
+
+namespace udring::embed {
+namespace {
+
+TEST(TreeNetwork, RejectsNonTrees) {
+  EXPECT_THROW(TreeNetwork(0, {}), std::invalid_argument);
+  EXPECT_THROW(TreeNetwork(3, {{0, 1}}), std::invalid_argument);  // too few edges
+  EXPECT_THROW(TreeNetwork(3, {{0, 1}, {0, 1}}), std::invalid_argument)
+      << "duplicate edge leaves node 2 unreachable";
+  EXPECT_THROW(TreeNetwork(4, {{0, 1}, {2, 3}, {0, 0}}), std::invalid_argument);
+  EXPECT_NO_THROW(TreeNetwork(1, {}));
+  EXPECT_NO_THROW(TreeNetwork(4, {{0, 1}, {1, 2}, {1, 3}}));
+}
+
+TEST(TreeNetwork, DistancesOnKnownShapes) {
+  const TreeNetwork path = path_tree(5);
+  EXPECT_EQ(path.distance(0, 4), 4u);
+  EXPECT_EQ(path.distance(2, 2), 0u);
+  const TreeNetwork star = star_tree(6);
+  EXPECT_EQ(star.distance(1, 5), 2u);
+  EXPECT_EQ(star.distance(0, 3), 1u);
+  const TreeNetwork binary = binary_tree(7);
+  EXPECT_EQ(binary.distance(3, 6), 4u) << "leaf to leaf through the root";
+}
+
+TEST(TreeGenerators, ProduceValidTrees) {
+  Rng rng(17);
+  for (const std::size_t n : {1u, 2u, 3u, 10u, 33u, 100u}) {
+    const TreeNetwork tree = random_tree(n, rng);
+    EXPECT_EQ(tree.size(), n);
+    // Degrees sum to 2(n-1).
+    std::size_t degree_sum = 0;
+    for (TreeNodeId v = 0; v < n; ++v) degree_sum += tree.degree(v);
+    EXPECT_EQ(degree_sum, 2 * (n - (n > 0 ? 1 : 0)));
+  }
+  const TreeNetwork caterpillar = caterpillar_tree(4, 2);
+  EXPECT_EQ(caterpillar.size(), 4u + 8u);
+}
+
+TEST(TreeGenerators, RandomTreesVary) {
+  Rng rng(3);
+  std::set<std::size_t> leaf_counts;
+  for (int trial = 0; trial < 20; ++trial) {
+    const TreeNetwork tree = random_tree(12, rng);
+    std::size_t leaves = 0;
+    for (TreeNodeId v = 0; v < tree.size(); ++v) {
+      if (tree.degree(v) == 1) ++leaves;
+    }
+    leaf_counts.insert(leaves);
+  }
+  EXPECT_GT(leaf_counts.size(), 1u) << "Prüfer decoding should vary shapes";
+}
+
+TEST(EulerRing, TourHasLengthTwoNMinusTwo) {
+  Rng rng(5);
+  for (const std::size_t n : {2u, 3u, 7u, 20u, 64u}) {
+    const TreeNetwork tree = random_tree(n, rng);
+    const EulerRing ring(tree);
+    EXPECT_EQ(ring.size(), 2 * (n - 1));
+  }
+  const EulerRing trivial(path_tree(1));
+  EXPECT_EQ(trivial.size(), 1u);
+}
+
+TEST(EulerRing, ConsecutiveTourStepsAreTreeNeighbors) {
+  Rng rng(7);
+  const TreeNetwork tree = random_tree(30, rng);
+  const EulerRing ring(tree);
+  for (std::size_t v = 0; v < ring.size(); ++v) {
+    const TreeNodeId a = ring.tree_node(v);
+    const TreeNodeId b = ring.tree_node((v + 1) % ring.size());
+    const auto& neighbors = tree.neighbors(a);
+    EXPECT_TRUE(std::find(neighbors.begin(), neighbors.end(), b) !=
+                neighbors.end())
+        << "tour step " << v << " is not a tree edge";
+  }
+}
+
+TEST(EulerRing, EveryEdgeExactlyTwiceEveryNodeDegTimes) {
+  Rng rng(11);
+  const TreeNetwork tree = random_tree(25, rng);
+  const EulerRing ring(tree);
+  std::map<std::pair<TreeNodeId, TreeNodeId>, std::size_t> edge_uses;
+  std::map<TreeNodeId, std::size_t> node_uses;
+  for (std::size_t v = 0; v < ring.size(); ++v) {
+    const TreeNodeId a = ring.tree_node(v);
+    const TreeNodeId b = ring.tree_node((v + 1) % ring.size());
+    ++edge_uses[{std::min(a, b), std::max(a, b)}];
+    ++node_uses[a];
+  }
+  EXPECT_EQ(edge_uses.size(), tree.edge_count());
+  for (const auto& [edge, uses] : edge_uses) {
+    EXPECT_EQ(uses, 2u) << "edge (" << edge.first << "," << edge.second << ")";
+  }
+  for (TreeNodeId v = 0; v < tree.size(); ++v) {
+    EXPECT_EQ(node_uses[v], tree.degree(v)) << "node " << v;
+    EXPECT_EQ(ring.positions_of(v).size(), tree.degree(v));
+  }
+}
+
+TEST(EulerRing, FirstPositionsAreDistinct) {
+  Rng rng(13);
+  const TreeNetwork tree = random_tree(40, rng);
+  const EulerRing ring(tree);
+  std::set<std::size_t> firsts;
+  for (TreeNodeId v = 0; v < tree.size(); ++v) {
+    firsts.insert(ring.first_position(v));
+    EXPECT_EQ(ring.tree_node(ring.first_position(v)), v);
+  }
+  EXPECT_EQ(firsts.size(), tree.size());
+}
+
+TEST(EulerRing, PathTourIsThereAndBack) {
+  const EulerRing ring(path_tree(4));
+  EXPECT_EQ(ring.tour(), (std::vector<TreeNodeId>{0, 1, 2, 3, 2, 1}));
+}
+
+// ---- deployment on trees -----------------------------------------------------
+
+using DeployParam = std::tuple<std::size_t, std::size_t, std::uint64_t>;
+
+class TreeDeploySweep : public ::testing::TestWithParam<DeployParam> {};
+
+TEST_P(TreeDeploySweep, UniformOnVirtualRingForEveryAlgorithm) {
+  const auto [n, k, seed] = GetParam();
+  Rng rng(seed);
+  const TreeNetwork tree = random_tree(n, rng);
+  // Distinct random tree homes.
+  std::vector<TreeNodeId> homes;
+  std::set<TreeNodeId> used;
+  while (homes.size() < k) {
+    const TreeNodeId node = static_cast<TreeNodeId>(rng.below(n));
+    if (used.insert(node).second) homes.push_back(node);
+  }
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::KnownKFull, core::Algorithm::KnownKLogMem,
+        core::Algorithm::UnknownRelaxed}) {
+    const TreeDeployReport report = deploy_on_tree(tree, homes, algorithm);
+    ASSERT_TRUE(report.success)
+        << core::to_string(algorithm) << " n=" << n << " k=" << k
+        << " seed=" << seed << ": " << report.failure;
+    EXPECT_EQ(report.virtual_ring_size, 2 * (n - 1));
+    const auto check = sim::check_positions_uniform(report.virtual_positions,
+                                                    report.virtual_ring_size);
+    EXPECT_TRUE(check.ok) << check.reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TreeDeploySweep,
+                         ::testing::Combine(::testing::Values(8, 16, 33),
+                                            ::testing::Values(2, 4, 6),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(TreeDeploy, CoverageImprovesOnAPackedStart) {
+  // All agents clustered in one subtree of a path: after deployment the
+  // worst hop distance to an agent must shrink.
+  const TreeNetwork tree = path_tree(32);
+  const std::vector<TreeNodeId> homes = {0, 1, 2, 3};
+  const auto [worst_before, mean_before] = tree_coverage(tree, homes);
+  const TreeDeployReport report =
+      deploy_on_tree(tree, homes, core::Algorithm::KnownKFull);
+  ASSERT_TRUE(report.success) << report.failure;
+  EXPECT_LT(report.worst_tree_distance, worst_before);
+  EXPECT_LT(report.mean_tree_distance, mean_before);
+}
+
+TEST(TreeDeploy, StarTourGapsBoundPatrolStaleness) {
+  // On a star the tour alternates centre-leaf; uniform tour spacing puts
+  // agents ≈ m/k tour steps apart — the patrol staleness bound.
+  const TreeNetwork tree = star_tree(17);  // m = 32
+  const std::vector<TreeNodeId> homes = {1, 2, 3, 4};
+  const TreeDeployReport report =
+      deploy_on_tree(tree, homes, core::Algorithm::KnownKFull);
+  ASSERT_TRUE(report.success) << report.failure;
+  const auto gaps =
+      sim::ring_gaps(report.virtual_positions, report.virtual_ring_size);
+  for (const std::size_t gap : gaps) EXPECT_EQ(gap, 8u);
+}
+
+TEST(TreeDeploy, MovesAreTreeEdgeTraversals) {
+  // Cost sanity (§5: "the total moves between the embedded ring and the
+  // original network is asymptotically equivalent"): Algorithm 1 on the
+  // virtual m-ring costs ≤ 3km tree moves.
+  Rng rng(23);
+  const TreeNetwork tree = random_tree(40, rng);
+  const std::vector<TreeNodeId> homes = {0, 5, 11, 17, 23};
+  const TreeDeployReport report =
+      deploy_on_tree(tree, homes, core::Algorithm::KnownKFull);
+  ASSERT_TRUE(report.success) << report.failure;
+  const std::size_t m = report.virtual_ring_size;
+  EXPECT_GE(report.total_moves, homes.size() * m) << "k full tour laps";
+  EXPECT_LT(report.total_moves, 3 * homes.size() * m);
+}
+
+TEST(TreeDeploy, RejectsDuplicateHomes) {
+  const TreeNetwork tree = path_tree(8);
+  EXPECT_THROW(
+      (void)deploy_on_tree(tree, {1, 1}, core::Algorithm::KnownKFull),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace udring::embed

@@ -1,0 +1,163 @@
+// Tests for config/generators.h: every generator must produce valid initial
+// configurations (distinct in-range homes) with the structural property it
+// advertises (packing, symmetry degree, figure shapes).
+
+#include "config/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/distance_sequence.h"
+
+namespace udring::gen {
+namespace {
+
+using udring::core::config_symmetry_degree;
+using udring::core::distances_from_positions;
+
+void expect_valid(const std::vector<std::size_t>& homes, std::size_t n,
+                  std::size_t k) {
+  ASSERT_EQ(homes.size(), k);
+  const std::set<std::size_t> distinct(homes.begin(), homes.end());
+  EXPECT_EQ(distinct.size(), k) << "homes must be distinct";
+  for (const std::size_t home : homes) EXPECT_LT(home, n);
+}
+
+TEST(RandomHomes, ValidAndSeedDeterministic) {
+  udring::Rng rng1(5), rng2(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = random_homes(30, 7, rng1);
+    const auto b = random_homes(30, 7, rng2);
+    expect_valid(a, 30, 7);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(RandomHomes, CoversTheWholeRing) {
+  udring::Rng rng(9);
+  std::set<std::size_t> seen;
+  for (int trial = 0; trial < 200; ++trial) {
+    for (const std::size_t home : random_homes(10, 3, rng)) seen.insert(home);
+  }
+  EXPECT_EQ(seen.size(), 10u) << "every node should appear as a home";
+}
+
+TEST(RandomHomes, RejectsTooManyAgents) {
+  udring::Rng rng(1);
+  EXPECT_THROW((void)random_homes(4, 5, rng), std::invalid_argument);
+}
+
+TEST(PackedQuarter, MatchesTheoremOneWitness) {
+  const auto homes = packed_quarter_homes(16, 4);
+  expect_valid(homes, 16, 4);
+  for (const std::size_t home : homes) {
+    EXPECT_LT(home, 4u) << "all homes inside the first quarter arc";
+  }
+  EXPECT_THROW((void)packed_quarter_homes(16, 5), std::invalid_argument);
+}
+
+TEST(HomesFromDistances, RoundTripsWithDistances) {
+  const udring::core::DistanceSeq d = {1, 4, 2, 1, 2, 2};
+  const auto homes = homes_from_distances(d, 12);
+  expect_valid(homes, 12, 6);
+  // Recovered distance sequence is a rotation of the input.
+  const auto recovered = distances_from_positions(homes, 12);
+  bool is_rotation = false;
+  for (std::size_t x = 0; x < d.size(); ++x) {
+    is_rotation = is_rotation || (udring::core::shift(d, x) == recovered);
+  }
+  EXPECT_TRUE(is_rotation);
+  EXPECT_THROW((void)homes_from_distances({1, 2}, 12), std::invalid_argument);
+}
+
+TEST(UniformHomes, ProducesUniformDeployments) {
+  for (const auto& [n, k] : {std::make_tuple(12, 4), std::make_tuple(14, 4),
+                             std::make_tuple(9, 3), std::make_tuple(10, 10)}) {
+    const auto homes =
+        uniform_homes(static_cast<std::size_t>(n), static_cast<std::size_t>(k));
+    expect_valid(homes, static_cast<std::size_t>(n), static_cast<std::size_t>(k));
+    const auto d = distances_from_positions(homes, static_cast<std::size_t>(n));
+    for (const std::size_t gap : d) {
+      EXPECT_GE(gap, static_cast<std::size_t>(n / k));
+      EXPECT_LE(gap, static_cast<std::size_t>(n / k) + 1);
+    }
+  }
+}
+
+class PeriodicHomesSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {
+};
+
+TEST_P(PeriodicHomesSweep, RealizesExactSymmetryDegree) {
+  const auto [n, k, l] = GetParam();
+  udring::Rng rng(n * 131 + k * 17 + l);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto homes = periodic_homes(n, k, l, rng);
+    expect_valid(homes, n, k);
+    EXPECT_EQ(config_symmetry_degree(homes, n), l);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PeriodicHomesSweep,
+                         ::testing::Values(std::make_tuple(12, 6, 2),
+                                           std::make_tuple(12, 6, 3),
+                                           std::make_tuple(24, 8, 2),
+                                           std::make_tuple(24, 8, 4),
+                                           std::make_tuple(36, 12, 6),
+                                           std::make_tuple(48, 16, 8),
+                                           std::make_tuple(40, 10, 5),
+                                           std::make_tuple(60, 12, 4)));
+
+TEST(PeriodicHomes, FullSymmetryIsUniform) {
+  udring::Rng rng(3);
+  const auto homes = periodic_homes(24, 8, 8, rng);
+  EXPECT_EQ(config_symmetry_degree(homes, 24), 8u);
+}
+
+TEST(PeriodicHomes, RejectsImpossibleParameters) {
+  udring::Rng rng(1);
+  EXPECT_THROW((void)periodic_homes(12, 6, 4, rng), std::invalid_argument)
+      << "l = 4 does not divide k = 6";
+  EXPECT_THROW((void)periodic_homes(10, 4, 4, rng), std::invalid_argument)
+      << "l = 4 does not divide n = 10";
+  EXPECT_THROW((void)periodic_homes(4, 8, 2, rng), std::invalid_argument)
+      << "k/l = 4 agents cannot fit on n/l = 2 nodes";
+}
+
+TEST(FigureConfigs, MatchThePaperExactly) {
+  // Fig 1(a): aperiodic, l = 1.
+  EXPECT_EQ(config_symmetry_degree(fig1a_homes(), kFig1aNodes), 1u);
+  EXPECT_EQ(distances_from_positions(fig1a_homes(), kFig1aNodes),
+            (udring::core::DistanceSeq{1, 4, 2, 1, 2, 2}));
+  // Fig 1(b): l = 2 with factor (1,2,3).
+  EXPECT_EQ(config_symmetry_degree(fig1b_homes(), kFig1bNodes), 2u);
+  // Fig 5: 9 agents on 18 nodes, three 6-node segments.
+  EXPECT_EQ(fig5_homes().size(), 9u);
+  EXPECT_EQ(config_symmetry_degree(fig5_homes(), kFig5Nodes), 3u);
+  // Fig 9: (11,1,3,1,3,1,3,1,3) — aperiodic with the (1,3)⁴ trap.
+  EXPECT_EQ(distances_from_positions(fig9_homes(), kFig9Nodes),
+            (udring::core::DistanceSeq{11, 1, 3, 1, 3, 1, 3, 1, 3}));
+  EXPECT_EQ(config_symmetry_degree(fig9_homes(), kFig9Nodes), 1u);
+  // Fig 11: the (6,2)-ring.
+  EXPECT_EQ(config_symmetry_degree(fig11_homes(), kFig11Nodes), 2u);
+  // Stress instance: aperiodic but with two-fold base structure.
+  EXPECT_EQ(logmem_stress_homes().size(), 6u);
+  EXPECT_EQ(config_symmetry_degree(logmem_stress_homes(), kLogmemStressNodes), 1u);
+}
+
+TEST(ImpossibilityRing, StructureMatchesFig7) {
+  const auto instance = impossibility_ring({0, 1, 5}, 12, 2);
+  EXPECT_EQ(instance.node_count, 2u * 2u * 12u + 24u);
+  EXPECT_EQ(instance.homes.size(), 9u) << "(q+1) · k agents";
+  // Copies at offsets 0, 12, 24; nothing in the second half.
+  EXPECT_EQ(instance.homes,
+            (std::vector<std::size_t>{0, 1, 5, 12, 13, 17, 24, 25, 29}));
+  for (const std::size_t home : instance.homes) {
+    EXPECT_LT(home, 36u) << "the tail [qn+n, 2qn+2n) must be empty";
+  }
+}
+
+}  // namespace
+}  // namespace udring::gen

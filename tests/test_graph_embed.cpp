@@ -1,0 +1,127 @@
+// Tests for the general-network half of §5: connected graphs, port-order
+// DFS spanning trees, and uniform deployment on arbitrary topologies through
+// the spanning-tree + Euler-tour pipeline.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "embed/graph.h"
+#include "embed/tree_deploy.h"
+#include "sim/checker.h"
+#include "util/rng.h"
+
+namespace udring::embed {
+namespace {
+
+TEST(GraphNetwork, RejectsBadGraphs) {
+  EXPECT_THROW(GraphNetwork(0, {}), std::invalid_argument);
+  EXPECT_THROW(GraphNetwork(3, {{0, 1}}), std::invalid_argument) << "disconnected";
+  EXPECT_THROW(GraphNetwork(2, {{0, 0}}), std::invalid_argument) << "self loop";
+  EXPECT_THROW(GraphNetwork(2, {{0, 1}, {1, 0}}), std::invalid_argument)
+      << "parallel edge";
+  EXPECT_NO_THROW(GraphNetwork(1, {}));
+  EXPECT_NO_THROW(GraphNetwork(3, {{0, 1}, {1, 2}, {2, 0}}));
+}
+
+TEST(GraphGenerators, ShapesHaveExpectedEdgeCounts) {
+  EXPECT_EQ(grid_graph(3, 4).edge_count(), 3u * 3u + 2u * 4u);
+  EXPECT_EQ(complete_graph(6).edge_count(), 15u);
+  EXPECT_EQ(cycle_graph(9).edge_count(), 9u);
+  Rng rng(3);
+  EXPECT_EQ(random_connected_graph(10, 5, rng).edge_count(), 9u + 5u);
+}
+
+TEST(GraphGenerators, ExtraEdgesAreCapped) {
+  Rng rng(4);
+  const GraphNetwork graph = random_connected_graph(5, 100, rng);
+  EXPECT_EQ(graph.edge_count(), 10u) << "K5 has 10 edges";
+}
+
+TEST(SpanningTree, IsATreeOnTheSameNodes) {
+  Rng rng(7);
+  for (const std::size_t n : {5u, 12u, 30u}) {
+    const GraphNetwork graph = random_connected_graph(n, n, rng);
+    const TreeNetwork tree = graph.spanning_tree();
+    EXPECT_EQ(tree.size(), n);
+    EXPECT_EQ(tree.edge_count(), n - 1);
+    // Every tree edge is a graph edge.
+    for (TreeNodeId a = 0; a < n; ++a) {
+      for (const TreeNodeId b : tree.neighbors(a)) {
+        const auto& graph_neighbors = graph.neighbors(a);
+        EXPECT_TRUE(std::find(graph_neighbors.begin(), graph_neighbors.end(), b) !=
+                    graph_neighbors.end());
+      }
+    }
+  }
+}
+
+TEST(SpanningTree, DeterministicInPortOrder) {
+  // Two spanning-tree constructions of the same graph agree — the property
+  // that lets anonymous agents agree on the embedded ring.
+  Rng rng(9);
+  const GraphNetwork graph = random_connected_graph(20, 15, rng);
+  const TreeNetwork a = graph.spanning_tree(3);
+  const TreeNetwork b = graph.spanning_tree(3);
+  for (TreeNodeId v = 0; v < a.size(); ++v) {
+    EXPECT_EQ(a.neighbors(v), b.neighbors(v));
+  }
+}
+
+TEST(SpanningTree, OfCycleIsPath) {
+  const TreeNetwork tree = cycle_graph(8).spanning_tree(0);
+  std::size_t leaves = 0;
+  for (TreeNodeId v = 0; v < tree.size(); ++v) {
+    if (tree.degree(v) == 1) ++leaves;
+  }
+  EXPECT_EQ(leaves, 2u) << "DFS spanning tree of a cycle is a Hamiltonian path";
+}
+
+using GraphDeployParam = std::tuple<std::size_t, std::size_t, std::uint64_t>;
+
+class GraphDeploySweep : public ::testing::TestWithParam<GraphDeployParam> {};
+
+TEST_P(GraphDeploySweep, DeploysUniformlyOnGeneralNetworks) {
+  const auto [n, k, seed] = GetParam();
+  Rng rng(seed * 53 + n);
+  const GraphNetwork graph = random_connected_graph(n, n / 2, rng);
+  const TreeNetwork tree = graph.spanning_tree();
+
+  std::vector<TreeNodeId> homes;
+  std::set<TreeNodeId> used;
+  while (homes.size() < k) {
+    const auto node = static_cast<TreeNodeId>(rng.below(n));
+    if (used.insert(node).second) homes.push_back(node);
+  }
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::KnownKFull, core::Algorithm::UnknownRelaxed}) {
+    const TreeDeployReport report = deploy_on_tree(tree, homes, algorithm);
+    ASSERT_TRUE(report.success)
+        << core::to_string(algorithm) << " n=" << n << " k=" << k
+        << " seed=" << seed << ": " << report.failure;
+    const auto check = sim::check_positions_uniform(report.virtual_positions,
+                                                    report.virtual_ring_size);
+    EXPECT_TRUE(check.ok) << check.reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GraphDeploySweep,
+                         ::testing::Combine(::testing::Values(10, 21, 36),
+                                            ::testing::Values(3, 5),
+                                            ::testing::Values(1, 2)));
+
+TEST(GraphDeploy, GridCoverageImproves) {
+  const GraphNetwork grid = grid_graph(6, 6);
+  const TreeNetwork tree = grid.spanning_tree();
+  const std::vector<TreeNodeId> homes = {0, 1, 6, 7};  // packed in a corner
+  const auto [worst_before, mean_before] = tree_coverage(tree, homes);
+  const TreeDeployReport report =
+      deploy_on_tree(tree, homes, core::Algorithm::KnownKFull);
+  ASSERT_TRUE(report.success) << report.failure;
+  EXPECT_LT(report.worst_tree_distance, worst_before);
+  EXPECT_LT(report.mean_tree_distance, mean_before);
+}
+
+}  // namespace
+}  // namespace udring::embed

@@ -1,0 +1,48 @@
+// Tests for core/memory_meter.h — the bit accounting the paper's memory
+// claims are measured with.
+
+#include "core/memory_meter.h"
+
+#include <gtest/gtest.h>
+
+namespace udring::core {
+namespace {
+
+TEST(MemoryMeter, EmptyIsZero) { EXPECT_EQ(MemoryMeter{}.bits(), 0u); }
+
+TEST(MemoryMeter, CounterCostsItsBitWidth) {
+  EXPECT_EQ(MemoryMeter{}.counter(0).bits(), 1u);
+  EXPECT_EQ(MemoryMeter{}.counter(1).bits(), 1u);
+  EXPECT_EQ(MemoryMeter{}.counter(255).bits(), 8u);
+  EXPECT_EQ(MemoryMeter{}.counter(256).bits(), 9u);
+}
+
+TEST(MemoryMeter, FlagCostsOneBit) {
+  EXPECT_EQ(MemoryMeter{}.flag().flag().flag().bits(), 3u);
+}
+
+TEST(MemoryMeter, ArrayCostsLengthTimesElementWidth) {
+  EXPECT_EQ(MemoryMeter{}.array(10, 255).bits(), 80u);
+  EXPECT_EQ(MemoryMeter{}.array(0, 1000).bits(), 0u);
+  EXPECT_EQ(MemoryMeter{}.array(4, 0).bits(), 4u) << "zero still needs a bit";
+}
+
+TEST(MemoryMeter, ChainsAccumulate) {
+  const std::size_t bits =
+      MemoryMeter{}.counter(100).array(3, 7).flag().counter(1).bits();
+  EXPECT_EQ(bits, 7u + 9u + 1u + 1u);
+}
+
+TEST(MemoryMeter, MatchesPaperAsymptotics) {
+  // Algorithm 1's dominant term: a k-length array of log n-bit distances.
+  const std::size_t n = 1024, k = 32;
+  const std::size_t algo1 = MemoryMeter{}.array(k, n).counter(n).bits();
+  EXPECT_GE(algo1, k * 10);
+  // Algorithm 2: a constant number of log n counters.
+  const std::size_t algo2 =
+      MemoryMeter{}.counter(n).counter(n).counter(k).counter(k).bits();
+  EXPECT_LT(algo2 * 8, algo1) << "Θ(log n) ≪ Θ(k log n) at these sizes";
+}
+
+}  // namespace
+}  // namespace udring::core

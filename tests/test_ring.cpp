@@ -1,0 +1,66 @@
+// Unit tests for sim/ring.h: topology arithmetic and indelible tokens.
+
+#include "sim/ring.h"
+
+#include <gtest/gtest.h>
+
+namespace udring::sim {
+namespace {
+
+TEST(Ring, RejectsEmptyRing) {
+  EXPECT_THROW(Ring{0}, std::invalid_argument);
+}
+
+TEST(Ring, NextWrapsAround) {
+  const Ring ring(5);
+  EXPECT_EQ(ring.next(0), 1u);
+  EXPECT_EQ(ring.next(3), 4u);
+  EXPECT_EQ(ring.next(4), 0u);
+}
+
+TEST(Ring, SingleNodeSelfLoop) {
+  const Ring ring(1);
+  EXPECT_EQ(ring.next(0), 0u);
+  EXPECT_EQ(ring.distance(0, 0), 0u);
+}
+
+TEST(Ring, DistanceIsForwardOnly) {
+  const Ring ring(10);
+  EXPECT_EQ(ring.distance(2, 7), 5u);
+  EXPECT_EQ(ring.distance(7, 2), 5u) << "(2-7) mod 10";
+  EXPECT_EQ(ring.distance(4, 4), 0u);
+  EXPECT_EQ(ring.distance(9, 0), 1u);
+}
+
+TEST(Ring, DistanceTriangleAroundRing) {
+  const Ring ring(12);
+  for (NodeId a = 0; a < 12; ++a) {
+    for (NodeId b = 0; b < 12; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(ring.distance(a, b) + ring.distance(b, a), 12u)
+          << "forward there + forward back must lap the ring once";
+    }
+  }
+}
+
+TEST(Ring, TokensAccumulateAndPersist) {
+  Ring ring(4);
+  EXPECT_EQ(ring.total_tokens(), 0u);
+  ring.add_token(2);
+  ring.add_token(2);
+  ring.add_token(0);
+  EXPECT_EQ(ring.tokens(2), 2u);
+  EXPECT_EQ(ring.tokens(0), 1u);
+  EXPECT_EQ(ring.tokens(1), 0u);
+  EXPECT_EQ(ring.total_tokens(), 3u);
+  EXPECT_EQ(ring.token_counts(), (std::vector<std::size_t>{1, 0, 2, 0}));
+}
+
+TEST(Ring, TokensOutOfRangeThrow) {
+  Ring ring(3);
+  EXPECT_THROW((void)ring.tokens(3), std::out_of_range);
+  EXPECT_THROW(ring.add_token(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace udring::sim

@@ -1,0 +1,135 @@
+// Tests for sim/scheduler.h: each scheduler family must be deterministic
+// given its seed, respect the enabled set, and drive workloads to
+// completion (fairness on terminating runs).
+
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "sim/simulator.h"
+#include "support/test_agents.h"
+
+namespace udring::sim {
+namespace {
+
+using test::SitterAgent;
+using test::WalkerAgent;
+
+TEST(RoundRobin, CyclesThroughAllAgents) {
+  RoundRobinScheduler scheduler;
+  scheduler.reset(4);
+  const std::vector<AgentId> all = {0, 1, 2, 3};
+  std::vector<AgentId> picks;
+  for (int i = 0; i < 8; ++i) picks.push_back(scheduler.pick(all));
+  EXPECT_EQ(picks, (std::vector<AgentId>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(RoundRobin, SkipsDisabledAgents) {
+  RoundRobinScheduler scheduler;
+  scheduler.reset(4);
+  EXPECT_EQ(scheduler.pick({1, 3}), 1u);
+  EXPECT_EQ(scheduler.pick({1, 3}), 3u);
+  EXPECT_EQ(scheduler.pick({1, 3}), 1u);
+}
+
+TEST(Random, DeterministicPerSeedAndCoversAgents) {
+  RandomScheduler a(7), b(7);
+  a.reset(5);
+  b.reset(5);
+  const std::vector<AgentId> all = {0, 1, 2, 3, 4};
+  std::set<AgentId> seen;
+  for (int i = 0; i < 200; ++i) {
+    const AgentId pick = a.pick(all);
+    EXPECT_EQ(pick, b.pick(all));
+    seen.insert(pick);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "every agent should be picked in 200 draws";
+}
+
+TEST(Synchronous, EveryEnabledAgentActsOncePerRound) {
+  SynchronousScheduler scheduler;
+  scheduler.reset(3);
+  const std::vector<AgentId> all = {0, 1, 2};
+  std::map<AgentId, int> counts;
+  for (int i = 0; i < 9; ++i) ++counts[scheduler.pick(all)];
+  for (const auto& [agent, count] : counts) {
+    EXPECT_EQ(count, 3) << "agent " << agent;
+  }
+  EXPECT_EQ(scheduler.rounds(), 2u) << "two completed rounds after 9 picks";
+}
+
+TEST(Priority, AlwaysPicksHighestPriorityEnabled) {
+  PriorityScheduler scheduler({2, 0, 1});
+  scheduler.reset(3);
+  EXPECT_EQ(scheduler.pick({0, 1, 2}), 2u);
+  EXPECT_EQ(scheduler.pick({0, 1}), 0u);
+  EXPECT_EQ(scheduler.pick({1}), 1u);
+}
+
+TEST(Priority, UnlistedAgentsComeLastInIdOrder) {
+  PriorityScheduler scheduler({3});
+  scheduler.reset(4);
+  EXPECT_EQ(scheduler.pick({0, 1, 2, 3}), 3u);
+  EXPECT_EQ(scheduler.pick({0, 1, 2}), 0u);
+}
+
+TEST(Burst, SticksWithTheCurrentAgentWhileEnabled) {
+  BurstScheduler scheduler(3);
+  scheduler.reset(3);
+  const AgentId first = scheduler.pick({0, 1, 2});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(scheduler.pick({0, 1, 2}), first);
+  }
+  // Remove `first` from the enabled set: it must switch.
+  std::vector<AgentId> rest;
+  for (AgentId id = 0; id < 3; ++id) {
+    if (id != first) rest.push_back(id);
+  }
+  const AgentId second = scheduler.pick(rest);
+  EXPECT_NE(second, first);
+}
+
+TEST(Factory, ProducesEveryKind) {
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    const auto scheduler = make_scheduler(kind, 1, 4);
+    ASSERT_NE(scheduler, nullptr);
+    EXPECT_EQ(scheduler->name(), to_string(kind));
+  }
+}
+
+TEST(AllSchedulers, DriveAMultiAgentWorkloadToQuiescence) {
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    Simulator sim(12, {0, 3, 7, 9},
+                  [](AgentId) { return std::make_unique<WalkerAgent>(25); });
+    const auto scheduler = make_scheduler(kind, 11, sim.agent_count());
+    const RunResult result = sim.run(*scheduler);
+    EXPECT_TRUE(result.quiescent()) << to_string(kind);
+    EXPECT_TRUE(sim.all_halted()) << to_string(kind);
+    EXPECT_EQ(sim.metrics().total_moves(), 100u) << to_string(kind);
+  }
+}
+
+TEST(AllSchedulers, NeverPickADisabledAgent) {
+  // Run a mixed workload and assert (via step()) that execution only ever
+  // touches enabled agents — the simulator throws on a non-head pick.
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    Simulator sim(10, {0, 2, 4, 8}, [](AgentId id) -> std::unique_ptr<AgentProgram> {
+      if (id % 2 == 0) return std::make_unique<WalkerAgent>(17);
+      return std::make_unique<SitterAgent>(5);
+    });
+    const auto scheduler = make_scheduler(kind, 23, sim.agent_count());
+    scheduler->reset(sim.agent_count());
+    EXPECT_NO_THROW({
+      while (sim.step(*scheduler)) {
+      }
+    }) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace udring::sim

@@ -1,0 +1,120 @@
+// Stress tests: larger instances, many seeds, model invariants checked after
+// every atomic action, and cross-algorithm agreement — the heavyweight
+// randomized sweep the quick unit suites don't cover. Bounded to stay in CI
+// budget (a few seconds total).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "config/generators.h"
+#include "core/runner.h"
+#include "sim/checker.h"
+#include "util/rng.h"
+
+namespace udring::core {
+namespace {
+
+TEST(Stress, LargeInstancesAllAlgorithms) {
+  // n up to 1500, k up to 75 — far beyond the unit sweeps.
+  struct Case {
+    std::size_t n, k;
+  };
+  for (const Case c : {Case{600, 30}, Case{1000, 50}, Case{1500, 75}}) {
+    Rng rng(c.n);
+    RunSpec spec;
+    spec.node_count = c.n;
+    spec.homes = gen::random_homes(c.n, c.k, rng);
+    for (const Algorithm algorithm :
+         {Algorithm::KnownKFull, Algorithm::KnownKLogMem,
+          Algorithm::UnknownRelaxed}) {
+      const RunReport report = run_algorithm(algorithm, spec);
+      ASSERT_TRUE(report.success)
+          << to_string(algorithm) << " n=" << c.n << " k=" << c.k << ": "
+          << report.failure;
+    }
+  }
+}
+
+TEST(Stress, InvariantsEveryStepUnderEveryScheduler) {
+  for (const sim::SchedulerKind kind : sim::all_scheduler_kinds()) {
+    Rng rng(99);
+    RunSpec spec;
+    spec.node_count = 60;
+    spec.homes = gen::random_homes(60, 10, rng);
+    auto simulator = make_simulator(Algorithm::UnknownRelaxed, spec);
+    auto scheduler = sim::make_scheduler(kind, 7, 10);
+    scheduler->reset(10);
+    std::size_t peak_tokens = 0;
+    std::size_t steps = 0;
+    while (simulator->step(*scheduler)) {
+      peak_tokens = std::max(peak_tokens, simulator->ring().total_tokens());
+      // Full invariant check every 64 steps (every step would be O(actions²)).
+      if (++steps % 64 == 0) {
+        const auto check = sim::check_model_invariants(*simulator, peak_tokens);
+        ASSERT_TRUE(check.ok) << sim::to_string(kind) << " step " << steps << ": "
+                              << check.reason;
+      }
+    }
+    ASSERT_TRUE(
+        sim::check_uniform_deployment_without_termination(*simulator).ok)
+        << sim::to_string(kind);
+  }
+}
+
+TEST(Stress, ManySeedsSmallRings) {
+  // Small rings are where edge cases live (k ≈ n, tiny gaps). 200 random
+  // instances across all algorithms.
+  Rng rng(12345);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.below(12));
+    const std::size_t k =
+        1 + static_cast<std::size_t>(rng.below(std::min<std::uint64_t>(n, 8)));
+    RunSpec spec;
+    spec.node_count = n;
+    spec.homes = gen::random_homes(n, k, rng);
+    spec.scheduler = trial % 2 == 0 ? sim::SchedulerKind::Random
+                                    : sim::SchedulerKind::Burst;
+    spec.seed = static_cast<std::uint64_t>(trial);
+    for (const Algorithm algorithm :
+         {Algorithm::KnownKFull, Algorithm::KnownNFull, Algorithm::KnownKLogMem,
+          Algorithm::KnownKLogMemStrict, Algorithm::UnknownRelaxed}) {
+      const RunReport report = run_algorithm(algorithm, spec);
+      ASSERT_TRUE(report.success)
+          << to_string(algorithm) << " n=" << n << " k=" << k << " trial="
+          << trial << ": " << report.failure;
+    }
+  }
+}
+
+TEST(Stress, DeepSymmetrySweep) {
+  // Every divisor pair (l | k, l | n) at n = 240: the full adaptivity lattice.
+  const std::size_t n = 240, k = 24;
+  Rng rng(777);
+  for (const std::size_t l : {2u, 3u, 4u, 6u, 8u, 12u, 24u}) {
+    if (n % l != 0) continue;
+    RunSpec spec;
+    spec.node_count = n;
+    spec.homes = gen::periodic_homes(n, k, l, rng);
+    const RunReport report = run_algorithm(Algorithm::UnknownRelaxed, spec);
+    ASSERT_TRUE(report.success) << "l=" << l << ": " << report.failure;
+    EXPECT_LE(report.total_moves, 14 * k * n / l + k) << "l=" << l;
+  }
+}
+
+TEST(Stress, WorstCasePackedAtScale) {
+  const std::size_t n = 800, k = 100;
+  RunSpec spec;
+  spec.node_count = n;
+  spec.homes = gen::packed_quarter_homes(n, k);
+  for (const Algorithm algorithm :
+       {Algorithm::KnownKFull, Algorithm::KnownKLogMem,
+        Algorithm::UnknownRelaxed}) {
+    const RunReport report = run_algorithm(algorithm, spec);
+    ASSERT_TRUE(report.success) << to_string(algorithm) << ": " << report.failure;
+    EXPECT_GE(report.total_moves, k * n / 16) << "Theorem 1 floor";
+  }
+}
+
+}  // namespace
+}  // namespace udring::core

@@ -1,0 +1,80 @@
+// Tests for util/table.h and util/cli.h — the presentation layer of the
+// bench binaries and examples.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace udring {
+namespace {
+
+TEST(Table, AlignsColumnsAndPrintsRule) {
+  Table table({"n", "k", "moves"});
+  table.add_row({"64", "8", "812"});
+  table.add_row({"4096", "256", "1234567"});
+  std::ostringstream out;
+  out << table;
+  const std::string text = out.str();
+  EXPECT_NE(text.find("n"), std::string::npos);
+  EXPECT_NE(text.find("1234567"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  // Header line and rule and 2 rows → at least 4 lines.
+  EXPECT_GE(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(Table, PadsShortRows) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  std::ostringstream out;
+  EXPECT_NO_THROW(out << table);
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(std::size_t{42}), "42");
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(PrintSection, EmitsTitle) {
+  std::ostringstream out;
+  print_section(out, "Table 1");
+  EXPECT_NE(out.str().find("== Table 1"), std::string::npos);
+}
+
+TEST(Cli, ParsesEqualsAndBooleanForms) {
+  const char* argv[] = {"prog", "--n=64", "--k=8", "--verbose", "pos1"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_size("n", 0, "ring size"), 64u);
+  EXPECT_EQ(cli.get_size("k", 0, "agents"), 8u);
+  EXPECT_TRUE(cli.get_flag("verbose", "chatty"));
+  EXPECT_FALSE(cli.get_flag("quiet", "silent"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_size("n", 128, "ring size"), 128u);
+  EXPECT_EQ(cli.get_u64("seed", 42, "rng seed"), 42u);
+  EXPECT_EQ(cli.get("name", "label", "fallback").value(), "fallback");
+}
+
+TEST(Cli, HelpFlagDetected) {
+  const char* argv[] = {"prog", "--help"};
+  Cli cli(2, argv);
+  EXPECT_TRUE(cli.wants_help());
+  testing::internal::CaptureStdout();
+  (void)cli.get_size("n", 1, "ring size");
+  cli.print_help("test program");
+  const std::string help = testing::internal::GetCapturedStdout();
+  EXPECT_NE(help.find("--n"), std::string::npos);
+  EXPECT_NE(help.find("ring size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace udring

@@ -1,0 +1,116 @@
+// Unit + property tests for core/targets.h — the §3.1.1 arithmetic that
+// places k targets on an n-ring for any n, k (not just n = ck), split into b
+// equal base segments.
+
+#include "core/targets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "sim/checker.h"
+#include "util/bits.h"
+
+namespace udring::core {
+namespace {
+
+TEST(TargetPlan, ExactDivisionSingleBase) {
+  const TargetPlan plan = make_target_plan(16, 4, 1);
+  EXPECT_EQ(plan.floor_gap, 4u);
+  EXPECT_EQ(plan.ceil_gaps, 0u);
+  EXPECT_EQ(plan.per_seg, 4u);
+  EXPECT_EQ(plan.seg_len, 16u);
+  for (std::size_t j = 0; j <= 4; ++j) {
+    EXPECT_EQ(plan.offset(j), 4 * j);
+  }
+}
+
+TEST(TargetPlan, RemainderGoesToLeadingGaps) {
+  // n = 14, k = 4: ⌊n/k⌋ = 3, r = 2 → gaps (4,4,3,3).
+  const TargetPlan plan = make_target_plan(14, 4, 1);
+  EXPECT_EQ(plan.floor_gap, 3u);
+  EXPECT_EQ(plan.ceil_gaps, 2u);
+  EXPECT_EQ(plan.interval(1), 4u);
+  EXPECT_EQ(plan.interval(2), 4u);
+  EXPECT_EQ(plan.interval(3), 3u);
+  EXPECT_EQ(plan.interval(4), 3u);
+  EXPECT_EQ(plan.offset(4), 14u) << "offsets close the segment";
+}
+
+TEST(TargetPlan, MultiBaseSplitsRemainderEvenly) {
+  // n = 20, k = 6, b = 2: r = 2, per segment: 3 targets, 1 leading ceil gap.
+  const TargetPlan plan = make_target_plan(20, 6, 2);
+  EXPECT_EQ(plan.seg_len, 10u);
+  EXPECT_EQ(plan.per_seg, 3u);
+  EXPECT_EQ(plan.ceil_gaps, 1u);
+  EXPECT_EQ(plan.floor_gap, 3u);
+  EXPECT_EQ(plan.offset(plan.per_seg), plan.seg_len)
+      << "per_seg intervals must span exactly one segment";
+}
+
+TEST(TargetPlan, RejectsInvalidArguments) {
+  EXPECT_THROW((void)make_target_plan(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_target_plan(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_target_plan(10, 4, 0), std::invalid_argument);
+  EXPECT_THROW((void)make_target_plan(10, 11, 1), std::invalid_argument);  // k > n
+  EXPECT_THROW((void)make_target_plan(10, 4, 3), std::invalid_argument);   // 3 ∤ 10
+  EXPECT_THROW((void)make_target_plan(12, 4, 3), std::invalid_argument);   // 3 ∤ 4
+}
+
+TEST(AllTargets, MatchesManualExample) {
+  // Fig 2: n = 16, k = 4 → targets every 4 nodes from the base.
+  const TargetPlan plan = make_target_plan(16, 4, 1);
+  EXPECT_EQ(all_targets(plan, 0), (std::vector<std::size_t>{0, 4, 8, 12}));
+  EXPECT_EQ(all_targets(plan, 5), (std::vector<std::size_t>{1, 5, 9, 13}));
+}
+
+// Property sweep: for every (n, k, b) with b | gcd(n, k), the k targets are
+// distinct and their gaps form a uniform deployment per the checker (the
+// checker recomputes gaps independently).
+class TargetPlanProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(TargetPlanProperty, TargetsAreAUniformDeployment) {
+  const auto [n, k] = GetParam();
+  const std::size_t g = udring::gcd(n, k);
+  for (std::size_t b = 1; b <= g; ++b) {
+    if (g % b != 0) continue;
+    const TargetPlan plan = make_target_plan(n, k, b);
+    for (const std::size_t base : {std::size_t{0}, n / 2, n - 1}) {
+      const auto targets = all_targets(plan, base);
+      ASSERT_EQ(targets.size(), k);
+      const std::set<std::size_t> distinct(targets.begin(), targets.end());
+      ASSERT_EQ(distinct.size(), k) << "duplicate target (n=" << n << " k=" << k
+                                    << " b=" << b << " base=" << base << ")";
+      const auto check = sim::check_positions_uniform(targets, n);
+      ASSERT_TRUE(check.ok) << "n=" << n << " k=" << k << " b=" << b
+                            << " base=" << base << ": " << check.reason;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TargetPlanProperty,
+    ::testing::Values(std::make_tuple(4, 2), std::make_tuple(9, 3),
+                      std::make_tuple(12, 4), std::make_tuple(12, 6),
+                      std::make_tuple(13, 5), std::make_tuple(14, 4),
+                      std::make_tuple(16, 4), std::make_tuple(18, 9),
+                      std::make_tuple(20, 6), std::make_tuple(23, 7),
+                      std::make_tuple(24, 8), std::make_tuple(27, 9),
+                      std::make_tuple(30, 12), std::make_tuple(64, 16),
+                      std::make_tuple(100, 40), std::make_tuple(101, 13)));
+
+TEST(TargetPlan, IntervalsSumToSegment) {
+  for (std::size_t n = 2; n <= 40; ++n) {
+    for (std::size_t k = 1; k <= n; ++k) {
+      const TargetPlan plan = make_target_plan(n, k, 1);
+      std::size_t total = 0;
+      for (std::size_t j = 1; j <= plan.per_seg; ++j) total += plan.interval(j);
+      ASSERT_EQ(total, n) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace udring::core
