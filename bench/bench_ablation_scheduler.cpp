@@ -20,6 +20,16 @@ void print_report() {
   std::cout << "Scheduler ablation: every algorithm × every fair scheduler family\n"
                "(n = 192, k = 16; 5 seeds; same configurations per row).\n";
 
+  // The full ablation is one campaign: algorithms × scheduler kinds on one
+  // instance — the scheduler axis is a first-class grid dimension.
+  exp::CampaignGrid grid;
+  grid.algorithms = {core::Algorithm::KnownKFull, core::Algorithm::KnownKLogMem,
+                     core::Algorithm::UnknownRelaxed};
+  grid.schedulers = sim::all_scheduler_kinds();
+  grid.instances = {{192, 16}};
+  grid.seeds = 5;
+  const exp::CampaignResult result = exp::run_campaign(grid);
+
   for (const auto& [algorithm, label] :
        {std::make_pair(core::Algorithm::KnownKFull, "Algorithm 1"),
         std::make_pair(core::Algorithm::KnownKLogMem, "Algorithms 2+3"),
@@ -27,8 +37,8 @@ void print_report() {
     print_section(std::cout, label);
     Table table({"scheduler", "moves", "causal time", "success"});
     for (const sim::SchedulerKind kind : sim::all_scheduler_kinds()) {
-      const Averages avg = measure(algorithm, ConfigFamily::RandomAny, 192, 16,
-                                   1, 5, kind);
+      const Averages avg = result.averages(
+          {algorithm, ConfigFamily::RandomAny, kind, 192, 16, 1});
       table.add_row({std::string(sim::to_string(kind)), Table::num(avg.moves, 0),
                      Table::num(avg.makespan, 0),
                      avg.success_rate == 1.0 ? "yes" : "NO"});

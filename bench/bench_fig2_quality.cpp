@@ -25,6 +25,19 @@ void print_report() {
   const std::vector<std::pair<std::size_t, std::size_t>> cases = {
       {16, 4}, {14, 4}, {23, 7}, {60, 12}, {100, 13}, {128, 16}, {257, 32}};
 
+  // One campaign over every algorithm × instance, recording each scenario's
+  // final staying positions. The initial configurations are re-derived from
+  // the engine's substream contract (scenario_homes), so the before/after
+  // gap comparison needs no side channel.
+  exp::CampaignGrid grid;
+  grid.algorithms = {core::Algorithm::KnownKFull, core::Algorithm::KnownKLogMem,
+                     core::Algorithm::UnknownRelaxed};
+  grid.instances = cases;
+  grid.seeds = 5;
+  exp::CampaignOptions options;
+  options.record_final_positions = true;
+  const exp::CampaignResult result = exp::run_campaign(grid, options);
+
   for (const auto& [algorithm, label] :
        {std::make_pair(core::Algorithm::KnownKFull, "Algorithm 1"),
         std::make_pair(core::Algorithm::KnownKLogMem, "Algorithms 2+3"),
@@ -36,20 +49,21 @@ void print_report() {
       std::map<std::size_t, std::size_t> histogram;
       double worst_before = 0;
       bool all_exact = true;
-      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-        Rng rng(seed * 101 + n);
-        core::RunSpec spec;
-        spec.node_count = n;
-        spec.homes = gen::random_homes(n, k, rng);
-        spec.seed = seed;
-        for (const std::size_t gap : sim::ring_gaps(spec.homes, n)) {
+      for (std::size_t i = 0; i < result.scenarios.size(); ++i) {
+        const exp::Scenario& scenario = result.scenarios[i];
+        if (scenario.algorithm != algorithm || scenario.node_count != n ||
+            scenario.agent_count != k) {
+          continue;
+        }
+        for (const std::size_t gap :
+             sim::ring_gaps(exp::scenario_homes(grid, scenario), n)) {
           worst_before = std::max(
               worst_before, std::abs(static_cast<double>(gap) -
                                      static_cast<double>(n) / static_cast<double>(k)));
         }
-        const auto report = core::run_algorithm(algorithm, spec);
-        all_exact = all_exact && report.success;
-        for (const std::size_t gap : sim::ring_gaps(report.final_positions, n)) {
+        all_exact = all_exact && result.results[i].success;
+        for (const std::size_t gap :
+             sim::ring_gaps(result.results[i].final_positions, n)) {
           ++histogram[gap];
         }
       }

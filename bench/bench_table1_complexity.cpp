@@ -29,6 +29,18 @@ void print_report() {
   const std::vector<std::size_t> ns = {64, 128, 256, 512, 1024};
   const std::vector<std::size_t> k_divisors = {16, 8};  // k = n/16, n/8
 
+  // The whole table is one declarative campaign: every algorithm on every
+  // (n, n/divisor) instance, sharded across the worker pool.
+  exp::CampaignGrid grid;
+  grid.algorithms = {core::Algorithm::KnownKFull, core::Algorithm::KnownKLogMem,
+                     core::Algorithm::UnknownRelaxed};
+  grid.families = {ConfigFamily::RandomAperiodic};
+  for (const std::size_t divisor : k_divisors) {
+    for (const std::size_t n : ns) grid.instances.emplace_back(n, n / divisor);
+  }
+  grid.seeds = 5;
+  const exp::CampaignResult result = exp::run_campaign(grid);
+
   for (const auto& [algorithm, label] :
        {std::make_pair(core::Algorithm::KnownKFull, "Result 1: Algorithm 1 (known k)"),
         std::make_pair(core::Algorithm::KnownKLogMem,
@@ -41,7 +53,9 @@ void print_report() {
     for (const std::size_t divisor : k_divisors) {
       for (const std::size_t n : ns) {
         const std::size_t k = n / divisor;
-        const Averages avg = measure(algorithm, ConfigFamily::RandomAperiodic, n, k);
+        const Averages avg = result.averages(
+            {algorithm, ConfigFamily::RandomAperiodic,
+             sim::SchedulerKind::Synchronous, n, k, 1});
         const double lg_n = static_cast<double>(bit_width(n));
         const double lg_k = std::max(1.0, std::log2(static_cast<double>(k)));
         table.add_row(

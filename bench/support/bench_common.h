@@ -1,10 +1,11 @@
 // bench/support/bench_common.h
 //
-// Shared plumbing for the per-table/per-figure bench binaries: seed-averaged
-// runs of an algorithm on generated configurations, plus small formatting
-// helpers. Every binary prints its paper-style report first (that output is
-// the reproduction artifact) and then runs its registered google-benchmark
-// timings.
+// Shared plumbing for the per-table/per-figure bench binaries, now a thin
+// veneer over the exp/campaign engine: configuration families, seed-averaged
+// cell measurements and grid sweeps all come from exp::, so every binary's
+// report is a campaign and parallelizes/reproduces like one. Every binary
+// prints its paper-style report first (that output is the reproduction
+// artifact) and then runs its registered google-benchmark timings.
 
 #pragma once
 
@@ -17,73 +18,23 @@
 
 #include "config/generators.h"
 #include "core/runner.h"
+#include "exp/campaign.h"
 #include "util/rng.h"
 #include "util/table.h"
 
 namespace udring::bench {
 
-/// Seed-averaged measurements of one (algorithm, configuration family) cell.
-struct Averages {
-  double moves = 0;
-  double makespan = 0;
-  double memory_bits = 0;
-  double success_rate = 0;
-  std::size_t runs = 0;
-};
+using exp::Averages;
+using exp::ConfigFamily;
+using exp::draw_homes;
 
-enum class ConfigFamily { RandomAny, RandomAperiodic, Packed, Periodic, Uniform };
-
-inline std::vector<std::size_t> draw_homes(ConfigFamily family, std::size_t n,
-                                           std::size_t k, std::size_t l,
-                                           Rng& rng) {
-  switch (family) {
-    case ConfigFamily::RandomAny:
-      return gen::random_homes(n, k, rng);
-    case ConfigFamily::RandomAperiodic: {
-      auto homes = gen::random_homes(n, k, rng);
-      for (int i = 0; i < 64 && core::config_symmetry_degree(homes, n) != 1; ++i) {
-        homes = gen::random_homes(n, k, rng);
-      }
-      return homes;
-    }
-    case ConfigFamily::Packed:
-      return gen::packed_quarter_homes(n, k);
-    case ConfigFamily::Periodic:
-      return gen::periodic_homes(n, k, l, rng);
-    case ConfigFamily::Uniform:
-      return gen::uniform_homes(n, k);
-  }
-  return gen::random_homes(n, k, rng);
-}
-
-/// Runs `algorithm` on `seeds` drawn configurations and averages the paper's
-/// three measures. Uses the synchronous scheduler so makespan matches the
-/// ideal-time definition.
+/// Seed-averaged measurement of one (algorithm, configuration family) cell,
+/// delegated to the campaign engine (substream-seeded, reproducible).
 inline Averages measure(core::Algorithm algorithm, ConfigFamily family,
                         std::size_t n, std::size_t k, std::size_t l = 1,
                         std::size_t seeds = 5,
                         sim::SchedulerKind scheduler = sim::SchedulerKind::Synchronous) {
-  Averages avg;
-  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-    Rng rng(seed * 0x9e3779b9ULL + n * 131 + k * 7 + l);
-    core::RunSpec spec;
-    spec.node_count = n;
-    spec.homes = draw_homes(family, n, k, l, rng);
-    spec.scheduler = scheduler;
-    spec.seed = seed;
-    const core::RunReport report = core::run_algorithm(algorithm, spec);
-    avg.moves += static_cast<double>(report.total_moves);
-    avg.makespan += static_cast<double>(report.makespan);
-    avg.memory_bits += static_cast<double>(report.max_memory_bits);
-    avg.success_rate += report.success ? 1.0 : 0.0;
-    ++avg.runs;
-  }
-  const double denominator = avg.runs > 0 ? static_cast<double>(avg.runs) : 1.0;
-  avg.moves /= denominator;
-  avg.makespan /= denominator;
-  avg.memory_bits /= denominator;
-  avg.success_rate /= denominator;
-  return avg;
+  return exp::measure_cell(algorithm, family, n, k, l, seeds, scheduler);
 }
 
 /// Registers a wall-clock google-benchmark for one algorithm/instance.

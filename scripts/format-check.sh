@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Reports clang-format drift across the tree (non-blocking in CI).
+#
+#   scripts/format-check.sh          list files that would be reformatted
+#   scripts/format-check.sh --fix    reformat them in place
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "format-check: $CLANG_FORMAT not found; skipping" >&2
+  exit 0
+fi
+
+mapfile -t files < <(find src tests bench examples \
+  \( -name '*.cpp' -o -name '*.h' \) -type f | sort)
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "format-check: reformatted ${#files[@]} files"
+  exit 0
+fi
+
+drifted=0
+for file in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$file" >/dev/null 2>&1; then
+    echo "needs formatting: $file"
+    drifted=$((drifted + 1))
+  fi
+done
+
+if [[ $drifted -gt 0 ]]; then
+  echo "format-check: $drifted of ${#files[@]} files drift from .clang-format"
+  exit 1
+fi
+echo "format-check: ${#files[@]} files clean"

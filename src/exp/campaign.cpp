@@ -1,0 +1,358 @@
+#include "exp/campaign.h"
+
+#include <atomic>
+#include <bit>
+#include <exception>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "config/generators.h"
+#include "core/distance_sequence.h"
+#include "util/bits.h"
+
+namespace udring::exp {
+
+std::string_view to_string(ConfigFamily family) noexcept {
+  switch (family) {
+    case ConfigFamily::RandomAny: return "random-any";
+    case ConfigFamily::RandomAperiodic: return "random-aperiodic";
+    case ConfigFamily::Packed: return "packed";
+    case ConfigFamily::Periodic: return "periodic";
+    case ConfigFamily::Uniform: return "uniform";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> draw_homes(ConfigFamily family, std::size_t n,
+                                    std::size_t k, std::size_t l, Rng& rng) {
+  switch (family) {
+    case ConfigFamily::RandomAny:
+      return gen::random_homes(n, k, rng);
+    case ConfigFamily::RandomAperiodic: {
+      auto homes = gen::random_homes(n, k, rng);
+      for (int i = 0; i < 64 && core::config_symmetry_degree(homes, n) != 1; ++i) {
+        homes = gen::random_homes(n, k, rng);
+      }
+      return homes;
+    }
+    case ConfigFamily::Packed:
+      return gen::packed_quarter_homes(n, k);
+    case ConfigFamily::Periodic:
+      return gen::periodic_homes(n, k, l, rng);
+    case ConfigFamily::Uniform:
+      return gen::uniform_homes(n, k);
+  }
+  return gen::random_homes(n, k, rng);
+}
+
+namespace {
+
+/// Mirrors the generators' preconditions so expansion can skip infeasible
+/// grid points instead of recording them as failures.
+[[nodiscard]] bool feasible(ConfigFamily family, std::size_t n, std::size_t k,
+                            std::size_t l) {
+  if (k == 0 || n == 0 || k > n) return false;
+  switch (family) {
+    case ConfigFamily::Packed:
+      return k <= ceil_div(n, 4);
+    case ConfigFamily::Periodic:
+      return l > 0 && n % l == 0 && k % l == 0 && k / l <= n / l &&
+             (k / l > 1 || l == k);
+    case ConfigFamily::RandomAny:
+    case ConfigFamily::RandomAperiodic:
+    case ConfigFamily::Uniform:
+      return true;
+  }
+  return false;
+}
+
+/// Families that ignore `l` collapse every symmetry value to l = 1 so the
+/// grid does not silently multiply identical scenarios.
+[[nodiscard]] bool uses_symmetry(ConfigFamily family) noexcept {
+  return family == ConfigFamily::Periodic;
+}
+
+/// Substream index for a scenario's randomness. Covers the *instance*
+/// coordinates (family, n, k, l, repetition) but deliberately not the
+/// algorithm or scheduler: every algorithm × scheduler cell of a grid is
+/// measured on the same drawn configurations, so cross-algorithm and
+/// cross-scheduler columns are paired comparisons, as in the paper's tables.
+[[nodiscard]] std::uint64_t instance_key(const Scenario& s) noexcept {
+  std::uint64_t key = 0;
+  const auto fold = [&key](std::uint64_t value) {
+    std::uint64_t stream = key ^ value;
+    key = splitmix64(stream);
+  };
+  fold(static_cast<std::uint64_t>(s.family));
+  fold(s.node_count);
+  fold(s.agent_count);
+  fold(s.symmetry);
+  fold(s.repetition);
+  return key;
+}
+
+ScenarioResult run_one(const Scenario& scenario, const CampaignGrid& grid,
+                       bool record_final_positions) {
+  ScenarioResult out;
+  try {
+    Rng rng = Rng(grid.base_seed).substream(instance_key(scenario));
+    core::RunSpec spec;
+    spec.node_count = scenario.node_count;
+    spec.homes = draw_homes(scenario.family, scenario.node_count,
+                            scenario.agent_count, scenario.symmetry, rng);
+    spec.seed = rng();  // scheduler randomness, independent of the homes draw
+    spec.scheduler = scenario.scheduler;
+    spec.sim_options = grid.sim_options;
+    const core::RunReport report = core::run_algorithm(scenario.algorithm, spec);
+    out.success = report.success;
+    out.failure = report.failure;
+    out.total_moves = report.total_moves;
+    out.makespan = report.makespan;
+    out.max_memory_bits = report.max_memory_bits;
+    out.actions = report.result.actions;
+    if (record_final_positions) out.final_positions = report.final_positions;
+  } catch (const std::exception& error) {
+    out.success = false;
+    out.failure = std::string("exception: ") + error.what();
+  }
+  return out;
+}
+
+[[nodiscard]] std::string describe(const Scenario& s) {
+  std::ostringstream text;
+  text << core::to_string(s.algorithm) << ' ' << to_string(s.family) << ' '
+       << sim::to_string(s.scheduler) << " n=" << s.node_count
+       << " k=" << s.agent_count << " l=" << s.symmetry
+       << " rep=" << s.repetition;
+  return text.str();
+}
+
+}  // namespace
+
+std::vector<Scenario> expand(const CampaignGrid& grid) {
+  std::vector<std::pair<std::size_t, std::size_t>> points = grid.instances;
+  if (points.empty()) {
+    for (const std::size_t n : grid.node_counts) {
+      for (const std::size_t k : grid.agent_counts) {
+        points.emplace_back(n, k);
+      }
+    }
+  }
+  std::vector<Scenario> scenarios;
+  for (const core::Algorithm algorithm : grid.algorithms) {
+    for (const ConfigFamily family : grid.families) {
+      for (const sim::SchedulerKind scheduler : grid.schedulers) {
+        for (const auto& [n, k] : points) {
+          bool first_symmetry = true;
+          for (const std::size_t l : grid.symmetries) {
+            const std::size_t effective_l = uses_symmetry(family) ? l : 1;
+            if (!uses_symmetry(family) && !first_symmetry) continue;
+            first_symmetry = false;
+            if (!feasible(family, n, k, effective_l)) continue;
+            for (std::uint64_t rep = 0; rep < grid.seeds; ++rep) {
+              Scenario s;
+              s.index = scenarios.size();
+              s.algorithm = algorithm;
+              s.family = family;
+              s.scheduler = scheduler;
+              s.node_count = n;
+              s.agent_count = k;
+              s.symmetry = effective_l;
+              s.repetition = rep;
+              scenarios.push_back(s);
+            }
+          }
+        }
+      }
+    }
+  }
+  return scenarios;
+}
+
+Averages CellStats::averages() const {
+  Averages avg;
+  avg.runs = runs;
+  const double denominator = runs > 0 ? static_cast<double>(runs) : 1.0;
+  avg.moves = moves_sum / denominator;
+  avg.makespan = makespan_sum / denominator;
+  avg.memory_bits = memory_bits_sum / denominator;
+  avg.success_rate = static_cast<double>(successes) / denominator;
+  return avg;
+}
+
+const CellStats* CampaignResult::cell(const CellKey& key) const {
+  const auto found = cells.find(key);
+  return found == cells.end() ? nullptr : &found->second;
+}
+
+Averages CampaignResult::averages(const CellKey& key) const {
+  const CellStats* stats = cell(key);
+  return stats ? stats->averages() : Averages{};
+}
+
+namespace {
+/// Init state for CampaignResult::digest — its own domain, deliberately
+/// distinct from Rng::kSubstreamSalt so the result-hash and the
+/// substream-derivation domains stay separated.
+constexpr std::uint64_t kDigestSalt = 0xd16e57eeda7a600dULL;
+}  // namespace
+
+std::uint64_t CampaignResult::digest() const {
+  std::uint64_t state = kDigestSalt;
+  const auto mix = [&state](std::uint64_t value) {
+    std::uint64_t stream = state ^ value;
+    state = splitmix64(stream);  // full avalanche per folded word
+  };
+  mix(scenarios.size());
+  for (const ScenarioResult& r : results) {
+    mix(r.success ? 1 : 0);
+    mix(r.total_moves);
+    mix(r.makespan);
+    mix(r.max_memory_bits);
+    mix(r.actions);
+    mix(r.final_positions.size());
+    for (const std::size_t position : r.final_positions) mix(position);
+  }
+  for (const auto& [key, stats] : cells) {
+    mix(static_cast<std::uint64_t>(key.algorithm));
+    mix(static_cast<std::uint64_t>(key.family));
+    mix(static_cast<std::uint64_t>(key.scheduler));
+    mix(key.node_count);
+    mix(key.agent_count);
+    mix(key.symmetry);
+    mix(stats.runs);
+    mix(stats.successes);
+    mix(std::bit_cast<std::uint64_t>(stats.moves_sum));
+    mix(std::bit_cast<std::uint64_t>(stats.makespan_sum));
+    mix(std::bit_cast<std::uint64_t>(stats.memory_bits_sum));
+    mix(stats.actions_sum);
+  }
+  mix(failures);
+  return state;
+}
+
+Table CampaignResult::summary_table() const {
+  Table table({"algorithm", "family", "scheduler", "n", "k", "l", "runs",
+               "ok", "moves", "time", "mem bits"});
+  for (const auto& [key, stats] : cells) {
+    const Averages avg = stats.averages();
+    table.add_row({std::string(core::to_string(key.algorithm)),
+                   std::string(to_string(key.family)),
+                   std::string(sim::to_string(key.scheduler)),
+                   Table::num(key.node_count), Table::num(key.agent_count),
+                   Table::num(key.symmetry), Table::num(stats.runs),
+                   Table::num(avg.success_rate * 100.0, 1) + "%",
+                   Table::num(avg.moves, 1), Table::num(avg.makespan, 1),
+                   Table::num(avg.memory_bits, 1)});
+  }
+  return table;
+}
+
+std::string CampaignResult::summary() const {
+  std::ostringstream text;
+  text << summary_table();
+  text << "scenarios: " << scenarios.size() << "  failures: " << failures
+       << "  workers: " << workers_used << "  digest: " << std::hex << digest()
+       << std::dec << '\n';
+  for (const std::string& sample : failure_samples) {
+    text << "  FAIL " << sample << '\n';
+  }
+  return text.str();
+}
+
+CampaignResult run_campaign(const CampaignGrid& grid,
+                            const CampaignOptions& options) {
+  CampaignResult result;
+  result.scenarios = expand(grid);
+  result.results.resize(result.scenarios.size());
+
+  std::size_t workers = options.workers;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers = std::max<std::size_t>(
+      1, std::min(workers, std::max<std::size_t>(1, result.scenarios.size())));
+  result.workers_used = workers;
+
+  // Shard by atomic work-stealing over scenario indices. Each scenario owns
+  // its results slot, so the parallel phase shares no mutable state beyond
+  // the cursor; all order-sensitive folding happens after the join.
+  std::atomic<std::size_t> cursor{0};
+  const auto work = [&] {
+    for (std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+         i < result.scenarios.size();
+         i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      result.results[i] = run_one(result.scenarios[i], grid,
+                                  options.record_final_positions);
+    }
+  };
+  if (workers == 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  // Deterministic aggregation: fold in scenario-index order, so cell sums
+  // (floating point, order-sensitive) are bitwise identical at any worker
+  // count.
+  for (std::size_t i = 0; i < result.scenarios.size(); ++i) {
+    const Scenario& s = result.scenarios[i];
+    const ScenarioResult& r = result.results[i];
+    CellStats& stats = result.cells[CellKey{s.algorithm, s.family, s.scheduler,
+                                            s.node_count, s.agent_count,
+                                            s.symmetry}];
+    ++stats.runs;
+    if (r.success) {
+      ++stats.successes;
+    } else {
+      ++result.failures;
+      if (result.failure_samples.size() < options.max_recorded_failures) {
+        result.failure_samples.push_back(describe(s) + ": " + r.failure);
+      }
+    }
+    stats.moves_sum += static_cast<double>(r.total_moves);
+    stats.makespan_sum += static_cast<double>(r.makespan);
+    stats.memory_bits_sum += static_cast<double>(r.max_memory_bits);
+    stats.actions_sum += r.actions;
+  }
+  return result;
+}
+
+std::vector<std::size_t> scenario_homes(const CampaignGrid& grid,
+                                        const Scenario& s) {
+  // Must mirror run_one's draw exactly: the substream then the homes.
+  Rng rng = Rng(grid.base_seed).substream(instance_key(s));
+  return draw_homes(s.family, s.node_count, s.agent_count, s.symmetry, rng);
+}
+
+Averages measure_cell(core::Algorithm algorithm, ConfigFamily family,
+                      std::size_t n, std::size_t k, std::size_t l,
+                      std::size_t seeds, sim::SchedulerKind scheduler,
+                      std::uint64_t base_seed) {
+  CampaignGrid grid;
+  grid.algorithms = {algorithm};
+  grid.families = {family};
+  grid.schedulers = {scheduler};
+  grid.node_counts = {n};
+  grid.agent_counts = {k};
+  grid.symmetries = {l};
+  grid.seeds = seeds;
+  grid.base_seed = base_seed;
+  const Averages avg = run_campaign(grid).averages(
+      CellKey{algorithm, family, scheduler, n, k,
+              family == ConfigFamily::Periodic ? l : 1});
+  if (avg.runs == 0) {
+    std::ostringstream what;
+    what << "measure_cell: infeasible cell " << to_string(family) << " n=" << n
+         << " k=" << k << " l=" << l;
+    throw std::invalid_argument(what.str());
+  }
+  return avg;
+}
+
+}  // namespace udring::exp

@@ -1,0 +1,215 @@
+// udring/exp/campaign.h
+//
+// The parallel experiment campaign engine.
+//
+// Every reproduction artifact in this repo — the Table-1 sweep, the figure
+// benches, the stress suites — is the same shape of computation: a grid of
+// scenarios (algorithm × configuration family × scheduler × n × k × l ×
+// seed), each run in an isolated Simulator, reduced to per-cell averages.
+// The engine makes that shape declarative and parallel:
+//
+//   CampaignGrid grid;
+//   grid.algorithms  = {core::Algorithm::KnownKFull};
+//   grid.node_counts = {64, 128, 256};
+//   grid.agent_counts = {8, 16};
+//   grid.seeds = 5;
+//   CampaignResult result = run_campaign(grid, {.workers = 8});
+//
+// Determinism contract: the expansion order of a grid is fixed, every
+// scenario's randomness derives from Rng(base_seed).substream(key) where the
+// key covers the instance coordinates (family, n, k, l, repetition) — but
+// not the algorithm or scheduler, so every algorithm × scheduler cell sees
+// the same drawn configurations (paired comparisons) — and aggregation
+// folds scenario results in index order after the workers join.
+// The same grid therefore produces *byte-identical* results — digest(),
+// summary(), every cell — at any worker count (test_campaign.cpp pins this).
+// Failures never abort the campaign; they are counted, sampled, and visible
+// in the summary so a 10^5-scenario sweep reports every bad cell at once.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/runner.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace udring::exp {
+
+/// Initial-configuration families the paper's experiments draw from.
+enum class ConfigFamily {
+  RandomAny,        ///< uniform random homes, any symmetry
+  RandomAperiodic,  ///< random homes re-drawn until symmetry degree 1
+  Packed,           ///< Theorem-1 quarter-arc lower-bound witness
+  Periodic,         ///< symmetry degree exactly l (requires l | n, l | k)
+  Uniform,          ///< already uniformly deployed (fixed point)
+};
+
+[[nodiscard]] std::string_view to_string(ConfigFamily family) noexcept;
+
+/// Draws a home configuration of the given family. Deterministic in `rng`.
+[[nodiscard]] std::vector<std::size_t> draw_homes(ConfigFamily family,
+                                                  std::size_t n, std::size_t k,
+                                                  std::size_t l, Rng& rng);
+
+/// One fully-instantiated point of a campaign grid.
+struct Scenario {
+  std::size_t index = 0;  ///< position in the grid's expansion (result slot)
+  core::Algorithm algorithm = core::Algorithm::KnownKFull;
+  ConfigFamily family = ConfigFamily::RandomAny;
+  sim::SchedulerKind scheduler = sim::SchedulerKind::Synchronous;
+  std::size_t node_count = 0;   ///< n
+  std::size_t agent_count = 0;  ///< k
+  std::size_t symmetry = 1;     ///< l (Periodic family; 1 elsewhere)
+  std::uint64_t repetition = 0; ///< seed repetition within the cell
+};
+
+/// Declarative scenario grid: the cross product of all vectors, repeated
+/// `seeds` times. Combinations that cannot exist are skipped during
+/// expansion rather than failing the campaign: k > n always; Packed with
+/// k > ⌈n/4⌉; Periodic unless l | n, l | k and an aperiodic factor exists.
+///
+/// (n, k) points come either from node_counts × agent_counts, or — when the
+/// sweep pairs k to n (k = n/8 and friends) — from explicit `instances`,
+/// which takes precedence when non-empty.
+struct CampaignGrid {
+  std::vector<core::Algorithm> algorithms;
+  std::vector<ConfigFamily> families = {ConfigFamily::RandomAny};
+  std::vector<sim::SchedulerKind> schedulers = {sim::SchedulerKind::Synchronous};
+  std::vector<std::size_t> node_counts;
+  std::vector<std::size_t> agent_counts;
+  std::vector<std::pair<std::size_t, std::size_t>> instances;  ///< (n, k) pairs
+  std::vector<std::size_t> symmetries = {1};
+  std::size_t seeds = 1;          ///< repetitions per cell
+  std::uint64_t base_seed = 1;    ///< root of every scenario substream
+  sim::SimOptions sim_options;    ///< forwarded to every Simulator
+};
+
+/// The grid's deterministic expansion (loop order: algorithm, family,
+/// scheduler, n, k, l, repetition), with infeasible combinations skipped.
+/// Scenario i of the returned vector has index == i.
+[[nodiscard]] std::vector<Scenario> expand(const CampaignGrid& grid);
+
+/// Outcome of one scenario. Written exactly once, into the scenario's own
+/// slot of CampaignResult::results — workers never share accumulators.
+struct ScenarioResult {
+  bool success = false;
+  std::string failure;  ///< checker verdict or exception text (when !success)
+  std::size_t total_moves = 0;
+  std::uint64_t makespan = 0;
+  std::size_t max_memory_bits = 0;
+  std::size_t actions = 0;
+  std::vector<std::size_t> final_positions;  ///< only when options request it
+};
+
+/// Aggregation key: one cell of the reported table (seed repetitions of the
+/// same cell fold together).
+struct CellKey {
+  core::Algorithm algorithm;
+  ConfigFamily family;
+  sim::SchedulerKind scheduler;
+  std::size_t node_count;
+  std::size_t agent_count;
+  std::size_t symmetry;
+
+  auto operator<=>(const CellKey&) const = default;
+};
+
+/// Seed-averaged measurements of one cell (the paper's three measures plus
+/// the success rate).
+struct Averages {
+  double moves = 0;
+  double makespan = 0;
+  double memory_bits = 0;
+  double success_rate = 0;
+  std::size_t runs = 0;
+};
+
+struct CellStats {
+  std::size_t runs = 0;
+  std::size_t successes = 0;
+  double moves_sum = 0;
+  double makespan_sum = 0;
+  double memory_bits_sum = 0;
+  std::size_t actions_sum = 0;
+
+  [[nodiscard]] Averages averages() const;
+};
+
+struct CampaignOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
+  std::size_t workers = 0;
+  /// Record each scenario's final staying positions (off for big sweeps).
+  bool record_final_positions = false;
+  /// How many failing scenarios to describe verbatim in the summary.
+  std::size_t max_recorded_failures = 16;
+};
+
+struct CampaignResult {
+  std::vector<Scenario> scenarios;       ///< the expansion that was run
+  std::vector<ScenarioResult> results;   ///< index-aligned with scenarios
+  std::map<CellKey, CellStats> cells;    ///< deterministic iteration order
+  std::size_t failures = 0;
+  std::vector<std::string> failure_samples;  ///< first N failures, index order
+  std::size_t workers_used = 0;
+
+  [[nodiscard]] bool all_ok() const noexcept { return failures == 0; }
+
+  /// Cell lookup; null when the cell is not in the grid (or fully skipped).
+  [[nodiscard]] const CellStats* cell(const CellKey& key) const;
+
+  /// Convenience: the averages of a cell, zeroed when absent.
+  [[nodiscard]] Averages averages(const CellKey& key) const;
+
+  /// Order-sensitive 64-bit digest of every scenario outcome and every
+  /// aggregated cell; equal digests at different worker counts is the
+  /// determinism contract.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Aggregated per-cell table (one row per cell, expansion order).
+  [[nodiscard]] Table summary_table() const;
+
+  /// Rendered summary: the table plus failure count and samples. Two runs of
+  /// the same grid compare byte-identical via this string.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs every scenario of `grid` across a worker pool and aggregates.
+/// A scenario's randomness is Rng(grid.base_seed).substream(key), where the
+/// key hashes only the instance coordinates (family, n, k, l, repetition):
+/// home configurations and scheduler seeds never depend on which worker
+/// runs the scenario or in what order, and algorithm/scheduler cells share
+/// instances. Use scenario_homes() to recompute a scenario's configuration
+/// externally — it applies the exact same derivation. A scenario that
+/// throws is recorded as a failure with the exception text; the campaign
+/// always completes.
+[[nodiscard]] CampaignResult run_campaign(const CampaignGrid& grid,
+                                          const CampaignOptions& options = {});
+
+/// The home configuration scenario `s` of `grid` runs on — the substream
+/// contract makes it recomputable outside the engine, so reports can relate
+/// initial configurations to outcomes without the engine storing them.
+[[nodiscard]] std::vector<std::size_t> scenario_homes(const CampaignGrid& grid,
+                                                      const Scenario& s);
+
+/// Runs the single-cell campaign (n, k, l) × seeds and returns its averages
+/// — the classic seed-averaged measurement the bench binaries report.
+/// Throws std::invalid_argument when the cell is infeasible for the family
+/// (l ∤ n, packed k > ⌈n/4⌉, …): a bench asking for an impossible cell is a
+/// bug to surface, not a zero row to print.
+[[nodiscard]] Averages measure_cell(core::Algorithm algorithm,
+                                    ConfigFamily family, std::size_t n,
+                                    std::size_t k, std::size_t l = 1,
+                                    std::size_t seeds = 5,
+                                    sim::SchedulerKind scheduler =
+                                        sim::SchedulerKind::Synchronous,
+                                    std::uint64_t base_seed = 1);
+
+}  // namespace udring::exp

@@ -39,22 +39,23 @@ AgentId RandomScheduler::pick(const std::vector<AgentId>& enabled) {
 // ---- SynchronousScheduler ---------------------------------------------------
 
 void SynchronousScheduler::reset(std::size_t agent_count) {
-  acted_.assign(agent_count, false);
+  acted_round_.assign(agent_count, 0);
   rounds_ = 0;
 }
 
 AgentId SynchronousScheduler::pick(const std::vector<AgentId>& enabled) {
+  const std::uint64_t current = rounds_ + 1;
   for (const AgentId id : enabled) {
-    if (!acted_[id]) {
-      acted_[id] = true;
+    if (acted_round_[id] < current) {
+      acted_round_[id] = current;
       return id;
     }
   }
-  // Every enabled agent has acted: the round is complete.
+  // Every enabled agent has acted: the round is complete. Bumping rounds_
+  // implicitly un-stamps every agent — no array clear.
   ++rounds_;
-  std::fill(acted_.begin(), acted_.end(), false);
   const AgentId id = enabled.front();
-  acted_[id] = true;
+  acted_round_[id] = rounds_ + 1;
   return id;
 }
 

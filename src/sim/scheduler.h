@@ -79,6 +79,10 @@ class RandomScheduler final : public Scheduler {
 /// Lockstep rounds: within a round every enabled agent acts exactly once
 /// (agents enabled mid-round join the next round). rounds() then equals the
 /// execution's synchronous length, which matches the ideal-time makespan.
+///
+/// Membership is tracked with per-agent round stamps (acted in round r ⇔
+/// stamp == r), so advancing a round is O(1) instead of clearing a flag
+/// array — this scheduler sits in every campaign's hot path.
 class SynchronousScheduler final : public Scheduler {
  public:
   void reset(std::size_t agent_count) override;
@@ -87,7 +91,7 @@ class SynchronousScheduler final : public Scheduler {
   [[nodiscard]] std::uint64_t rounds() const override { return rounds_; }
 
  private:
-  std::vector<bool> acted_;
+  std::vector<std::uint64_t> acted_round_;  // 1-based stamp; 0 = never acted
   std::uint64_t rounds_ = 0;
 };
 

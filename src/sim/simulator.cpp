@@ -41,7 +41,14 @@ Simulator::Simulator(std::size_t node_count, std::vector<NodeId> homes,
   log_.set_enabled(options_.record_events);
 
   agents_.reserve(homes_.size());
+  enabled_.reserve(homes_.size());
   enabled_pos_.assign(homes_.size(), kNotEnabled);
+  // Hot-path allocation hygiene: queues and staying sets can never exceed k
+  // entries; a small up-front reservation makes steady-state actions
+  // allocation-free on typical (k ≪ n) instances.
+  const std::size_t reserve_per_node = std::min<std::size_t>(homes_.size(), 8);
+  for (auto& queue : queues_) queue.reserve(reserve_per_node);
+  for (auto& set : staying_) set.reserve(reserve_per_node);
   for (AgentId id = 0; id < homes_.size(); ++id) {
     AgentCell c;
     c.program = factory(id);
@@ -159,8 +166,10 @@ void Simulator::execute_action(AgentId id) {
     log_.record({action_counter_, EventKind::Arrive, id, c.node, ts, 0});
   }
 
-  // Receive all pending messages (step 2 of the atomic action).
-  c.ctx->inbox_ = std::move(c.mailbox);
+  // Receive all pending messages (step 2 of the atomic action). Swapping
+  // (not move-assigning) ping-pongs the two buffers, so their capacities are
+  // recycled and steady-state delivery never heap-allocates.
+  std::swap(c.ctx->inbox_, c.mailbox);
   c.mailbox.clear();
   c.wake_ts = 0;
 

@@ -32,7 +32,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -46,6 +45,50 @@
 #include "sim/types.h"
 
 namespace udring::sim {
+
+/// FIFO link queue q_i with index-based storage: pop advances a head index
+/// instead of shifting or deallocating, the buffer rewinds to offset 0
+/// whenever the queue drains, and a lagging head is compacted in place
+/// (memmove, amortized O(1)) — so steady-state queue traffic performs no
+/// heap allocation, unlike std::deque's block churn. Capacity only ever
+/// grows to the historical maximum (≤ k).
+class LinkQueue {
+ public:
+  void reserve(std::size_t capacity) { buffer_.reserve(capacity); }
+
+  [[nodiscard]] bool empty() const noexcept { return head_ == buffer_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return buffer_.size() - head_;
+  }
+  [[nodiscard]] AgentId front() const { return buffer_[head_]; }
+
+  void push_back(AgentId id) {
+    if (head_ == buffer_.size()) {  // drained: rewind, reuse the whole buffer
+      buffer_.clear();
+      head_ = 0;
+    }
+    buffer_.push_back(id);
+  }
+
+  void pop_front() {
+    ++head_;
+    if (head_ == buffer_.size()) {
+      buffer_.clear();
+      head_ = 0;
+    } else if (head_ >= 32 && head_ * 2 >= buffer_.size()) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  [[nodiscard]] auto begin() const noexcept { return buffer_.begin() + static_cast<std::ptrdiff_t>(head_); }
+  [[nodiscard]] auto end() const noexcept { return buffer_.end(); }
+
+ private:
+  std::vector<AgentId> buffer_;
+  std::size_t head_ = 0;
+};
 
 struct SimOptions {
   /// Record an Event for every action (tests/examples; off for sweeps).
@@ -195,7 +238,7 @@ class Simulator {
   Ring ring_;
   std::vector<NodeId> homes_;
   std::vector<AgentCell> agents_;
-  std::vector<std::deque<AgentId>> queues_;        // q_i: in transit to node i
+  std::vector<LinkQueue> queues_;                  // q_i: in transit to node i
   std::vector<std::vector<AgentId>> staying_;      // p_i: staying at node i
   std::vector<std::uint64_t> queue_arrival_ts_;    // FIFO causal stamps
   std::vector<AgentId> enabled_;

@@ -17,7 +17,7 @@ namespace {
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) noexcept {
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
   // splitmix64 expansion guarantees a non-zero state for any seed.
   std::uint64_t sm = seed;
   for (auto& word : state_) {
@@ -59,6 +59,14 @@ std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) noexcept {
 double Rng::uniform01() noexcept {
   // 53 random mantissa bits → uniform double in [0, 1).
   return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::substream(std::uint64_t index) const noexcept {
+  // Frozen derivation (see rng.h): depends only on (seed_, index).
+  std::uint64_t state = seed_ ^ kSubstreamSalt;
+  const std::uint64_t mixed = splitmix64(state);
+  state ^= index * 0x9e3779b97f4a7c15ULL;
+  return Rng(mixed ^ splitmix64(state));
 }
 
 bool Rng::chance(double p) noexcept {

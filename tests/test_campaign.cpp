@@ -1,0 +1,234 @@
+// Tests for the exp/campaign engine: deterministic grid expansion, the
+// worker-count-invariance contract (same grid + seed ⇒ byte-identical
+// aggregated results at 1 vs 8 workers), and failure propagation into the
+// campaign summary.
+
+#include "exp/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace udring::exp {
+namespace {
+
+CampaignGrid small_grid() {
+  CampaignGrid grid;
+  grid.algorithms = {core::Algorithm::KnownKFull, core::Algorithm::UnknownRelaxed};
+  grid.families = {ConfigFamily::RandomAny};
+  grid.schedulers = {sim::SchedulerKind::RoundRobin, sim::SchedulerKind::Random};
+  grid.node_counts = {16, 24, 32};
+  grid.agent_counts = {2, 4};
+  grid.seeds = 4;
+  grid.base_seed = 7;
+  return grid;
+}
+
+TEST(Campaign, ExpansionIsDeterministicAndIndexed) {
+  const CampaignGrid grid = small_grid();
+  const auto a = expand(grid);
+  const auto b = expand(grid);
+  ASSERT_EQ(a.size(), 2u * 2u * 3u * 2u * 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, i);
+    EXPECT_EQ(a[i].algorithm, b[i].algorithm);
+    EXPECT_EQ(a[i].node_count, b[i].node_count);
+    EXPECT_EQ(a[i].agent_count, b[i].agent_count);
+    EXPECT_EQ(a[i].repetition, b[i].repetition);
+  }
+}
+
+TEST(Campaign, ExpansionSkipsInfeasibleCombinations) {
+  CampaignGrid grid;
+  grid.algorithms = {core::Algorithm::KnownKFull};
+  grid.families = {ConfigFamily::Packed};
+  grid.node_counts = {16};
+  grid.agent_counts = {2, 4, 5, 20};  // 5 > ceil(16/4), 20 > n
+  grid.seeds = 1;
+  const auto scenarios = expand(grid);
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_EQ(scenarios[0].agent_count, 2u);
+  EXPECT_EQ(scenarios[1].agent_count, 4u);
+
+  CampaignGrid periodic = grid;
+  periodic.families = {ConfigFamily::Periodic};
+  periodic.node_counts = {24};
+  periodic.agent_counts = {6};
+  periodic.symmetries = {2, 3, 5};  // 5 divides neither 24 nor 6
+  EXPECT_EQ(expand(periodic).size(), 2u);
+}
+
+TEST(Campaign, ByteIdenticalResultsAtOneVersusEightWorkers) {
+  const CampaignGrid grid = small_grid();
+  const CampaignResult serial = run_campaign(grid, {.workers = 1});
+  const CampaignResult parallel = run_campaign(grid, {.workers = 8});
+
+  ASSERT_EQ(serial.results.size(), parallel.results.size());
+  EXPECT_EQ(serial.workers_used, 1u);
+  EXPECT_EQ(parallel.workers_used, 8u);
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    const ScenarioResult& a = serial.results[i];
+    const ScenarioResult& b = parallel.results[i];
+    ASSERT_EQ(a.success, b.success) << "scenario " << i;
+    ASSERT_EQ(a.total_moves, b.total_moves) << "scenario " << i;
+    ASSERT_EQ(a.makespan, b.makespan) << "scenario " << i;
+    ASSERT_EQ(a.max_memory_bits, b.max_memory_bits) << "scenario " << i;
+    ASSERT_EQ(a.actions, b.actions) << "scenario " << i;
+  }
+  EXPECT_EQ(serial.digest(), parallel.digest());
+
+  // The rendered summaries differ only in the reported worker count.
+  std::string serial_text = serial.summary();
+  std::string parallel_text = parallel.summary();
+  const auto strip = [](std::string& text, const std::string& needle) {
+    const auto at = text.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    text.erase(at, needle.size());
+  };
+  strip(serial_text, "workers: 1");
+  strip(parallel_text, "workers: 8");
+  EXPECT_EQ(serial_text, parallel_text);
+}
+
+TEST(Campaign, InstancesArePairedAcrossAlgorithmsAndSchedulers) {
+  // Cross-algorithm and cross-scheduler cells must be measured on the same
+  // drawn configurations (the substream key covers only the instance
+  // coordinates), so their columns are paired comparisons.
+  const CampaignGrid grid = small_grid();
+  const auto scenarios = expand(grid);
+  const Scenario* reference = nullptr;
+  std::size_t paired = 0;
+  for (const Scenario& s : scenarios) {
+    if (s.node_count != 24 || s.agent_count != 4 || s.repetition != 2) continue;
+    if (reference == nullptr) {
+      reference = &s;
+      continue;
+    }
+    EXPECT_TRUE(s.algorithm != reference->algorithm ||
+                s.scheduler != reference->scheduler);
+    EXPECT_EQ(scenario_homes(grid, s), scenario_homes(grid, *reference));
+    ++paired;
+  }
+  EXPECT_EQ(paired, 3u);  // 2 algorithms × 2 schedulers − the reference
+}
+
+TEST(Campaign, RepeatedRunsAreIdentical) {
+  const CampaignGrid grid = small_grid();
+  EXPECT_EQ(run_campaign(grid, {.workers = 3}).digest(),
+            run_campaign(grid, {.workers = 5}).digest());
+}
+
+TEST(Campaign, AllScenariosSucceedOnPaperAlgorithms) {
+  const CampaignResult result = run_campaign(small_grid(), {.workers = 4});
+  EXPECT_TRUE(result.all_ok()) << result.summary();
+  EXPECT_EQ(result.failures, 0u);
+  for (const auto& [key, stats] : result.cells) {
+    EXPECT_EQ(stats.runs, 4u);
+    EXPECT_EQ(stats.successes, stats.runs);
+  }
+}
+
+TEST(Campaign, FailingScenariosSurfaceInSummary) {
+  CampaignGrid grid = small_grid();
+  // An action budget of 1 cannot complete any run: every scenario must be
+  // reported as a failure, not silently averaged away.
+  grid.sim_options.max_actions = 1;
+  const CampaignResult result = run_campaign(grid, {.workers = 4});
+  EXPECT_FALSE(result.all_ok());
+  EXPECT_EQ(result.failures, result.scenarios.size());
+  ASSERT_FALSE(result.failure_samples.empty());
+  EXPECT_NE(result.failure_samples.front().find("action limit"),
+            std::string::npos);
+  const std::string summary = result.summary();
+  EXPECT_NE(summary.find("FAIL"), std::string::npos);
+  EXPECT_NE(summary.find("0.0%"), std::string::npos);
+}
+
+TEST(Campaign, ExceptionsAreContainedAsFailures) {
+  // n = 8, k = 8, l = 4 passes the static feasibility screen (l | n, l | k,
+  // k/l = 2 ≤ n/l = 2) but periodic_homes throws at draw time: a 2-agent
+  // factor on a 2-node segment is forcibly symmetric, so no aperiodic factor
+  // exists. The worker must contain the throw as a reported failure.
+  CampaignGrid grid;
+  grid.algorithms = {core::Algorithm::KnownKFull};
+  grid.families = {ConfigFamily::Periodic};
+  grid.node_counts = {8};
+  grid.agent_counts = {8};
+  grid.symmetries = {4};
+  grid.seeds = 2;
+  const CampaignResult result = run_campaign(grid, {.workers = 2});
+  ASSERT_EQ(result.scenarios.size(), 2u);
+  EXPECT_EQ(result.failures, 2u);
+  ASSERT_FALSE(result.failure_samples.empty());
+  EXPECT_NE(result.failure_samples.front().find("exception:"),
+            std::string::npos);
+}
+
+TEST(Campaign, FinalPositionsRecordedOnRequest) {
+  CampaignGrid grid;
+  grid.algorithms = {core::Algorithm::KnownKFull};
+  grid.node_counts = {16};
+  grid.agent_counts = {4};
+  grid.seeds = 1;
+  const CampaignResult without = run_campaign(grid, {.workers = 1});
+  ASSERT_EQ(without.results.size(), 1u);
+  EXPECT_TRUE(without.results[0].final_positions.empty());
+
+  const CampaignResult with = run_campaign(
+      grid, {.workers = 1, .record_final_positions = true});
+  ASSERT_EQ(with.results.size(), 1u);
+  EXPECT_EQ(with.results[0].final_positions.size(), 4u);
+}
+
+TEST(Campaign, MeasureCellMatchesExplicitCampaign) {
+  const Averages direct = measure_cell(core::Algorithm::KnownKFull,
+                                       ConfigFamily::RandomAny, 32, 4, 1, 5);
+  CampaignGrid grid;
+  grid.algorithms = {core::Algorithm::KnownKFull};
+  grid.node_counts = {32};
+  grid.agent_counts = {4};
+  grid.seeds = 5;
+  const Averages via_campaign = run_campaign(grid).averages(
+      CellKey{core::Algorithm::KnownKFull, ConfigFamily::RandomAny,
+              sim::SchedulerKind::Synchronous, 32, 4, 1});
+  EXPECT_EQ(direct.runs, via_campaign.runs);
+  EXPECT_EQ(direct.moves, via_campaign.moves);
+  EXPECT_EQ(direct.makespan, via_campaign.makespan);
+  EXPECT_EQ(direct.success_rate, via_campaign.success_rate);
+}
+
+TEST(Campaign, MeasureCellThrowsOnInfeasibleCell) {
+  // The old bench plumbing threw from the generator when a sweep asked for
+  // an impossible cell; the campaign veneer must stay as loud instead of
+  // averaging an empty cell into a silent row of zeros.
+  EXPECT_THROW((void)measure_cell(core::Algorithm::KnownKFull,
+                                  ConfigFamily::Periodic, 384, 24, 5, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)measure_cell(core::Algorithm::KnownKFull,
+                                  ConfigFamily::Packed, 16, 10, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(Campaign, CellLookupMissReturnsNull) {
+  CampaignGrid grid;
+  grid.algorithms = {core::Algorithm::KnownKFull};
+  grid.node_counts = {16};
+  grid.agent_counts = {4};
+  const CampaignResult result = run_campaign(grid);
+  EXPECT_NE(result.cell(CellKey{core::Algorithm::KnownKFull,
+                                ConfigFamily::RandomAny,
+                                sim::SchedulerKind::Synchronous, 16, 4, 1}),
+            nullptr);
+  EXPECT_EQ(result.cell(CellKey{core::Algorithm::Rendezvous,
+                                ConfigFamily::RandomAny,
+                                sim::SchedulerKind::Synchronous, 16, 4, 1}),
+            nullptr);
+  EXPECT_EQ(result.averages(CellKey{core::Algorithm::Rendezvous,
+                                    ConfigFamily::RandomAny,
+                                    sim::SchedulerKind::Synchronous, 16, 4, 1})
+                .runs,
+            0u);
+}
+
+}  // namespace
+}  // namespace udring::exp

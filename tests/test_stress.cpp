@@ -1,14 +1,18 @@
 // Stress tests: larger instances, many seeds, model invariants checked after
 // every atomic action, and cross-algorithm agreement — the heavyweight
-// randomized sweep the quick unit suites don't cover. Bounded to stay in CI
-// budget (a few seconds total).
+// randomized sweeps the quick unit suites don't cover. The sweeps are
+// campaigns (exp/campaign.h): declarative grids, sharded across workers,
+// with every failing scenario reported at once in the campaign summary.
+// Bounded to stay in CI budget (a few seconds total).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "config/generators.h"
 #include "core/runner.h"
+#include "exp/campaign.h"
 #include "sim/checker.h"
 #include "util/rng.h"
 
@@ -17,26 +21,20 @@ namespace {
 
 TEST(Stress, LargeInstancesAllAlgorithms) {
   // n up to 1500, k up to 75 — far beyond the unit sweeps.
-  struct Case {
-    std::size_t n, k;
-  };
-  for (const Case c : {Case{600, 30}, Case{1000, 50}, Case{1500, 75}}) {
-    Rng rng(c.n);
-    RunSpec spec;
-    spec.node_count = c.n;
-    spec.homes = gen::random_homes(c.n, c.k, rng);
-    for (const Algorithm algorithm :
-         {Algorithm::KnownKFull, Algorithm::KnownKLogMem,
-          Algorithm::UnknownRelaxed}) {
-      const RunReport report = run_algorithm(algorithm, spec);
-      ASSERT_TRUE(report.success)
-          << to_string(algorithm) << " n=" << c.n << " k=" << c.k << ": "
-          << report.failure;
-    }
-  }
+  exp::CampaignGrid grid;
+  grid.algorithms = {Algorithm::KnownKFull, Algorithm::KnownKLogMem,
+                     Algorithm::UnknownRelaxed};
+  grid.instances = {{600, 30}, {1000, 50}, {1500, 75}};
+  grid.seeds = 1;
+  const exp::CampaignResult result = exp::run_campaign(grid);
+  ASSERT_EQ(result.scenarios.size(), 9u);
+  EXPECT_TRUE(result.all_ok()) << result.summary();
 }
 
 TEST(Stress, InvariantsEveryStepUnderEveryScheduler) {
+  // Deliberately not a campaign: this sweep drives the simulator one atomic
+  // action at a time to check model invariants mid-execution, which the
+  // run-to-quiescence engine cannot observe.
   for (const sim::SchedulerKind kind : sim::all_scheduler_kinds()) {
     Rng rng(99);
     RunSpec spec;
@@ -63,56 +61,73 @@ TEST(Stress, InvariantsEveryStepUnderEveryScheduler) {
 }
 
 TEST(Stress, ManySeedsSmallRings) {
-  // Small rings are where edge cases live (k ≈ n, tiny gaps). 200 random
-  // instances across all algorithms.
+  // Small rings are where edge cases live (k ≈ n, tiny gaps). 100 random
+  // (n, k) draws deduped to their unique instances, × 4 seed repetitions
+  // × 2 adversarial scheduler families × 5 algorithms — ≥ 1000 scenarios
+  // in one campaign.
+  exp::CampaignGrid grid;
+  grid.algorithms = {Algorithm::KnownKFull, Algorithm::KnownNFull,
+                     Algorithm::KnownKLogMem, Algorithm::KnownKLogMemStrict,
+                     Algorithm::UnknownRelaxed};
+  grid.schedulers = {sim::SchedulerKind::Random, sim::SchedulerKind::Burst};
   Rng rng(12345);
-  for (int trial = 0; trial < 200; ++trial) {
+  for (int trial = 0; trial < 100; ++trial) {
     const std::size_t n = 3 + static_cast<std::size_t>(rng.below(12));
     const std::size_t k =
         1 + static_cast<std::size_t>(rng.below(std::min<std::uint64_t>(n, 8)));
-    RunSpec spec;
-    spec.node_count = n;
-    spec.homes = gen::random_homes(n, k, rng);
-    spec.scheduler = trial % 2 == 0 ? sim::SchedulerKind::Random
-                                    : sim::SchedulerKind::Burst;
-    spec.seed = static_cast<std::uint64_t>(trial);
-    for (const Algorithm algorithm :
-         {Algorithm::KnownKFull, Algorithm::KnownNFull, Algorithm::KnownKLogMem,
-          Algorithm::KnownKLogMemStrict, Algorithm::UnknownRelaxed}) {
-      const RunReport report = run_algorithm(algorithm, spec);
-      ASSERT_TRUE(report.success)
-          << to_string(algorithm) << " n=" << n << " k=" << k << " trial="
-          << trial << ": " << report.failure;
-    }
+    grid.instances.emplace_back(n, k);
   }
+  // Duplicate (n, k) draws would repeat the same substream; dedupe and let
+  // seed repetitions provide the per-instance diversity instead.
+  std::sort(grid.instances.begin(), grid.instances.end());
+  grid.instances.erase(
+      std::unique(grid.instances.begin(), grid.instances.end()),
+      grid.instances.end());
+  grid.seeds = 4;
+  grid.base_seed = 12345;
+  const exp::CampaignResult result = exp::run_campaign(grid);
+  EXPECT_GE(result.scenarios.size(), 1000u);
+  EXPECT_TRUE(result.all_ok()) << result.summary();
 }
 
 TEST(Stress, DeepSymmetrySweep) {
-  // Every divisor pair (l | k, l | n) at n = 240: the full adaptivity lattice.
+  // Every divisor pair (l | k, l | n) at n = 240: the full adaptivity lattice,
+  // one campaign over the symmetry axis.
   const std::size_t n = 240, k = 24;
-  Rng rng(777);
-  for (const std::size_t l : {2u, 3u, 4u, 6u, 8u, 12u, 24u}) {
-    if (n % l != 0) continue;
-    RunSpec spec;
-    spec.node_count = n;
-    spec.homes = gen::periodic_homes(n, k, l, rng);
-    const RunReport report = run_algorithm(Algorithm::UnknownRelaxed, spec);
-    ASSERT_TRUE(report.success) << "l=" << l << ": " << report.failure;
-    EXPECT_LE(report.total_moves, 14 * k * n / l + k) << "l=" << l;
+  exp::CampaignGrid grid;
+  grid.algorithms = {Algorithm::UnknownRelaxed};
+  grid.families = {exp::ConfigFamily::Periodic};
+  grid.instances = {{n, k}};
+  grid.symmetries = {2, 3, 4, 6, 8, 12, 24};
+  grid.base_seed = 777;
+  const exp::CampaignResult result = exp::run_campaign(grid);
+  ASSERT_EQ(result.scenarios.size(), grid.symmetries.size());
+  EXPECT_TRUE(result.all_ok()) << result.summary();
+  for (const std::size_t l : grid.symmetries) {
+    const exp::Averages avg = result.averages(
+        {Algorithm::UnknownRelaxed, exp::ConfigFamily::Periodic,
+         sim::SchedulerKind::Synchronous, n, k, l});
+    ASSERT_EQ(avg.runs, 1u) << "l=" << l;
+    EXPECT_LE(avg.moves, static_cast<double>(14 * k * n / l + k)) << "l=" << l;
   }
 }
 
 TEST(Stress, WorstCasePackedAtScale) {
   const std::size_t n = 800, k = 100;
-  RunSpec spec;
-  spec.node_count = n;
-  spec.homes = gen::packed_quarter_homes(n, k);
-  for (const Algorithm algorithm :
-       {Algorithm::KnownKFull, Algorithm::KnownKLogMem,
-        Algorithm::UnknownRelaxed}) {
-    const RunReport report = run_algorithm(algorithm, spec);
-    ASSERT_TRUE(report.success) << to_string(algorithm) << ": " << report.failure;
-    EXPECT_GE(report.total_moves, k * n / 16) << "Theorem 1 floor";
+  exp::CampaignGrid grid;
+  grid.algorithms = {Algorithm::KnownKFull, Algorithm::KnownKLogMem,
+                     Algorithm::UnknownRelaxed};
+  grid.families = {exp::ConfigFamily::Packed};
+  grid.instances = {{n, k}};
+  const exp::CampaignResult result = exp::run_campaign(grid);
+  EXPECT_TRUE(result.all_ok()) << result.summary();
+  for (const Algorithm algorithm : grid.algorithms) {
+    const exp::Averages avg = result.averages(
+        {algorithm, exp::ConfigFamily::Packed, sim::SchedulerKind::Synchronous,
+         n, k, 1});
+    ASSERT_EQ(avg.runs, 1u) << to_string(algorithm);
+    EXPECT_GE(avg.moves, static_cast<double>(k * n / 16))
+        << to_string(algorithm) << ": Theorem 1 floor";
   }
 }
 
