@@ -3,6 +3,7 @@
 #include <atomic>
 #include <bit>
 #include <exception>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -81,15 +82,11 @@ namespace {
 /// cross-scheduler columns are paired comparisons, as in the paper's tables.
 [[nodiscard]] std::uint64_t instance_key(const Scenario& s) noexcept {
   std::uint64_t key = 0;
-  const auto fold = [&key](std::uint64_t value) {
-    std::uint64_t stream = key ^ value;
-    key = splitmix64(stream);
-  };
-  fold(static_cast<std::uint64_t>(s.family));
-  fold(s.node_count);
-  fold(s.agent_count);
-  fold(s.symmetry);
-  fold(s.repetition);
+  fold64(key, static_cast<std::uint64_t>(s.family));
+  fold64(key, s.node_count);
+  fold64(key, s.agent_count);
+  fold64(key, s.symmetry);
+  fold64(key, s.repetition);
   return key;
 }
 
@@ -201,35 +198,31 @@ constexpr std::uint64_t kDigestSalt = 0xd16e57eeda7a600dULL;
 
 std::uint64_t CampaignResult::digest() const {
   std::uint64_t state = kDigestSalt;
-  const auto mix = [&state](std::uint64_t value) {
-    std::uint64_t stream = state ^ value;
-    state = splitmix64(stream);  // full avalanche per folded word
-  };
-  mix(scenarios.size());
+  fold64(state, scenarios.size());
   for (const ScenarioResult& r : results) {
-    mix(r.success ? 1 : 0);
-    mix(r.total_moves);
-    mix(r.makespan);
-    mix(r.max_memory_bits);
-    mix(r.actions);
-    mix(r.final_positions.size());
-    for (const std::size_t position : r.final_positions) mix(position);
+    fold64(state, r.success ? 1 : 0);
+    fold64(state, r.total_moves);
+    fold64(state, r.makespan);
+    fold64(state, r.max_memory_bits);
+    fold64(state, r.actions);
+    fold64(state, r.final_positions.size());
+    for (const std::size_t position : r.final_positions) fold64(state, position);
   }
   for (const auto& [key, stats] : cells) {
-    mix(static_cast<std::uint64_t>(key.algorithm));
-    mix(static_cast<std::uint64_t>(key.family));
-    mix(static_cast<std::uint64_t>(key.scheduler));
-    mix(key.node_count);
-    mix(key.agent_count);
-    mix(key.symmetry);
-    mix(stats.runs);
-    mix(stats.successes);
-    mix(std::bit_cast<std::uint64_t>(stats.moves_sum));
-    mix(std::bit_cast<std::uint64_t>(stats.makespan_sum));
-    mix(std::bit_cast<std::uint64_t>(stats.memory_bits_sum));
-    mix(stats.actions_sum);
+    fold64(state, static_cast<std::uint64_t>(key.algorithm));
+    fold64(state, static_cast<std::uint64_t>(key.family));
+    fold64(state, static_cast<std::uint64_t>(key.scheduler));
+    fold64(state, key.node_count);
+    fold64(state, key.agent_count);
+    fold64(state, key.symmetry);
+    fold64(state, stats.runs);
+    fold64(state, stats.successes);
+    fold64(state, std::bit_cast<std::uint64_t>(stats.moves_sum));
+    fold64(state, std::bit_cast<std::uint64_t>(stats.makespan_sum));
+    fold64(state, std::bit_cast<std::uint64_t>(stats.memory_bits_sum));
+    fold64(state, stats.actions_sum);
   }
-  mix(failures);
+  fold64(state, failures);
   return state;
 }
 
@@ -262,30 +255,34 @@ std::string CampaignResult::summary() const {
   return text.str();
 }
 
-CampaignResult run_campaign(const CampaignGrid& grid,
-                            const CampaignOptions& options) {
-  CampaignResult result;
-  result.scenarios = expand(grid);
-  result.results.resize(result.scenarios.size());
-
-  std::size_t workers = options.workers;
+std::size_t parallel_for_index(std::size_t count, std::size_t workers,
+                               const std::function<void(std::size_t)>& fn) {
   if (workers == 0) {
     workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  workers = std::max<std::size_t>(
-      1, std::min(workers, std::max<std::size_t>(1, result.scenarios.size())));
-  result.workers_used = workers;
+  workers =
+      std::max<std::size_t>(1, std::min(workers, std::max<std::size_t>(1, count)));
 
-  // Shard by atomic work-stealing over scenario indices. Each scenario owns
-  // its results slot, so the parallel phase shares no mutable state beyond
-  // the cursor; all order-sensitive folding happens after the join.
+  // Shard by atomic work-stealing over indices. Each index owns its output
+  // slot, so the parallel phase shares no mutable state beyond the cursor;
+  // all order-sensitive folding happens after the join. An exception from fn
+  // would std::terminate the process if it escaped a worker thread, so the
+  // first one is captured and rethrown on the calling thread after the join
+  // (the remaining workers drain the cursor and stop).
   std::atomic<std::size_t> cursor{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
   const auto work = [&] {
     for (std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-         i < result.scenarios.size();
-         i = cursor.fetch_add(1, std::memory_order_relaxed)) {
-      result.results[i] = run_one(result.scenarios[i], grid,
-                                  options.record_final_positions);
+         i < count; i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        cursor.store(count, std::memory_order_relaxed);  // stop all workers
+        return;
+      }
     }
   };
   if (workers == 1) {
@@ -296,6 +293,21 @@ CampaignResult run_campaign(const CampaignGrid& grid,
     for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
     for (std::thread& thread : pool) thread.join();
   }
+  if (first_error) std::rethrow_exception(first_error);
+  return workers;
+}
+
+CampaignResult run_campaign(const CampaignGrid& grid,
+                            const CampaignOptions& options) {
+  CampaignResult result;
+  result.scenarios = expand(grid);
+  result.results.resize(result.scenarios.size());
+
+  result.workers_used = parallel_for_index(
+      result.scenarios.size(), options.workers, [&](std::size_t i) {
+        result.results[i] = run_one(result.scenarios[i], grid,
+                                    options.record_final_positions);
+      });
 
   // Deterministic aggregation: fold in scenario-index order, so cell sums
   // (floating point, order-sensitive) are bitwise identical at any worker

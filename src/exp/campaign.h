@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -180,6 +181,18 @@ struct CampaignResult {
   /// the same grid compare byte-identical via this string.
   [[nodiscard]] std::string summary() const;
 };
+
+/// The engine's sharding primitive, shared with the schedule explorer
+/// (src/explore): calls fn(i) for every i in [0, count) across a pool of
+/// worker threads with atomic work stealing. `workers` follows
+/// CampaignOptions::workers semantics (0 = hardware concurrency, clamped to
+/// count); returns the worker count actually used. fn must be safe to call
+/// concurrently on distinct indices and should write only to index-owned
+/// state — determinism then comes for free by folding results in index
+/// order after this returns. If fn throws, the pool stops early and the
+/// first exception is rethrown on the calling thread after the join.
+std::size_t parallel_for_index(std::size_t count, std::size_t workers,
+                               const std::function<void(std::size_t)>& fn);
 
 /// Runs every scenario of `grid` across a worker pool and aggregates.
 /// A scenario's randomness is Rng(grid.base_seed).substream(key), where the

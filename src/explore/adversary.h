@@ -1,0 +1,118 @@
+// udring/explore/adversary.h
+//
+// Adversarial schedulers. The five sim/ families sample the fair-schedule
+// quantifier generically; these three *search* for trouble by reading the
+// observable simulator state (via Scheduler::attach) and steering toward the
+// executions where asynchrony bugs live:
+//
+//  - LinkDelayScheduler:      maximizes link delay. Agents already on a link
+//                             stay there as long as anything else can act;
+//                             when only in-transit agents remain, it drains
+//                             the most crowded link first. Queues grow to
+//                             their worst case, so every queue-order
+//                             assumption is exercised.
+//  - BurstPartitionScheduler: freezes half the agents while the other half
+//                             runs a long exclusive burst, then swaps —
+//                             a repeatedly partitioned ring, the pattern
+//                             that exposes stale-observation bugs.
+//  - FifoStressScheduler:     a greedy frontrunner: always advances the
+//                             most-advanced agent (highest phase, then most
+//                             moves), maximally starving laggards. In
+//                             Algorithm 3 this rushes deployed followers
+//                             around the ring while their leader crawls —
+//                             exactly the delivery order whose safety rests
+//                             on the FIFO non-overtaking property (see
+//                             known_k_logmem.h). Under the non-FIFO fault
+//                             injection it is the scheduler that breaks
+//                             KnownKLogMemStrict fastest.
+//
+// All three are deterministic given their seed and remain fair on
+// terminating workloads (a starved agent acts once its competitors park or
+// halt). ExploreSchedulerKind unifies them with the sim/ families so record/
+// replay tests, fuzz pools and sweeps can treat all schedulers uniformly.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace udring::explore {
+
+class LinkDelayScheduler final : public sim::Scheduler {
+ public:
+  void attach(const sim::Simulator& sim) override { sim_ = &sim; }
+  void reset(std::size_t agent_count) override;
+  sim::AgentId pick(const std::vector<sim::AgentId>& enabled) override;
+  [[nodiscard]] std::string_view name() const override { return "link-delay"; }
+
+ private:
+  const sim::Simulator* sim_ = nullptr;
+};
+
+class BurstPartitionScheduler final : public sim::Scheduler {
+ public:
+  /// Partition membership is drawn from `seed`; each side runs up to `burst`
+  /// consecutive actions before the partition flips.
+  explicit BurstPartitionScheduler(std::uint64_t seed, std::size_t burst = 24)
+      : seed_(seed), burst_(burst) {}
+
+  void reset(std::size_t agent_count) override;
+  sim::AgentId pick(const std::vector<sim::AgentId>& enabled) override;
+  [[nodiscard]] std::string_view name() const override { return "burst-partition"; }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t burst_;
+  std::vector<bool> side_;       // agent id -> partition side
+  bool active_side_ = false;
+  std::size_t remaining_ = 0;    // actions left in the current burst
+};
+
+class FifoStressScheduler final : public sim::Scheduler {
+ public:
+  void attach(const sim::Simulator& sim) override { sim_ = &sim; }
+  void reset(std::size_t agent_count) override;
+  sim::AgentId pick(const std::vector<sim::AgentId>& enabled) override;
+  [[nodiscard]] std::string_view name() const override { return "fifo-stress"; }
+
+ private:
+  const sim::Simulator* sim_ = nullptr;
+};
+
+/// The sim/ scheduler families plus the adversaries: one namespace of
+/// scheduler kinds for the explorer (record/replay sweeps, fuzz pools).
+enum class ExploreSchedulerKind {
+  RoundRobin,
+  Random,
+  Synchronous,
+  Priority,
+  Burst,
+  LinkDelay,
+  BurstPartition,
+  FifoStress,
+};
+
+[[nodiscard]] std::string_view to_string(ExploreSchedulerKind kind) noexcept;
+
+/// Inverse of to_string. Throws std::invalid_argument on an unknown name.
+[[nodiscard]] ExploreSchedulerKind explore_scheduler_from_name(
+    std::string_view name);
+
+/// All kinds, for INSTANTIATE_TEST_SUITE_P sweeps and fuzz pools.
+[[nodiscard]] const std::vector<ExploreSchedulerKind>& all_explore_scheduler_kinds();
+
+/// Only the three adversaries.
+[[nodiscard]] const std::vector<ExploreSchedulerKind>& adversary_scheduler_kinds();
+
+/// Factory covering every ExploreSchedulerKind (delegates the sim/ kinds to
+/// sim::make_scheduler). Adversaries self-attach when the run starts.
+[[nodiscard]] std::unique_ptr<sim::Scheduler> make_explore_scheduler(
+    ExploreSchedulerKind kind, std::uint64_t seed, std::size_t agent_count);
+
+}  // namespace udring::explore

@@ -1,0 +1,170 @@
+#include "explore/fuzz.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "explore/replay.h"
+#include "sim/checker.h"
+
+namespace udring::explore {
+
+namespace {
+
+/// Steps `sim` to completion under `scheduler` with per-action invariant
+/// checking. Shared by the fuzzing and replay paths so both stop at the
+/// same action with the same verdict — that is what makes a failing trace's
+/// digest reproducible.
+ReplayOutcome drive_checked(sim::Simulator& sim, sim::Scheduler& scheduler,
+                            core::Algorithm algorithm) {
+  ReplayOutcome out;
+  scheduler.attach(sim);
+  scheduler.reset(sim.agent_count());
+  std::size_t min_tokens = sim.ring().total_tokens();
+  while (sim.step(scheduler)) {
+    const sim::CheckResult invariants =
+        sim::check_model_invariants(sim, min_tokens);
+    min_tokens = sim.ring().total_tokens();
+    if (!invariants) {
+      out.failed = true;
+      out.reason = "invariant: " + invariants.reason;
+      break;
+    }
+    if (sim.actions_executed() >= sim.max_actions() && !sim.quiescent()) {
+      out.failed = true;
+      out.reason = "action limit reached (livelock or broken algorithm)";
+      break;
+    }
+  }
+  if (!out.failed && sim.quiescent()) {
+    const sim::CheckResult goal = core::evaluate_goal(algorithm, sim);
+    if (!goal) {
+      out.failed = true;
+      out.reason = "goal: " + goal.reason;
+    }
+  }
+  out.actions = sim.actions_executed();
+  out.digest = sim.log().digest();
+  return out;
+}
+
+[[nodiscard]] std::unique_ptr<sim::Simulator> build_sim(
+    core::Algorithm algorithm, std::size_t node_count,
+    const std::vector<std::size_t>& homes, bool fault_non_fifo,
+    std::size_t fault_min_phase, std::size_t max_actions) {
+  core::RunSpec spec;
+  spec.node_count = node_count;
+  spec.homes = homes;
+  spec.sim_options.record_events = true;
+  spec.sim_options.max_actions = max_actions;
+  spec.sim_options.fault_non_fifo_links = fault_non_fifo;
+  spec.sim_options.fault_non_fifo_min_phase = fault_min_phase;
+  return core::make_simulator(algorithm, spec);
+}
+
+}  // namespace
+
+ScheduleTrace record_trace(core::Algorithm algorithm, std::size_t node_count,
+                           std::vector<std::size_t> homes,
+                           ExploreSchedulerKind kind, std::uint64_t seed,
+                           bool fault_non_fifo, std::size_t fault_min_phase,
+                           std::size_t max_actions) {
+  ScheduleTrace trace;
+  trace.algorithm = algorithm;
+  trace.node_count = node_count;
+  trace.homes = std::move(homes);
+  trace.generator = std::string(to_string(kind));
+  trace.seed = seed;
+  trace.fault_non_fifo = fault_non_fifo;
+  trace.fault_min_phase = fault_min_phase;
+
+  auto sim = build_sim(algorithm, node_count, trace.homes, fault_non_fifo,
+                       fault_min_phase, max_actions);
+  RecordingScheduler recorder(
+      make_explore_scheduler(kind, seed, trace.homes.size()));
+  const ReplayOutcome outcome = drive_checked(*sim, recorder, algorithm);
+  trace.choices = recorder.choices();
+  trace.expected_digest = outcome.digest;
+  trace.note = outcome.failed ? outcome.reason : "ok";
+  return trace;
+}
+
+ReplayOutcome replay_trace(const ScheduleTrace& trace, std::size_t max_actions) {
+  auto sim = build_sim(trace.algorithm, trace.node_count, trace.homes,
+                       trace.fault_non_fifo, trace.fault_min_phase, max_actions);
+  ReplayScheduler replayer(trace.choices);
+  return drive_checked(*sim, replayer, trace.algorithm);
+}
+
+FuzzIteration fuzz_iteration(const FuzzOptions& options,
+                             std::uint64_t iteration) {
+  Rng rng = Rng(options.base_seed).substream(iteration);
+
+  if (!options.fixed_homes.empty() &&
+      options.fixed_nodes < options.fixed_homes.size()) {
+    throw std::invalid_argument(
+        "fuzz_iteration: fixed_homes requires fixed_nodes >= k");
+  }
+  std::size_t n = options.fixed_nodes;
+  std::vector<std::size_t> homes = options.fixed_homes;
+  if (homes.empty()) {
+    n = static_cast<std::size_t>(rng.between(
+        options.min_nodes, std::max(options.min_nodes, options.max_nodes)));
+    const std::size_t k_hi =
+        std::min(std::max(options.min_agents, options.max_agents), n);
+    const std::size_t k = static_cast<std::size_t>(
+        rng.between(std::min(options.min_agents, k_hi), k_hi));
+    homes = exp::draw_homes(options.family, n, k, 1, rng);
+  }
+
+  const std::vector<ExploreSchedulerKind>& pool =
+      options.schedulers.empty() ? all_explore_scheduler_kinds()
+                                 : options.schedulers;
+  const ExploreSchedulerKind kind = pool[rng.index(pool.size())];
+  const std::uint64_t scheduler_seed = rng();
+
+  ScheduleTrace trace = record_trace(
+      options.algorithm, n, std::move(homes), kind, scheduler_seed,
+      options.fault_non_fifo, options.fault_min_phase, options.max_actions);
+  FuzzIteration out;
+  out.actions = trace.choices.size();  // one pick per atomic action
+  out.digest = trace.expected_digest;
+  if (trace.note == "ok") return out;
+  FuzzFailure failure;
+  failure.reason = trace.note;
+  failure.at_action = trace.choices.size();
+  failure.iteration = iteration;
+  failure.trace = std::move(trace);
+  out.failure = std::move(failure);
+  return out;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  report.iterations = options.iterations;
+
+  std::vector<FuzzIteration> slots(options.iterations);
+  exp::parallel_for_index(options.iterations, options.workers, [&](std::size_t i) {
+    slots[i] = fuzz_iteration(options, i);
+  });
+
+  std::uint64_t state = 0xf0220feed5eedULL;  // "fuzz-feed" domain
+  fold64(state, options.iterations);
+  for (const FuzzIteration& slot : slots) {
+    fold64(state, slot.failure ? 1 : 0);
+    fold64(state, slot.actions);
+    fold64(state, slot.digest);
+    if (slot.failure) {
+      ++report.failures;
+      fold64(state, slot.failure->at_action);
+      if (report.failure_samples.size() < options.max_recorded_failures) {
+        report.failure_samples.push_back(*slot.failure);
+      }
+    }
+    report.total_actions += slot.actions;
+  }
+  report.digest = state;
+  return report;
+}
+
+}  // namespace udring::explore

@@ -1,0 +1,123 @@
+// udring/explore/fuzz.h
+//
+// The randomized schedule fuzzer: the test suite's search axis.
+//
+// One fuzz iteration draws an instance (n, k, homes) and a scheduler from
+// the pool, runs the simulator one atomic action at a time under a
+// RecordingScheduler, and evaluates check_model_invariants after *every*
+// action plus the algorithm's goal oracle at quiescence. Any violation
+// yields a replayable ScheduleTrace (hand it to shrink_trace for the
+// minimal version). replay_trace is the inverse: deterministically re-runs
+// a trace under the same per-action checking and reports the event-log
+// digest, so recorded traces are self-verifying artifacts.
+//
+// run_fuzz shards iterations across the campaign engine's worker pool
+// (exp::parallel_for_index). Iteration i's randomness is
+// Rng(base_seed).substream(i) — independent of worker count and execution
+// order — and results fold in index order, so a fuzz campaign's digest is
+// byte-identical at any parallelism, exactly like a measurement campaign.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "exp/campaign.h"
+#include "explore/adversary.h"
+#include "explore/trace.h"
+
+namespace udring::explore {
+
+struct FuzzOptions {
+  core::Algorithm algorithm = core::Algorithm::KnownKFull;
+  exp::ConfigFamily family = exp::ConfigFamily::RandomAny;
+  /// Instance size ranges; each iteration draws n then k uniformly.
+  std::size_t min_nodes = 8, max_nodes = 24;
+  std::size_t min_agents = 2, max_agents = 6;
+  /// Point the fuzzer at one fixed instance instead of drawing sizes and
+  /// homes (the "search schedules for THIS configuration" mode, e.g.
+  /// gen::logmem_stress_homes()). Non-empty = use it; sizes above ignored.
+  std::size_t fixed_nodes = 0;
+  std::vector<std::size_t> fixed_homes;
+  /// Scheduler pool the iteration draws from; empty = all explore kinds.
+  std::vector<ExploreSchedulerKind> schedulers;
+  /// Enable the non-FIFO fault injection (SimOptions::fault_non_fifo_links).
+  bool fault_non_fifo = false;
+  /// Fault window (SimOptions::fault_non_fifo_min_phase).
+  std::size_t fault_min_phase = 0;
+  /// Per-run action cap; 0 = the simulator's auto limit.
+  std::size_t max_actions = 0;
+  std::size_t iterations = 100;
+  std::uint64_t base_seed = 1;
+  /// Worker threads (exp::CampaignOptions::workers semantics).
+  std::size_t workers = 0;
+  /// Failures kept verbatim in the report (all are counted).
+  std::size_t max_recorded_failures = 8;
+};
+
+struct FuzzFailure {
+  ScheduleTrace trace;     ///< replayable repro (digest + reason filled in)
+  std::string reason;      ///< checker verdict / oracle failure / action limit
+  std::size_t at_action = 0;  ///< actions executed when the failure surfaced
+  std::uint64_t iteration = 0;
+};
+
+struct FuzzReport {
+  std::size_t iterations = 0;
+  std::size_t total_actions = 0;  ///< fuzzer steps across all iterations
+  std::size_t failures = 0;
+  std::vector<FuzzFailure> failure_samples;  ///< first N, iteration order
+  /// Order-sensitive digest over every iteration's outcome; equality at
+  /// different worker counts is the determinism contract.
+  std::uint64_t digest = 0;
+};
+
+/// Outcome of deterministically re-running a trace (see replay_trace).
+struct ReplayOutcome {
+  bool failed = false;
+  std::string reason;
+  std::uint64_t digest = 0;   ///< event-log digest at the stopping point
+  std::size_t actions = 0;
+};
+
+/// One iteration's outcome: the failure (if any) plus the fuzzer step count
+/// (every atomic action is one step).
+struct FuzzIteration {
+  std::optional<FuzzFailure> failure;
+  std::size_t actions = 0;
+  std::uint64_t digest = 0;  ///< event-log digest of the run (pass or fail)
+};
+
+/// Runs fuzz iteration `iteration` of `options`; a failure carries the
+/// recorded trace. Deterministic in (options, iteration).
+[[nodiscard]] FuzzIteration fuzz_iteration(const FuzzOptions& options,
+                                           std::uint64_t iteration);
+
+/// Runs options.iterations fuzz iterations across the worker pool.
+[[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& options);
+
+/// Replays `trace` with per-action invariant checking: steps until
+/// quiescence, an invariant violation, or the action limit; at quiescence
+/// evaluates the algorithm's goal oracle. Does NOT compare against
+/// trace.expected_digest — callers assert that (tests) or refresh it
+/// (recording, shrinking).
+[[nodiscard]] ReplayOutcome replay_trace(const ScheduleTrace& trace,
+                                         std::size_t max_actions = 0);
+
+/// Records one complete run of `trace`'s instance under `kind` and returns
+/// the resulting trace with choices, digest and note filled in (the
+/// recording path of the record/replay pair; also the corpus generator).
+[[nodiscard]] ScheduleTrace record_trace(core::Algorithm algorithm,
+                                         std::size_t node_count,
+                                         std::vector<std::size_t> homes,
+                                         ExploreSchedulerKind kind,
+                                         std::uint64_t seed,
+                                         bool fault_non_fifo = false,
+                                         std::size_t fault_min_phase = 0,
+                                         std::size_t max_actions = 0);
+
+}  // namespace udring::explore

@@ -1,0 +1,74 @@
+// udring/explore/replay.h
+//
+// Record/replay schedulers.
+//
+// RecordingScheduler wraps any scheduler and writes down, for every pick,
+// the chosen agent's index within the *sorted* enabled set. ReplayScheduler
+// consumes such a sequence and reproduces the picks. Because the simulator
+// is deterministic given the pick sequence, record → replay reproduces the
+// execution byte-identically (pinned by the event-log digest in
+// tests/test_replay.cpp, for every scheduler family).
+//
+// The sorted-index encoding is deliberate: it is independent of the
+// simulator's internal enabled-set ordering, and it keeps a *mutated* trace
+// meaningful — the shrinker deletes and zeroes entries, the replay reduces
+// each entry modulo the current enabled count, and an exhausted trace pads
+// with index 0 (a fixed fair fallback), so every candidate the shrinker
+// tries is a complete, valid schedule.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace udring::explore {
+
+class RecordingScheduler final : public sim::Scheduler {
+ public:
+  explicit RecordingScheduler(std::unique_ptr<sim::Scheduler> inner);
+
+  void attach(const sim::Simulator& sim) override { inner_->attach(sim); }
+  void reset(std::size_t agent_count) override;
+  sim::AgentId pick(const std::vector<sim::AgentId>& enabled) override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::uint64_t rounds() const override { return inner_->rounds(); }
+
+  /// The recorded choice sequence so far (one entry per pick since reset).
+  [[nodiscard]] const std::vector<std::uint32_t>& choices() const noexcept {
+    return choices_;
+  }
+
+ private:
+  std::unique_ptr<sim::Scheduler> inner_;
+  std::string name_;
+  std::vector<std::uint32_t> choices_;
+  std::vector<sim::AgentId> sorted_;  // scratch, reused across picks
+};
+
+class ReplayScheduler final : public sim::Scheduler {
+ public:
+  explicit ReplayScheduler(std::vector<std::uint32_t> choices)
+      : choices_(std::move(choices)) {}
+
+  void reset(std::size_t agent_count) override;
+  sim::AgentId pick(const std::vector<sim::AgentId>& enabled) override;
+  [[nodiscard]] std::string_view name() const override { return "replay"; }
+
+  /// Picks served so far (> choices().size() means the fallback padded).
+  [[nodiscard]] std::size_t consumed() const noexcept { return cursor_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& choices() const noexcept {
+    return choices_;
+  }
+
+ private:
+  std::vector<std::uint32_t> choices_;
+  std::size_t cursor_ = 0;
+  std::vector<sim::AgentId> sorted_;  // scratch, reused across picks
+};
+
+}  // namespace udring::explore

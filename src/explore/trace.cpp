@@ -1,0 +1,155 @@
+#include "explore/trace.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace udring::explore {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::invalid_argument("ScheduleTrace::parse: " + what);
+}
+
+[[nodiscard]] std::uint64_t parse_u64(std::istringstream& line,
+                                      const std::string& key) {
+  std::uint64_t value = 0;
+  if (!(line >> value)) malformed("bad value for '" + key + "'");
+  std::string rest;
+  if (line >> rest) malformed("trailing '" + rest + "' after '" + key + "'");
+  return value;
+}
+
+/// The whole remainder of the line must be numeric: a corrupt token in the
+/// middle of a homes/choices list is a parse error, never a silent
+/// truncation (a truncated choice list would replay a different schedule).
+void expect_list_consumed(std::istringstream& line, const std::string& key) {
+  if (line.eof()) return;
+  line.clear();
+  std::string rest;
+  line >> rest;
+  malformed("bad token '" + rest + "' in '" + key + "' list");
+}
+
+}  // namespace
+
+const std::vector<core::Algorithm>& all_algorithms() {
+  static const std::vector<core::Algorithm> algorithms = {
+      core::Algorithm::KnownKFull,    core::Algorithm::KnownNFull,
+      core::Algorithm::KnownKLogMem,  core::Algorithm::KnownKLogMemStrict,
+      core::Algorithm::UnknownRelaxed, core::Algorithm::Rendezvous,
+  };
+  return algorithms;
+}
+
+core::Algorithm algorithm_from_name(std::string_view name) {
+  for (const core::Algorithm algorithm : all_algorithms()) {
+    if (core::to_string(algorithm) == name) return algorithm;
+  }
+  throw std::invalid_argument("algorithm_from_name: unknown algorithm '" +
+                              std::string(name) + "'");
+}
+
+std::string ScheduleTrace::to_text() const {
+  std::ostringstream out;
+  out << kMagic << " v" << kVersion << '\n';
+  out << "algorithm " << core::to_string(algorithm) << '\n';
+  out << "nodes " << node_count << '\n';
+  out << "homes";
+  for (const std::size_t home : homes) out << ' ' << home;
+  out << '\n';
+  if (!generator.empty()) out << "generator " << generator << '\n';
+  out << "seed " << seed << '\n';
+  if (fault_non_fifo) out << "fault-non-fifo 1\n";
+  if (fault_min_phase != 0) out << "fault-min-phase " << fault_min_phase << '\n';
+  if (!note.empty()) out << "note " << note << '\n';
+  out << "choices";
+  for (const std::uint32_t choice : choices) out << ' ' << choice;
+  out << '\n';
+  out << "digest " << expected_digest << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+ScheduleTrace ScheduleTrace::parse(std::string_view text) {
+  ScheduleTrace trace;
+  std::istringstream in{std::string(text)};
+  std::string line;
+
+  if (!std::getline(in, line)) malformed("empty input");
+  {
+    std::istringstream header(line);
+    std::string magic, version;
+    header >> magic >> version;
+    if (magic != kMagic) malformed("missing '" + std::string(kMagic) + "' header");
+    if (version != "v1") malformed("unsupported version '" + version + "'");
+  }
+
+  bool saw_algorithm = false, saw_choices = false, saw_digest = false,
+       saw_end = false;
+  std::unordered_set<std::string> seen_keys;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    // Every key appears at most once: a duplicate (a botched hand edit, a
+    // merge conflict) would silently concatenate a list or overwrite a
+    // scalar and replay a schedule matching neither original.
+    if (key != "end" && !seen_keys.insert(key).second) {
+      malformed("duplicate key '" + key + "'");
+    }
+    if (key == "algorithm") {
+      std::string name;
+      fields >> name;
+      trace.algorithm = algorithm_from_name(name);
+      saw_algorithm = true;
+    } else if (key == "nodes") {
+      trace.node_count = static_cast<std::size_t>(parse_u64(fields, key));
+    } else if (key == "homes") {
+      std::uint64_t home = 0;
+      while (fields >> home) trace.homes.push_back(static_cast<std::size_t>(home));
+      expect_list_consumed(fields, key);
+    } else if (key == "generator") {
+      fields >> trace.generator;
+    } else if (key == "seed") {
+      trace.seed = parse_u64(fields, key);
+    } else if (key == "fault-non-fifo") {
+      trace.fault_non_fifo = parse_u64(fields, key) != 0;
+    } else if (key == "fault-min-phase") {
+      trace.fault_min_phase = static_cast<std::size_t>(parse_u64(fields, key));
+    } else if (key == "note") {
+      std::getline(fields, trace.note);
+      if (!trace.note.empty() && trace.note.front() == ' ') trace.note.erase(0, 1);
+    } else if (key == "choices") {
+      std::uint32_t choice = 0;
+      while (fields >> choice) trace.choices.push_back(choice);
+      expect_list_consumed(fields, key);
+      saw_choices = true;
+    } else if (key == "digest") {
+      trace.expected_digest = parse_u64(fields, key);
+      saw_digest = true;
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    } else {
+      malformed("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_end) malformed("missing 'end' terminator");
+  if (!saw_algorithm) malformed("missing 'algorithm' line");
+  if (!saw_choices) malformed("missing 'choices' line");
+  if (!saw_digest) malformed("missing 'digest' line");
+  if (trace.node_count == 0) malformed("missing or zero 'nodes'");
+  if (trace.homes.empty()) malformed("missing 'homes'");
+  if (trace.homes.size() > trace.node_count) malformed("more homes than nodes");
+  std::unordered_set<std::size_t> distinct;
+  for (const std::size_t home : trace.homes) {
+    if (home >= trace.node_count) malformed("home node out of range");
+    if (!distinct.insert(home).second) malformed("duplicate home node");
+  }
+  return trace;
+}
+
+}  // namespace udring::explore

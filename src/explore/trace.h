@@ -1,0 +1,61 @@
+// udring/explore/trace.h
+//
+// ScheduleTrace: a serialized schedule. The simulator is deterministic given
+// the initial configuration and the scheduler's pick sequence, so one small
+// text artifact — the instance coordinates plus the list of choices —
+// reproduces any execution byte-identically. Choices are recorded as the
+// picked agent's index within the *sorted* enabled set; that encoding is
+// what makes delta-debugging work: a trace with entries deleted is still a
+// meaningful schedule (the replay scheduler reduces each entry modulo the
+// current enabled count and pads an exhausted trace with index 0).
+//
+// The text format is line-oriented, versioned, and diff-friendly; failing
+// fuzz schedules are shrunk to traces of this form and uploaded as CI
+// artifacts, and tests/schedules/ keeps a regression corpus of them. The
+// recorded event-log digest makes replay self-checking: a replay that does
+// not reproduce the digest is flagged, not silently accepted.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/runner.h"
+
+namespace udring::explore {
+
+struct ScheduleTrace {
+  static constexpr std::string_view kMagic = "udring-trace";
+  static constexpr std::size_t kVersion = 1;
+
+  core::Algorithm algorithm = core::Algorithm::KnownKFull;
+  std::size_t node_count = 0;
+  std::vector<std::size_t> homes;     ///< initial configuration, verbatim
+  std::string generator;              ///< scheduler that produced it (informational)
+  std::uint64_t seed = 0;             ///< generator seed (informational)
+  bool fault_non_fifo = false;        ///< replay with the non-FIFO fault injected
+  std::size_t fault_min_phase = 0;    ///< SimOptions::fault_non_fifo_min_phase
+  std::vector<std::uint32_t> choices; ///< index into the sorted enabled set
+  std::uint64_t expected_digest = 0;  ///< event-log digest the replay must match
+  std::string note;                   ///< free text (e.g. the failure reason)
+
+  /// Serializes to the versioned text format (ends with "end\n").
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parses a trace produced by to_text(). Unknown keys are rejected, as is
+  /// a missing header or agent/node inconsistency (homes must be distinct
+  /// and in range). Throws std::invalid_argument with a line diagnostic.
+  [[nodiscard]] static ScheduleTrace parse(std::string_view text);
+};
+
+/// Inverse of core::to_string(Algorithm). Throws std::invalid_argument on an
+/// unknown name.
+[[nodiscard]] core::Algorithm algorithm_from_name(std::string_view name);
+
+/// Every core::Algorithm value (for sweeps and name lookup).
+[[nodiscard]] const std::vector<core::Algorithm>& all_algorithms();
+
+}  // namespace udring::explore

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "util/rng.h"
+
 namespace udring::sim {
 
 std::string_view to_string(EventKind kind) noexcept {
@@ -26,6 +28,22 @@ std::ostream& operator<<(std::ostream& out, const Event& event) {
     out << " (" << event.detail << ')';
   }
   return out;
+}
+
+std::uint64_t EventLog::digest() const noexcept {
+  // Domain salt ("event feed" in hex-ish) keeps this digest space separate
+  // from the campaign-result and substream domains.
+  std::uint64_t state = 0xe7e27feed1d16e57ULL;
+  fold64(state, events_.size());
+  for (const Event& event : events_) {
+    fold64(state, event.action_index);
+    fold64(state, static_cast<std::uint64_t>(event.kind));
+    fold64(state, event.agent);
+    fold64(state, event.node);
+    fold64(state, event.causal_ts);
+    fold64(state, event.detail);
+  }
+  return state;
 }
 
 std::vector<Event> EventLog::of_kind(EventKind kind) const {

@@ -54,6 +54,12 @@ class EventLog {
 
   [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
 
+  /// Order-sensitive 64-bit digest of every recorded event. Two executions
+  /// with equal digests performed the same actions in the same order with
+  /// the same causal stamps — this is the record/replay equality check
+  /// (src/explore). Platform-stable: integers folded through splitmix64.
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+
   /// All events of one kind, in order.
   [[nodiscard]] std::vector<Event> of_kind(EventKind kind) const;
 

@@ -34,9 +34,18 @@
 
 namespace udring::sim {
 
+class Simulator;
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
+
+  /// Lets a scheduler observe the simulator it is about to drive. Called by
+  /// Simulator::run (and the explore harnesses) before reset(). The default
+  /// schedulers ignore it; the adversarial schedulers in src/explore use the
+  /// observable state (statuses, queue lengths, metrics) to steer their
+  /// choices. The reference is valid for the duration of the run.
+  virtual void attach(const Simulator& sim) { (void)sim; }
 
   /// Called by Simulator::run before the first action.
   virtual void reset(std::size_t agent_count) { (void)agent_count; }

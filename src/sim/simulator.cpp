@@ -68,6 +68,7 @@ Simulator::Simulator(std::size_t node_count, std::vector<NodeId> homes,
 }
 
 RunResult Simulator::run(Scheduler& scheduler) {
+  scheduler.attach(*this);
   scheduler.reset(agents_.size());
   RunResult result;
   while (!enabled_.empty()) {
@@ -150,10 +151,13 @@ void Simulator::execute_action(AgentId id) {
   std::uint64_t ts = c.last_ts;
   if (arrival) {
     auto& queue = queues_[c.node];
-    if (queue.empty() || queue.front() != id) {
+    if (!queue.empty() && queue.front() == id) {
+      queue.pop_front();
+    } else if (options_.fault_non_fifo_links && queue.remove(id)) {
+      // Fault injection: the agent jumped the queue (see SimOptions).
+    } else {
       throw std::logic_error("Simulator: scheduled a non-head in-transit agent");
     }
-    queue.pop_front();
     ts = std::max(ts, queue_arrival_ts_[c.node]);
     if (!queue.empty()) refresh_enabled(queue.front());
   } else if (!c.mailbox.empty()) {
@@ -220,6 +224,14 @@ void Simulator::execute_action(AgentId id) {
   }
 
   refresh_enabled(id);
+  if (options_.fault_non_fifo_links) {
+    // Overtaking eligibility depends on whether queue *predecessors* have
+    // acted, which any action can change; the cheap full sweep is fine on
+    // this test-only path.
+    for (AgentId other = 0; other < agents_.size(); ++other) {
+      refresh_enabled(other);
+    }
+  }
 }
 
 bool Simulator::should_be_enabled(AgentId id) const {
@@ -227,7 +239,25 @@ bool Simulator::should_be_enabled(AgentId id) const {
   switch (c.status) {
     case AgentStatus::InTransit: {
       const auto& queue = queues_[c.node];
-      return !queue.empty() && queue.front() == id;
+      if (queue.empty()) return false;
+      if (queue.front() == id) return true;
+      if (!options_.fault_non_fifo_links) return false;
+      // Fault injection: enabled from any position, but never overtaking an
+      // agent that has not yet had its first action (the initial occupant of
+      // its home buffer) — that would break the home-node-first rule, which
+      // is not the guarantee under test — and only within the configured
+      // phase window.
+      if (metrics_.agent(id).phase < options_.fault_non_fifo_min_phase) {
+        return false;
+      }
+      for (const AgentId member : queue) {
+        if (member == id) return true;
+        if (metrics_.agent(member).actions == 0 ||
+            metrics_.agent(member).phase < options_.fault_non_fifo_min_phase) {
+          return false;
+        }
+      }
+      return false;
     }
     case AgentStatus::Staying:
       return true;

@@ -82,6 +82,22 @@ class LinkQueue {
     }
   }
 
+  /// Removes `id` from anywhere in the queue. Only the non-FIFO fault
+  /// injection (SimOptions::fault_non_fifo_links) takes this path; regular
+  /// executions always pop the head.
+  bool remove(AgentId id) {
+    for (std::size_t i = head_; i < buffer_.size(); ++i) {
+      if (buffer_[i] != id) continue;
+      if (i == head_) {
+        pop_front();
+      } else {
+        buffer_.erase(buffer_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+      return true;
+    }
+    return false;
+  }
+
   [[nodiscard]] auto begin() const noexcept { return buffer_.begin() + static_cast<std::ptrdiff_t>(head_); }
   [[nodiscard]] auto end() const noexcept { return buffer_.end(); }
 
@@ -98,6 +114,27 @@ struct SimOptions {
   /// broken algorithm, never a legitimate outcome for this paper's
   /// algorithms.
   std::size_t max_actions = 0;
+  /// TEST-ONLY fault injection: weakens the FIFO link guarantee. When set,
+  /// an in-transit agent may arrive from *any* queue position — overtaking
+  /// agents ahead of it — as long as it does not pass an agent still in its
+  /// initial transit (that restriction preserves the §2.1 home-node-first
+  /// rule, which every algorithm legitimately relies on; the FIFO
+  /// non-overtaking property is the only guarantee removed). The scheduler
+  /// decides who jumps: all such agents join the enabled set. This models a
+  /// substrate without FIFO links and exists so the schedule explorer can
+  /// demonstrate that KnownKLogMemStrict's correctness — unlike the hardened
+  /// default — leans on FIFO order (see known_k_logmem.h). Never set it in
+  /// experiments that reproduce the paper's model.
+  bool fault_non_fifo_links = false;
+  /// Narrows the fault window: overtaking is permitted only when the jumper
+  /// and every agent it passes have reached this phase tag (metrics phase,
+  /// see AgentContext::set_phase). Phases are how multi-phase algorithms
+  /// announce their progress, so this seeds a non-FIFO bug into one phase
+  /// without corrupting the phases before it — e.g. phase 1 targets
+  /// Algorithm 3's deployment race while Algorithm 2's selection-phase
+  /// geometry measurements (which also assume non-overtaking, for every
+  /// variant) stay sound. 0 = the fault is live from the first action.
+  std::size_t fault_non_fifo_min_phase = 0;
 };
 
 struct RunResult {

@@ -26,6 +26,16 @@ namespace udring {
   return z ^ (z >> 31);
 }
 
+/// Folds `value` into a running 64-bit digest state with a full splitmix64
+/// avalanche per word. Every order-sensitive digest in the repo (campaign
+/// results, event logs, fuzz reports, substream keys) uses this one fold so
+/// the idiom cannot drift between copies; each digest seeds `state` with its
+/// own domain salt.
+constexpr void fold64(std::uint64_t& state, std::uint64_t value) noexcept {
+  std::uint64_t stream = state ^ value;
+  state = splitmix64(stream);
+}
+
 /// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:

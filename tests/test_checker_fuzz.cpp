@@ -1,0 +1,260 @@
+// Negative-case property tests for the checker (the uniform-deployment
+// oracles of Definitions 1 and 2 and the model invariants).
+//
+// The fuzzer trusts the checker as its bug-detection oracle, so the checker
+// itself needs adversarial coverage: every *near miss* — a configuration one
+// perturbation away from legal — must be rejected, and rejected for the
+// right reason (asserted by reason prefix, so a reshuffled error path cannot
+// silently pass the suite). Positive cases live in test_checker.cpp; this
+// file fuzzes the negative space around them.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/generators.h"
+#include "sim/checker.h"
+#include "sim/simulator.h"
+#include "support/test_agents.h"
+#include "util/rng.h"
+
+namespace udring::sim {
+namespace {
+
+[[nodiscard]] bool has_prefix(const std::string& text, std::string_view prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+#define EXPECT_FAILS_WITH(result, prefix)                       \
+  do {                                                          \
+    const CheckResult r_ = (result);                            \
+    EXPECT_FALSE(r_.ok);                                        \
+    EXPECT_TRUE(has_prefix(r_.reason, prefix))                  \
+        << "reason '" << r_.reason << "' lacks prefix '" << prefix << "'"; \
+  } while (0)
+
+// ---- check_positions_uniform near misses ------------------------------------
+
+TEST(PositionsUniformFuzz, OffByOneGapFailsWithGapReason) {
+  // Start from an exactly uniform deployment and nudge one agent one node
+  // forward: the two adjacent gaps become g-1 and g+1, at least one of which
+  // leaves {⌊n/k⌋, ⌈n/k⌉} whenever g ≥ 2.
+  Rng rng(404);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t k = 2 + rng.index(6);              // 2..7
+    const std::size_t gap = 3 + rng.index(5);            // 3..7 (g-1 ≥ 2)
+    const std::size_t n = k * gap;                       // k | n: all gaps = g
+    std::vector<std::size_t> positions = gen::uniform_homes(n, k);
+    ASSERT_TRUE(check_positions_uniform(positions, n).ok);
+
+    const std::size_t victim = rng.index(k);
+    positions[victim] = (positions[victim] + 1) % n;
+    EXPECT_FAILS_WITH(check_positions_uniform(positions, n), "gap ");
+  }
+}
+
+TEST(PositionsUniformFuzz, DuplicatePositionFailsWithSharedNodeReason) {
+  Rng rng(405);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t k = 3 + rng.index(6);
+    const std::size_t n = k * (2 + rng.index(6));
+    std::vector<std::size_t> positions = gen::uniform_homes(n, k);
+    // Collapse one agent onto another.
+    const std::size_t src = rng.index(k);
+    std::size_t dst = rng.index(k);
+    if (dst == src) dst = (dst + 1) % k;
+    positions[src] = positions[dst];
+    EXPECT_FAILS_WITH(check_positions_uniform(positions, n),
+                      "two agents share node ");
+  }
+}
+
+TEST(PositionsUniformFuzz, RandomNonUniformConfigurationsNeverPass) {
+  // Draw random distinct positions and cross-check the verdict against a
+  // first-principles gap scan; on disagreement-free runs, every rejection
+  // must carry one of the two reachable reason prefixes.
+  Rng rng(406);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t k = 2 + rng.index(7);
+    const std::size_t n = k + rng.index(40);
+    std::vector<std::size_t> positions = gen::random_homes(n, k, rng);
+    const CheckResult verdict = check_positions_uniform(positions, n);
+
+    const std::vector<std::size_t> gaps = ring_gaps(positions, n);
+    const std::size_t floor_gap = n / k;
+    const std::size_t ceil_gap = floor_gap + (n % k == 0 ? 0 : 1);
+    bool uniform = true;
+    for (const std::size_t gap : gaps) {
+      uniform = uniform && (gap == floor_gap || gap == ceil_gap);
+    }
+    EXPECT_EQ(verdict.ok, uniform);
+    if (!verdict.ok) {
+      EXPECT_TRUE(has_prefix(verdict.reason, "gap ") ||
+                  has_prefix(verdict.reason, "two agents share node "))
+          << verdict.reason;
+    }
+  }
+}
+
+TEST(PositionsUniformFuzz, EmptyPositionsFail) {
+  EXPECT_FAILS_WITH(check_positions_uniform({}, 8), "no agent positions");
+}
+
+// ---- Definition 1/2 oracle near misses --------------------------------------
+
+/// Halts immediately at its home node.
+class HaltAgent final : public AgentProgram {
+ public:
+  Behavior run(AgentContext& /*ctx*/) override { co_return; }
+  [[nodiscard]] std::string_view name() const override { return "test-halt"; }
+};
+
+/// Parks forever (never reaches the halt state).
+class ParkAgent final : public AgentProgram {
+ public:
+  Behavior run(AgentContext& ctx) override {
+    for (;;) co_await ctx.wait_message();
+  }
+  [[nodiscard]] std::string_view name() const override { return "test-park"; }
+};
+
+/// Suspends forever; optionally broadcasts first (to fill a mailbox).
+class SuspendAgent final : public AgentProgram {
+ public:
+  explicit SuspendAgent(bool broadcast_first) : broadcast_first_(broadcast_first) {}
+  Behavior run(AgentContext& ctx) override {
+    if (broadcast_first_) ctx.broadcast(TextMessage{"late"});
+    for (;;) co_await ctx.suspend();
+  }
+  [[nodiscard]] std::string_view name() const override { return "test-suspend"; }
+
+ private:
+  bool broadcast_first_;
+};
+
+RunResult drain(Simulator& sim) {
+  RoundRobinScheduler scheduler;
+  return sim.run(scheduler);
+}
+
+TEST(Definition1Fuzz, NonHaltedAgentFailsWithStatusReason) {
+  // Uniform positions, but one agent parks instead of halting: the status
+  // scan must fire before the geometry is even considered.
+  Rng rng(407);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t k = 2 + rng.index(4);
+    const std::size_t n = k * (2 + rng.index(4));
+    const std::size_t parked = rng.index(k);
+    Simulator sim(n, gen::uniform_homes(n, k), [&](AgentId id) {
+      return id == parked
+                 ? std::unique_ptr<AgentProgram>(std::make_unique<ParkAgent>())
+                 : std::unique_ptr<AgentProgram>(std::make_unique<HaltAgent>());
+    });
+    ASSERT_TRUE(drain(sim).quiescent());
+    EXPECT_FAILS_WITH(check_uniform_deployment_with_termination(sim), "agent ");
+  }
+}
+
+TEST(Definition1Fuzz, AgentStillOnALinkFailsWithStatusReason) {
+  // One walker never stops: interrupt the run mid-flight so a link queue is
+  // non-empty. The in-transit agent trips the halt-status scan (an agent on
+  // a link is by definition not halted — the queue-emptiness clause of
+  // Definition 1 is unreachable through observable executions, which is
+  // itself worth pinning).
+  Simulator sim(8, {0, 4}, [](AgentId id) {
+    return id == 0 ? std::unique_ptr<AgentProgram>(
+                         std::make_unique<test::EndlessWalkerAgent>())
+                   : std::unique_ptr<AgentProgram>(std::make_unique<HaltAgent>());
+  });
+  RoundRobinScheduler scheduler;
+  for (int step = 0; step < 9; ++step) {
+    ASSERT_TRUE(sim.step(scheduler));
+  }
+  std::size_t queued = 0;
+  for (NodeId node = 0; node < 8; ++node) queued += sim.queue_length(node);
+  ASSERT_GT(queued, 0u) << "walker should be mid-link";
+  EXPECT_FAILS_WITH(check_uniform_deployment_with_termination(sim), "agent ");
+}
+
+TEST(Definition2Fuzz, AllSuspendedOnDistinctNodesIsLegal) {
+  // Control case: both agents suspend at uniform positions with nobody
+  // co-located, so the broadcast reaches no mailbox and the oracle passes.
+  Simulator sim(8, {0, 4}, [](AgentId id) {
+    return std::make_unique<SuspendAgent>(/*broadcast_first=*/id == 0);
+  });
+  ASSERT_TRUE(drain(sim).quiescent());
+  ASSERT_TRUE(check_uniform_deployment_without_termination(sim).ok);
+}
+
+TEST(Definition2Fuzz, UndeliveredMailFailsWithMessageReason) {
+  // Near miss: every agent is suspended, but one of them holds an
+  // undelivered message — Definition 2's m_i = ∅ clause. Reachable state:
+  // the receiver suspends first, the sender walks over, broadcasts into its
+  // mailbox and suspends; we stop before the receiver's wake-up action.
+  Simulator meet(8, {0, 7}, [](AgentId id) {
+    if (id == 0) return std::unique_ptr<AgentProgram>(std::make_unique<SuspendAgent>(false));
+    // Agent 1 walks one hop (7 -> 0), broadcasts into agent 0's mailbox,
+    // then suspends alongside it.
+    class WalkBroadcastSuspend final : public AgentProgram {
+     public:
+      Behavior run(AgentContext& ctx) override {
+        co_await ctx.move();
+        ctx.broadcast(TextMessage{"late"});
+        for (;;) co_await ctx.suspend();
+      }
+      [[nodiscard]] std::string_view name() const override { return "test-wbs"; }
+    };
+    return std::unique_ptr<AgentProgram>(std::make_unique<WalkBroadcastSuspend>());
+  });
+  RoundRobinScheduler scheduler;
+  scheduler.reset(2);
+  // agent 0: arrive home, suspend. agent 1: arrive home, move, arrive at 0,
+  // broadcast + suspend. Now agent 0 is suspended *with mail pending*.
+  while (!meet.quiescent()) {
+    // Stop the drain the moment every agent is suspended even though one
+    // still has mail (it is enabled — that is the near miss).
+    if (meet.all_suspended()) break;
+    ASSERT_TRUE(meet.step(scheduler));
+  }
+  ASSERT_TRUE(meet.all_suspended());
+  EXPECT_FAILS_WITH(check_uniform_deployment_without_termination(meet),
+                    "agent ");
+}
+
+// ---- model invariants -------------------------------------------------------
+
+TEST(ModelInvariantsFuzz, TokenDecreaseFailsWithTokenReason) {
+  Simulator sim(6, {0, 3}, [](AgentId) {
+    return std::make_unique<HaltAgent>();
+  });
+  // No tokens were ever dropped; claiming we saw 3 must trip monotonicity.
+  EXPECT_FAILS_WITH(check_model_invariants(sim, 3), "token count decreased");
+  EXPECT_TRUE(check_model_invariants(sim, 0).ok);
+}
+
+TEST(ModelInvariantsFuzz, HoldsAtEveryStepOfRandomRuns) {
+  // The fuzzer's per-action oracle must hold along *every* legal execution;
+  // sweep random schedules as a sanity floor for the negative cases above.
+  Rng rng(408);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t k = 2 + rng.index(4);
+    const std::size_t n = 8 + rng.index(9);
+    Simulator sim(n, gen::random_homes(n, k, rng), [k](AgentId) {
+      return std::make_unique<test::WalkerAgent>(/*steps=*/k + 3,
+                                                 /*drop_token=*/true);
+    });
+    RandomScheduler scheduler(rng());
+    scheduler.reset(k);
+    std::size_t min_tokens = 0;
+    while (sim.step(scheduler)) {
+      const CheckResult invariants = check_model_invariants(sim, min_tokens);
+      ASSERT_TRUE(invariants.ok) << invariants.reason;
+      min_tokens = sim.ring().total_tokens();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace udring::sim

@@ -114,5 +114,37 @@ TEST(EventLog, BroadcastAndWakeAppearInCausalOrder) {
   EXPECT_EQ(wakes[0].detail, 1u) << "sender id recorded";
 }
 
+TEST(EventLogDigest, SensitiveToEveryFieldAndOrder) {
+  // The digest is the record/replay equality check: identical logs agree,
+  // and any reordering or single-field change must be visible.
+  EventLog a, b;
+  a.set_enabled(true);
+  b.set_enabled(true);
+  const Event first{1, EventKind::Arrive, 0, 3, 1, 0};
+  const Event second{2, EventKind::TokenDrop, 1, 5, 2, 0};
+  a.record(first);
+  a.record(second);
+  b.record(first);
+  b.record(second);
+  EXPECT_EQ(a.digest(), b.digest());
+
+  EventLog swapped;
+  swapped.set_enabled(true);
+  swapped.record(second);
+  swapped.record(first);
+  EXPECT_NE(a.digest(), swapped.digest());
+
+  EventLog tweaked;
+  tweaked.set_enabled(true);
+  tweaked.record(first);
+  Event changed = second;
+  changed.causal_ts += 1;
+  tweaked.record(changed);
+  EXPECT_NE(a.digest(), tweaked.digest());
+
+  EXPECT_NE(EventLog{}.digest(), a.digest());
+  EXPECT_EQ(EventLog{}.digest(), EventLog{}.digest());
+}
+
 }  // namespace
 }  // namespace udring::sim

@@ -1,0 +1,197 @@
+// Record/replay determinism (the explorer's foundation) and the
+// tests/schedules/ regression corpus.
+//
+//  - For every scheduler kind — the five sim/ families and the three
+//    adversaries — recording an execution and replaying its choice sequence
+//    must reproduce an identical event-log digest (the PR's round-trip
+//    acceptance criterion).
+//  - Every trace in tests/schedules/ must replay to its recorded digest and
+//    outcome. The corpus pins real executions (including an adversarial
+//    fifo-stress schedule) against behavioural drift in the simulator,
+//    the schedulers, or the algorithms: any change to the action semantics
+//    shows up here as a digest mismatch before it shows up anywhere subtler.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/runner.h"
+#include "exp/campaign.h"
+#include "explore/fuzz.h"
+#include "explore/replay.h"
+#include "explore/trace.h"
+#include "util/rng.h"
+
+namespace udring::explore {
+namespace {
+
+std::vector<std::size_t> draw_instance_homes(std::size_t n, std::size_t k,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  return exp::draw_homes(exp::ConfigFamily::RandomAny, n, k, 1, rng);
+}
+
+// ---- round-trip determinism for every scheduler kind ------------------------
+
+class RoundTrip : public ::testing::TestWithParam<ExploreSchedulerKind> {};
+
+TEST_P(RoundTrip, RecordThenReplayReproducesDigest) {
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::KnownKFull, core::Algorithm::KnownKLogMem,
+        core::Algorithm::UnknownRelaxed}) {
+    const auto homes = draw_instance_homes(18, 5, 11);
+    const ScheduleTrace trace =
+        record_trace(algorithm, 18, homes, GetParam(), /*seed=*/42);
+    EXPECT_EQ(trace.note, "ok") << core::to_string(algorithm) << " under "
+                                << to_string(GetParam()) << ": " << trace.note;
+    EXPECT_FALSE(trace.choices.empty());
+
+    const ReplayOutcome replayed = replay_trace(trace);
+    EXPECT_FALSE(replayed.failed) << replayed.reason;
+    EXPECT_EQ(replayed.digest, trace.expected_digest)
+        << core::to_string(algorithm) << " under " << to_string(GetParam());
+    EXPECT_EQ(replayed.actions, trace.choices.size());
+  }
+}
+
+TEST_P(RoundTrip, RecordingIsDeterministicPerSeed) {
+  const auto homes = draw_instance_homes(16, 4, 3);
+  const ScheduleTrace a =
+      record_trace(core::Algorithm::KnownKFull, 16, homes, GetParam(), 7);
+  const ScheduleTrace b =
+      record_trace(core::Algorithm::KnownKFull, 16, homes, GetParam(), 7);
+  EXPECT_EQ(a.choices, b.choices);
+  EXPECT_EQ(a.expected_digest, b.expected_digest);
+}
+
+TEST_P(RoundTrip, TraceSurvivesTextSerialization) {
+  const auto homes = draw_instance_homes(14, 4, 5);
+  const ScheduleTrace trace =
+      record_trace(core::Algorithm::KnownKFull, 14, homes, GetParam(), 9);
+  const ScheduleTrace reparsed = ScheduleTrace::parse(trace.to_text());
+  EXPECT_EQ(reparsed.algorithm, trace.algorithm);
+  EXPECT_EQ(reparsed.node_count, trace.node_count);
+  EXPECT_EQ(reparsed.homes, trace.homes);
+  EXPECT_EQ(reparsed.choices, trace.choices);
+  EXPECT_EQ(reparsed.expected_digest, trace.expected_digest);
+  EXPECT_EQ(reparsed.generator, trace.generator);
+  EXPECT_EQ(reparsed.fault_non_fifo, trace.fault_non_fifo);
+
+  const ReplayOutcome replayed = replay_trace(reparsed);
+  EXPECT_EQ(replayed.digest, trace.expected_digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, RoundTrip,
+                         ::testing::ValuesIn(all_explore_scheduler_kinds()),
+                         [](const auto& info) {
+                           std::string name(to_string(info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---- regression corpus ------------------------------------------------------
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(UDRING_SCHEDULES_DIR)) {
+    if (entry.path().extension() == ".trace") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ScheduleCorpus, HasAtLeastFiveTracesIncludingFifoStress) {
+  const auto files = corpus_files();
+  EXPECT_GE(files.size(), 5u);
+  bool fifo_stress = false;
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const ScheduleTrace trace = ScheduleTrace::parse(buffer.str());
+    fifo_stress = fifo_stress || trace.generator == "fifo-stress";
+  }
+  EXPECT_TRUE(fifo_stress)
+      << "corpus must include an adversarial fifo-stress trace";
+}
+
+TEST(ScheduleCorpus, EveryTraceReplaysToItsRecordedDigest) {
+  for (const auto& file : corpus_files()) {
+    std::ifstream in(file);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    SCOPED_TRACE(file.filename().string());
+    const ScheduleTrace trace = ScheduleTrace::parse(buffer.str());
+    const ReplayOutcome outcome = replay_trace(trace);
+    EXPECT_EQ(outcome.digest, trace.expected_digest)
+        << "replay diverged from the recorded execution";
+    EXPECT_EQ(outcome.failed, trace.note != "ok")
+        << "outcome drifted: " << outcome.reason;
+  }
+}
+
+// ---- replay mechanics -------------------------------------------------------
+
+TEST(ReplayScheduler, PadsExhaustedTraceWithFallback) {
+  ReplayScheduler scheduler({2, 1});
+  scheduler.reset(3);
+  const std::vector<sim::AgentId> enabled = {5, 1, 9};
+  EXPECT_EQ(scheduler.pick(enabled), 9u);  // sorted {1,5,9}[2]
+  EXPECT_EQ(scheduler.pick(enabled), 5u);  // sorted {1,5,9}[1]
+  EXPECT_EQ(scheduler.pick(enabled), 1u);  // exhausted -> index 0
+  EXPECT_EQ(scheduler.consumed(), 3u);
+}
+
+TEST(ReplayScheduler, ReducesChoicesModuloEnabledCount) {
+  ReplayScheduler scheduler({7});
+  scheduler.reset(2);
+  EXPECT_EQ(scheduler.pick({4, 2}), 4u);  // sorted {2,4}[7 % 2 = 1]
+}
+
+TEST(TraceFormat, RejectsMalformedInput) {
+  EXPECT_THROW((void)ScheduleTrace::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)ScheduleTrace::parse("not-a-trace v1\nend\n"),
+               std::invalid_argument);
+  // Missing digest line.
+  EXPECT_THROW((void)ScheduleTrace::parse("udring-trace v1\nalgorithm "
+                                          "known-k-full\nnodes 8\nhomes 0 "
+                                          "2\nchoices 0\nend\n"),
+               std::invalid_argument);
+  // Duplicate home.
+  EXPECT_THROW((void)ScheduleTrace::parse("udring-trace v1\nalgorithm "
+                                          "known-k-full\nnodes 8\nhomes 2 "
+                                          "2\nchoices 0\ndigest 1\nend\n"),
+               std::invalid_argument);
+  // Unknown key.
+  EXPECT_THROW((void)ScheduleTrace::parse("udring-trace v1\nbogus 1\nend\n"),
+               std::invalid_argument);
+  // Corrupt token inside a list must be a parse error, not a silent
+  // truncation (a truncated choice list would replay a different schedule).
+  EXPECT_THROW((void)ScheduleTrace::parse(
+                   "udring-trace v1\nalgorithm known-k-full\nnodes 8\nhomes 0 "
+                   "2\nchoices 3 4 oops 5\ndigest 1\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScheduleTrace::parse(
+                   "udring-trace v1\nalgorithm known-k-full\nnodes 8\nhomes 0 "
+                   "x\nchoices 0\ndigest 1\nend\n"),
+               std::invalid_argument);
+  // Trailing garbage after a scalar value.
+  EXPECT_THROW((void)ScheduleTrace::parse(
+                   "udring-trace v1\nalgorithm known-k-full\nnodes 8 "
+                   "9\nhomes 0 2\nchoices 0\ndigest 1\nend\n"),
+               std::invalid_argument);
+  // Duplicate keys (e.g. a second choices line) must not concatenate.
+  EXPECT_THROW((void)ScheduleTrace::parse(
+                   "udring-trace v1\nalgorithm known-k-full\nnodes 8\nhomes 0 "
+                   "2\nchoices 1 2\nchoices 3\ndigest 1\nend\n"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace udring::explore

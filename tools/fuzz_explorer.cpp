@@ -1,0 +1,218 @@
+// tools/fuzz_explorer.cpp
+//
+// The schedule explorer's command-line face: fuzz, record, replay.
+//
+//   udring_fuzz                              # fuzz (budget from UDRING_FUZZ_BUDGET)
+//   udring_fuzz --algorithm=known-k-logmem-strict --inject-non-fifo
+//               --iterations=500 --out=fuzz-artifacts
+//   udring_fuzz --record=trace.txt --algorithm=known-k-full --nodes=16
+//               --agents=4 --sched=fifo-stress --seed=7
+//   udring_fuzz --replay=trace.txt
+//
+// Fuzz mode exits 1 when a failure is found; each failure is shrunk to a
+// minimal trace and written under --out so CI can upload it as an artifact
+// and anyone can `udring_fuzz --replay=<file>` it locally. Replay mode exits
+// 1 when the replay diverges from the recording — a digest mismatch, or an
+// outcome that contradicts the trace's note (a recorded failure that fails
+// identically exits 0) — so corpus files double as self-verifying
+// regression inputs.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "explore/fuzz.h"
+#include "explore/shrink.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace udring;
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Writes and flushes; false when the stream failed at any point (missing
+/// directory, full disk) — a lost trace artifact must never look written.
+[[nodiscard]] bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+  out.flush();
+  return out.good();
+}
+
+int replay_mode(const std::string& path) {
+  const explore::ScheduleTrace trace =
+      explore::ScheduleTrace::parse(read_file(path));
+  const explore::ReplayOutcome outcome = explore::replay_trace(trace);
+  std::cout << "replayed " << path << ": " << outcome.actions << " actions, digest "
+            << outcome.digest << (outcome.failed ? " FAILED: " + outcome.reason
+                                                 : " ok")
+            << '\n';
+  if (outcome.digest != trace.expected_digest) {
+    std::cout << "DIGEST MISMATCH: recorded " << trace.expected_digest << '\n';
+    return 1;
+  }
+  const bool expected_failure = trace.note != "ok" && !trace.note.empty();
+  if (outcome.failed != expected_failure) {
+    std::cout << "OUTCOME MISMATCH: trace note says '" << trace.note << "'\n";
+    return 1;
+  }
+  return 0;
+}
+
+int record_mode(const std::string& path, core::Algorithm algorithm,
+                std::size_t n, std::size_t k,
+                explore::ExploreSchedulerKind kind, std::uint64_t seed,
+                bool fault, std::size_t fault_min_phase) {
+  Rng rng(seed);
+  const std::vector<std::size_t> homes =
+      exp::draw_homes(exp::ConfigFamily::RandomAny, n, k, 1, rng);
+  const explore::ScheduleTrace trace =
+      explore::record_trace(algorithm, n, homes, kind, seed, fault, fault_min_phase);
+  if (!write_file(path, trace.to_text())) {
+    std::cerr << "udring_fuzz: cannot write " << path << '\n';
+    return 2;
+  }
+  std::cout << "recorded " << path << ": " << trace.choices.size()
+            << " choices, digest " << trace.expected_digest << ", outcome "
+            << trace.note << '\n';
+  return trace.note == "ok" ? 0 : 1;
+}
+
+int fuzz_mode(const explore::FuzzOptions& options, const std::string& out_dir) {
+  const explore::FuzzReport report = explore::run_fuzz(options);
+  std::cout << "fuzz: algorithm=" << core::to_string(options.algorithm)
+            << " iterations=" << report.iterations
+            << " actions=" << report.total_actions
+            << " failures=" << report.failures << " digest=" << report.digest
+            << '\n';
+  if (report.failures == 0) return 0;
+
+  if (!out_dir.empty()) std::filesystem::create_directories(out_dir);
+  std::size_t written = 0;
+  for (const explore::FuzzFailure& failure : report.failure_samples) {
+    std::cout << "  FAIL iteration " << failure.iteration << " @action "
+              << failure.at_action << ": " << failure.reason << '\n';
+    const explore::ShrinkResult shrunk = explore::shrink_trace(failure.trace);
+    std::cout << "    shrunk " << shrunk.original_size << " -> "
+              << shrunk.trace.choices.size() << " choices ("
+              << shrunk.replays << " replays): " << shrunk.reason << '\n';
+    if (!out_dir.empty()) {
+      std::ostringstream name;
+      name << out_dir << "/shrunk-" << core::to_string(options.algorithm)
+           << "-iter" << failure.iteration << ".trace";
+      if (write_file(name.str(), shrunk.trace.to_text())) {
+        std::cout << "    wrote " << name.str() << '\n';
+        ++written;
+      } else {
+        std::cerr << "udring_fuzz: cannot write " << name.str() << '\n';
+      }
+    }
+  }
+  if (written != 0) {
+    std::cout << "replay any artifact with: udring_fuzz --replay=<file>\n";
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli(argc, argv);
+    const std::string replay_path =
+        cli.get("replay", "replay a trace file and verify its digest").value_or("");
+    const std::string record_path =
+        cli.get("record", "record one run to this trace file").value_or("");
+    const std::string algorithm_name =
+        cli.get("algorithm", "algorithm under test", "known-k-full")
+            .value_or("known-k-full");
+    const std::string sched_name =
+        cli.get("sched",
+                "scheduler for --record; fuzz pool restriction otherwise "
+                "(empty = all kinds)",
+                "")
+            .value_or("");
+    const std::size_t n = cli.get_size("nodes", 16, "ring size for --record");
+    const std::size_t k = cli.get_size("agents", 4, "agent count for --record");
+    // A malformed or zero budget must not silently turn the CI fuzz gate
+    // into a no-op pass; fall back to the default and say so.
+    std::size_t default_budget = 200;
+    if (const char* budget_env = std::getenv("UDRING_FUZZ_BUDGET")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(budget_env, &end, 10);
+      if (end != budget_env && *end == '\0' && parsed > 0) {
+        default_budget = static_cast<std::size_t>(parsed);
+      } else {
+        std::cerr << "udring_fuzz: ignoring invalid UDRING_FUZZ_BUDGET='"
+                  << budget_env << "', using " << default_budget << '\n';
+      }
+    }
+    explore::FuzzOptions options;
+    options.iterations =
+        cli.get_size("iterations", default_budget,
+                     "fuzz budget (default: $UDRING_FUZZ_BUDGET or 200)");
+    options.base_seed = cli.get_u64("seed", 1, "base seed");
+    options.min_nodes = cli.get_size("min-nodes", 8, "minimum ring size");
+    options.max_nodes = cli.get_size("max-nodes", 24, "maximum ring size");
+    options.min_agents = cli.get_size("min-agents", 2, "minimum agent count");
+    options.max_agents = cli.get_size("max-agents", 6, "maximum agent count");
+    options.workers = cli.get_size("workers", 0, "worker threads (0 = all cores)");
+    options.max_recorded_failures =
+        cli.get_size("max-failures", 8, "failing traces to keep and shrink");
+    options.fault_non_fifo = cli.get_flag(
+        "inject-non-fifo", "TEST-ONLY: weaken the FIFO link guarantee");
+    options.fault_min_phase = cli.get_size(
+        "fault-min-phase", 0,
+        "restrict the non-FIFO fault to actions at/after this phase tag");
+    const std::string homes_csv =
+        cli.get("homes",
+                "comma-separated home nodes: fuzz this fixed instance "
+                "(with --nodes) instead of drawing sizes",
+                "")
+            .value_or("");
+    if (!homes_csv.empty()) {
+      options.fixed_nodes = n;
+      std::istringstream list(homes_csv);
+      for (std::string item; std::getline(list, item, ',');) {
+        options.fixed_homes.push_back(
+            static_cast<std::size_t>(std::stoull(item)));
+      }
+    }
+    const std::string out_dir =
+        cli.get("out", "directory for shrunk failing traces", "").value_or("");
+
+    if (cli.wants_help()) {
+      cli.print_help(
+          "udring schedule explorer: fuzz adversarial schedules, record and "
+          "replay executions");
+      return 0;
+    }
+    if (!replay_path.empty()) return replay_mode(replay_path);
+
+    options.algorithm = explore::algorithm_from_name(algorithm_name);
+    if (!record_path.empty()) {
+      return record_mode(record_path, options.algorithm, n, k,
+                         explore::explore_scheduler_from_name(
+                             sched_name.empty() ? "round-robin" : sched_name),
+                         options.base_seed, options.fault_non_fifo,
+                         options.fault_min_phase);
+    }
+    if (!sched_name.empty()) {
+      options.schedulers = {explore::explore_scheduler_from_name(sched_name)};
+    }
+    return fuzz_mode(options, out_dir);
+  } catch (const std::exception& error) {
+    std::cerr << "udring_fuzz: " << error.what() << '\n';
+    return 2;
+  }
+}
