@@ -1,0 +1,203 @@
+// bench_huge_instance — the zero-steady-state-allocation artifact.
+//
+// Runs known-k-full on an n ≥ 100k ring (and the Euler-tour ring of a
+// ~n/2-node random tree) through one pooled ExecutionState, counting every
+// global operator new via an instrumented allocator:
+//
+//  - cold run:  reset() on a fresh arena + full execution. Allocations here
+//               are the O(n) arena build plus O(k) programs.
+//  - warm run:  reset() on the *same* arena + full execution. reset() may
+//               allocate only the O(k) per-run objects (programs, coroutine
+//               frames); the action loop itself must allocate NOTHING —
+//               that is the steady-state contract campaigns rely on.
+//
+// Set UDRING_HUGE_STRICT=1 to turn a nonzero warm action-loop count into a
+// nonzero exit (the CI bench-smoke job does). UDRING_HUGE_NODES overrides
+// the ring size. Wall-clock timings register as google-benchmarks.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "embed/topology.h"
+#include "embed/tree.h"
+#include "support/bench_common.h"
+
+// ---- global allocation counter ----------------------------------------------
+// Counts every operator new in the process; measurement windows snapshot it.
+// Relaxed ordering is fine: the measured windows are single-threaded.
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace udring;
+using namespace udring::bench;
+
+struct RunStats {
+  std::size_t reset_allocs = 0;
+  std::size_t run_allocs = 0;
+  std::size_t actions = 0;
+  double run_ms = 0;
+};
+
+RunStats timed_run(sim::ExecutionState& state, const sim::Instance& instance,
+                   sim::Scheduler& scheduler) {
+  RunStats stats;
+  const std::size_t before_reset = g_alloc_count.load();
+  state.reset(instance);
+  stats.reset_allocs = g_alloc_count.load() - before_reset;
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t before_run = g_alloc_count.load();
+  const sim::RunResult result = state.run(scheduler);
+  stats.run_allocs = g_alloc_count.load() - before_run;
+  const auto stop = std::chrono::steady_clock::now();
+  stats.actions = result.actions;
+  stats.run_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  if (!result.quiescent()) {
+    std::fprintf(stderr, "bench_huge_instance: run hit the action limit\n");
+    std::exit(2);
+  }
+  return stats;
+}
+
+std::size_t ring_nodes() {
+  if (const char* env = std::getenv("UDRING_HUGE_NODES")) {
+    const unsigned long long parsed = std::strtoull(env, nullptr, 10);
+    // Floor of 2k = 16: the k evenly spread ring homes (and the k tree
+    // homes on the n/2-node tree) need distinct nodes to exist.
+    if (parsed >= 16) return static_cast<std::size_t>(parsed);
+    std::fprintf(stderr,
+                 "bench_huge_instance: UDRING_HUGE_NODES=%llu too small, "
+                 "using 16\n",
+                 parsed);
+    return 16;
+  }
+  return 100'000;
+}
+
+bool g_strict_failure = false;
+
+void report_case(const char* label, const sim::Instance& instance) {
+  sim::ExecutionState state;
+  sim::RoundRobinScheduler scheduler;
+  const RunStats cold = timed_run(state, instance, scheduler);
+  const RunStats warm = timed_run(state, instance, scheduler);
+
+  Table table({"phase", "reset allocs", "run allocs", "actions",
+               "allocs/action", "wall ms", "actions/s"});
+  for (const auto& [phase, stats] : {std::pair<const char*, const RunStats&>{
+                                         "cold", cold},
+                                     {"warm (pooled)", warm}}) {
+    table.add_row({phase, Table::num(stats.reset_allocs),
+                   Table::num(stats.run_allocs), Table::num(stats.actions),
+                   Table::num(static_cast<double>(stats.run_allocs) /
+                                  static_cast<double>(stats.actions),
+                              6),
+                   Table::num(stats.run_ms, 0),
+                   Table::num(1000.0 * static_cast<double>(stats.actions) /
+                                  stats.run_ms,
+                              0)});
+  }
+  std::cout << label << " (n=" << instance.node_count()
+            << ", k=" << instance.agent_count() << "):\n"
+            << table;
+  // The contract: nothing on the action path may allocate. Algorithms are
+  // allowed O(k) one-off allocations per run (e.g. Booth's failure function
+  // in known-k-full's deployment step) — what must never appear is a count
+  // that scales with the ~10^6 actions.
+  const std::size_t per_run_allowance = 16 * instance.agent_count();
+  if (warm.run_allocs > per_run_allowance) {
+    std::cout << "WARNING: warm run allocated " << warm.run_allocs
+              << " times (allowance " << per_run_allowance
+              << ") — the steady-state action path regressed.\n";
+    g_strict_failure = true;
+  } else {
+    std::cout << "warm run: " << warm.run_allocs
+              << " allocations over " << warm.actions
+              << " actions (O(k) per-run constants; the action loop itself "
+               "is allocation-free).\n";
+  }
+  std::cout << '\n';
+}
+
+void print_report() {
+  const std::size_t n = ring_nodes();
+  const std::size_t k = 8;
+  std::cout << "Huge-instance steady-state allocation audit "
+               "(known-k-full, round-robin).\n\n";
+
+  std::vector<sim::NodeId> homes;
+  for (std::size_t i = 0; i < k; ++i) homes.push_back(i * (n / k));
+  const sim::Instance ring_instance(
+      n, homes, core::make_program_factory(core::Algorithm::KnownKFull, k));
+  report_case("unidirectional ring", ring_instance);
+
+  // The native topology path at scale: the Euler tour of a random tree on
+  // ~n/2 nodes is a virtual ring of ~n steps with label/port views attached.
+  Rng rng(1);
+  const std::size_t tree_nodes = std::max<std::size_t>(n / 2, 2);
+  const embed::TreeNetwork tree = embed::random_tree(tree_nodes, rng);
+  sim::Topology topology = embed::euler_tour_topology(tree);
+  std::vector<embed::TreeNodeId> tree_homes;
+  for (std::size_t i = 0; i < k; ++i) tree_homes.push_back(i * (tree_nodes / k));
+  std::vector<sim::NodeId> virtual_home_list =
+      embed::virtual_homes(topology, tree_homes);
+  const sim::Instance tree_instance(
+      std::move(topology), std::move(virtual_home_list),
+      core::make_program_factory(core::Algorithm::KnownKFull, k));
+  report_case("euler-tree virtual ring", tree_instance);
+}
+
+void register_timings() {
+  benchmark::RegisterBenchmark("huge/pooled-run/n=100k/k=8",
+                               [](benchmark::State& bench_state) {
+                                 const std::size_t n = ring_nodes();
+                                 const std::size_t k = 8;
+                                 std::vector<sim::NodeId> homes;
+                                 for (std::size_t i = 0; i < k; ++i) {
+                                   homes.push_back(i * (n / k));
+                                 }
+                                 const sim::Instance instance(
+                                     n, homes,
+                                     core::make_program_factory(
+                                         core::Algorithm::KnownKFull, k));
+                                 sim::ExecutionState state;
+                                 sim::RoundRobinScheduler scheduler;
+                                 for (auto _ : bench_state) {
+                                   state.reset(instance);
+                                   const sim::RunResult result =
+                                       state.run(scheduler);
+                                   benchmark::DoNotOptimize(result.actions);
+                                 }
+                               })
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int status =
+      run_bench_main(argc, argv, print_report, register_timings);
+  if (status != 0) return status;
+  if (g_strict_failure && std::getenv("UDRING_HUGE_STRICT") != nullptr) {
+    return 1;
+  }
+  return 0;
+}

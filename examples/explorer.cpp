@@ -6,12 +6,16 @@
 //   ./explorer --algo=unknown-relaxed --config=fig9 --trace
 //   ./explorer --algo=known-k-logmem --n=30 --k=6 --scheduler=priority
 //   ./explorer --algo=known-k-full --config=periodic --n=24 --k=8 --l=4
+//   ./explorer --topology=tree --n=20 --k=5      # native Euler-tour ring
+//   ./explorer --topology=graph --n=16 --k=4     # spanning-tree embedding
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 
 #include "config/generators.h"
 #include "core/runner.h"
+#include "embed/topology.h"
 #include "sim/checker.h"
 #include "sim/export.h"
 #include "util/cli.h"
@@ -79,6 +83,13 @@ int main(int argc, char** argv) {
       cli.get("scheduler", "round-robin|random|synchronous|priority|burst",
               "round-robin")
           .value();
+  const std::string topology_name =
+      cli.get("topology",
+              "ring|tree|graph — tree/graph run natively on the Euler-tour "
+              "virtual ring of a random network of n nodes (random config "
+              "family only)",
+              "ring")
+          .value_or("ring");
   const std::size_t n = cli.get_size("n", 24, "ring size (generator families)");
   const std::size_t k = cli.get_size("k", 6, "agents (generator families)");
   const std::size_t l = cli.get_size("l", 2, "symmetry degree (periodic family)");
@@ -92,11 +103,28 @@ int main(int argc, char** argv) {
 
   Rng rng(seed);
   const core::Algorithm algorithm = parse_algorithm(algo_name);
-  const Config config = make_config(config_name, n, k, l, rng);
 
   core::RunSpec spec;
-  spec.node_count = config.n;
-  spec.homes = config.homes;
+  if (topology_name == "ring") {
+    const Config config = make_config(config_name, n, k, l, rng);
+    spec.node_count = config.n;
+    spec.homes = config.homes;
+  } else {
+    // Native topology path: draw a network, embed it, and place k agents at
+    // the first tour positions of k distinct underlying nodes.
+    if (topology_name == "tree") {
+      spec.topology = embed::random_network_topology(
+          embed::RandomNetworkKind::Tree, n, rng);
+    } else if (topology_name == "graph") {
+      spec.topology = embed::random_network_topology(
+          embed::RandomNetworkKind::Graph, n, rng);
+    } else {
+      throw std::invalid_argument("unknown topology: " + topology_name);
+    }
+    spec.node_count = spec.topology.size();
+    spec.homes =
+        embed::draw_virtual_homes(spec.topology, std::min(k, n), rng);
+  }
   spec.scheduler = parse_scheduler(scheduler_name);
   spec.seed = seed;
   spec.sim_options.record_events = trace;
@@ -104,7 +132,7 @@ int main(int argc, char** argv) {
   if (json) {
     auto simulator = core::make_simulator(algorithm, spec);
     auto scheduler =
-        sim::make_scheduler(spec.scheduler, seed, config.homes.size());
+        sim::make_scheduler(spec.scheduler, seed, spec.homes.size());
     (void)simulator->run(*scheduler);
     sim::write_json(std::cout, *simulator);
     std::cout << "\n";
@@ -112,16 +140,18 @@ int main(int argc, char** argv) {
                                                          : EXIT_FAILURE;
   }
 
-  std::cout << "explorer: " << core::to_string(algorithm) << " on " << config_name
-            << " (n=" << config.n << ", k=" << config.homes.size()
-            << ", l=" << core::config_symmetry_degree(config.homes, config.n)
+  std::cout << "explorer: " << core::to_string(algorithm) << " on "
+            << (topology_name == "ring" ? config_name
+                                        : topology_name + " (Euler tour)")
+            << " (n=" << spec.node_count << ", k=" << spec.homes.size()
+            << ", l=" << core::config_symmetry_degree(spec.homes, spec.node_count)
             << ") under " << scheduler_name << ", seed " << seed << "\n\n";
 
   auto simulator = core::make_simulator(algorithm, spec);
   std::cout << "Initial configuration:\n" << viz::render(*simulator) << "\n";
 
   auto scheduler =
-      sim::make_scheduler(spec.scheduler, seed, config.homes.size());
+      sim::make_scheduler(spec.scheduler, seed, spec.homes.size());
   const auto result = simulator->run(*scheduler);
 
   if (trace) {

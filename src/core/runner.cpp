@@ -1,11 +1,13 @@
 #include "core/runner.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "core/known_k_full.h"
 #include "core/known_k_logmem.h"
 #include "core/rendezvous.h"
 #include "core/unknown_relaxed.h"
+#include "util/parallel.h"
 
 namespace udring::core {
 
@@ -43,12 +45,34 @@ sim::ProgramFactory make_program_factory(Algorithm algorithm, std::size_t k,
   throw std::invalid_argument("make_program_factory: unknown algorithm");
 }
 
+sim::Instance make_instance(Algorithm algorithm, const RunSpec& spec) {
+  // A non-empty topology supersedes node_count; KnownNFull's knowledge of n
+  // is the *virtual* ring size either way (that is the ring the agents walk).
+  //
+  // Walk order is required here: the goal oracles (check_positions_uniform's
+  // gap arithmetic) and the schedule-trace replay contract both assume
+  // virtual position order == walk order. Topology::closed_walk's explicit
+  // successor permutations execute fine at the sim layer (build an
+  // sim::Instance directly), but running one through the algorithm drivers
+  // would silently mis-judge uniformity — reject it loudly instead.
+  if (!spec.topology.empty() && !spec.topology.is_ring_order()) {
+    throw std::invalid_argument(
+        "make_instance: algorithm drivers require a ring-order topology "
+        "(implicit successor); explicit closed walks run via sim::Instance");
+  }
+  sim::Topology topology =
+      spec.topology.empty() ? sim::Topology::ring(spec.node_count)
+                            : spec.topology;
+  const std::size_t n = topology.size();
+  return sim::Instance(std::move(topology), spec.homes,
+                       make_program_factory(algorithm, spec.homes.size(), n),
+                       spec.sim_options);
+}
+
 std::unique_ptr<sim::Simulator> make_simulator(Algorithm algorithm,
                                                const RunSpec& spec) {
   return std::make_unique<sim::Simulator>(
-      spec.node_count, spec.homes,
-      make_program_factory(algorithm, spec.homes.size(), spec.node_count),
-      spec.sim_options);
+      std::make_shared<const sim::Instance>(make_instance(algorithm, spec)));
 }
 
 sim::CheckResult evaluate_goal(Algorithm algorithm, const sim::Simulator& sim) {
@@ -81,28 +105,99 @@ sim::CheckResult evaluate_goal(Algorithm algorithm, const sim::Simulator& sim) {
   throw std::invalid_argument("evaluate_goal: unknown algorithm");
 }
 
-RunReport run_algorithm(Algorithm algorithm, const RunSpec& spec) {
-  auto simulator = make_simulator(algorithm, spec);
-  auto scheduler =
-      sim::make_scheduler(spec.scheduler, spec.seed, spec.homes.size());
+namespace {
 
+/// Shared epilogue of the one-shot and pooled paths: oracle + measures.
+RunReport finish_report(Algorithm algorithm, const sim::ExecutionState& state,
+                        const sim::Scheduler& scheduler,
+                        const sim::RunResult& result) {
   RunReport report;
-  report.result = simulator->run(*scheduler);
-  if (report.result.quiescent()) {
-    const sim::CheckResult goal = evaluate_goal(algorithm, *simulator);
+  report.result = result;
+  if (result.quiescent()) {
+    const sim::CheckResult goal = evaluate_goal(algorithm, state);
     report.success = goal.ok;
     report.failure = goal.reason;
   } else {
     report.success = false;
     report.failure = "action limit reached (livelock or broken algorithm)";
   }
-  report.total_moves = simulator->metrics().total_moves();
-  report.makespan = simulator->metrics().makespan();
-  report.scheduler_rounds = scheduler->rounds();
-  report.max_memory_bits = simulator->metrics().max_memory_bits();
-  report.moves_by_phase = simulator->metrics().moves_by_phase();
-  report.final_positions = simulator->staying_nodes();
+  report.total_moves = state.metrics().total_moves();
+  report.makespan = state.metrics().makespan();
+  report.scheduler_rounds = scheduler.rounds();
+  report.max_memory_bits = state.metrics().max_memory_bits();
+  report.moves_by_phase = state.metrics().moves_by_phase();
+  report.final_positions = state.staying_nodes();
+  if (state.topology().has_labels()) {
+    report.final_labels.reserve(report.final_positions.size());
+    for (const std::size_t v : report.final_positions) {
+      report.final_labels.push_back(state.topology().label(v));
+    }
+  }
   return report;
+}
+
+}  // namespace
+
+RunReport run_algorithm(Algorithm algorithm, const RunSpec& spec) {
+  const sim::Instance instance = make_instance(algorithm, spec);
+  sim::ExecutionState state;
+  state.reset(instance);
+  auto scheduler =
+      sim::make_scheduler(spec.scheduler, spec.seed, spec.homes.size());
+  const sim::RunResult result = state.run(*scheduler);
+  return finish_report(algorithm, state, *scheduler, result);
+}
+
+sim::Scheduler& RunContext::scheduler(sim::SchedulerKind kind,
+                                      std::uint64_t seed,
+                                      std::size_t agent_count) {
+  auto& slot = schedulers_[static_cast<std::size_t>(kind)];
+  if (!slot) {
+    slot = sim::make_scheduler(kind, seed, agent_count);
+  } else {
+    // Cached object: swap in this run's seed; ExecutionState::run will
+    // reset() it, which re-derives all mutable state from the seed (the
+    // pooled reuse contract in sim/scheduler.h).
+    slot->reseed(seed);
+  }
+  return *slot;
+}
+
+RunReport RunContext::run(Algorithm algorithm, const RunSpec& spec) {
+  // The Instance lives in the context so state_ remains inspectable after
+  // this returns (and the arena pointer never dangles between runs).
+  instance_.emplace(make_instance(algorithm, spec));
+  state_.reset(*instance_);
+  sim::Scheduler& sched =
+      scheduler(spec.scheduler, spec.seed, spec.homes.size());
+  const sim::RunResult result = state_.run(sched);
+  return finish_report(algorithm, state_, sched, result);
+}
+
+std::vector<RunReport> run_many(Algorithm algorithm,
+                                const std::vector<RunSpec>& specs,
+                                std::size_t workers) {
+  std::vector<RunReport> reports(specs.size());
+  const std::size_t resolved = resolve_workers(specs.size(), workers);
+  // One arena per worker, built before the pool starts; deque-free because
+  // RunContext is neither copyable nor movable.
+  std::vector<std::unique_ptr<RunContext>> contexts;
+  contexts.reserve(resolved);
+  for (std::size_t w = 0; w < resolved; ++w) {
+    contexts.push_back(std::make_unique<RunContext>());
+  }
+  parallel_for_workers(specs.size(), resolved,
+                       [&](std::size_t worker, std::size_t i) {
+                         try {
+                           reports[i] = contexts[worker]->run(algorithm, specs[i]);
+                         } catch (const std::exception& error) {
+                           reports[i] = RunReport{};
+                           reports[i].success = false;
+                           reports[i].failure =
+                               std::string("exception: ") + error.what();
+                         }
+                       });
+  return reports;
 }
 
 }  // namespace udring::core

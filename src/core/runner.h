@@ -1,15 +1,28 @@
 // udring/core/runner.h
 //
-// One-call experiment driver: build a Simulator for an initial
+// One-call experiment drivers: build an Instance for an initial
 // configuration, run a chosen algorithm under a chosen scheduler, check the
 // appropriate correctness oracle, and collect the paper's three complexity
 // measures. Tests, benches and examples all go through this layer.
+//
+// Two forms:
+//  - run_algorithm(spec): the historical one-shot — builds everything,
+//    runs, tears down. Right for a single run.
+//  - RunContext + run_many(specs): the pooled form — a RunContext owns a
+//    reusable sim::ExecutionState arena and a per-kind scheduler cache, so
+//    a worker that executes thousands of runs performs O(k) allocations per
+//    run (agent programs + coroutine frames) instead of O(n). run_many
+//    shards a spec list over util::parallel_for_workers with one RunContext
+//    per worker. exp::run_campaign and the src/explore fuzzer sit on the
+//    same machinery.
 
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,6 +53,11 @@ enum class Algorithm {
 struct RunSpec {
   std::size_t node_count = 0;
   std::vector<std::size_t> homes;  ///< distinct home nodes; k = homes.size()
+  /// The structure to execute on. Empty (default) = the plain unidirectional
+  /// ring of `node_count` nodes. Non-empty = run natively on this topology
+  /// (Euler-tour tree ring, Eulerian graph circuit, explicit closed walk);
+  /// it supersedes node_count and `homes` are virtual positions on it.
+  sim::Topology topology;
   sim::SchedulerKind scheduler = sim::SchedulerKind::RoundRobin;
   std::uint64_t seed = 1;
   sim::SimOptions sim_options;
@@ -55,7 +73,16 @@ struct RunReport {
   std::size_t max_memory_bits = 0;
   std::vector<std::size_t> moves_by_phase;
   std::vector<std::size_t> final_positions;  ///< sorted staying positions
+  /// final_positions mapped through the topology's labels — the underlying
+  /// network node each deployed agent stands at. Empty for label-free
+  /// topologies (the plain ring is its own network).
+  std::vector<std::size_t> final_labels;
 };
+
+/// The Instance `spec` describes for `algorithm` — the immutable half of a
+/// run, executable any number of times by any ExecutionState.
+[[nodiscard]] sim::Instance make_instance(Algorithm algorithm,
+                                          const RunSpec& spec);
 
 /// Runs `algorithm` on the configuration described by `spec` and evaluates
 /// the matching oracle: Definition 1 for the known-k algorithms,
@@ -64,12 +91,55 @@ struct RunReport {
 [[nodiscard]] RunReport run_algorithm(Algorithm algorithm, const RunSpec& spec);
 
 /// Lower-level variant when the caller needs the simulator afterwards:
-/// builds the simulator only.
+/// builds a self-contained simulator (it owns its Instance) without running.
 [[nodiscard]] std::unique_ptr<sim::Simulator> make_simulator(Algorithm algorithm,
                                                              const RunSpec& spec);
 
 /// Evaluates the algorithm's oracle against a finished simulator.
 [[nodiscard]] sim::CheckResult evaluate_goal(Algorithm algorithm,
                                              const sim::Simulator& sim);
+
+/// A reusable per-worker run arena: one pooled ExecutionState plus a cached
+/// scheduler per SchedulerKind (reseed()ed for every run). Construct once,
+/// call run() per spec; everything n-sized is recycled between runs.
+///
+/// Not thread-safe — one RunContext per worker thread is the intended shape
+/// (see run_many). Between run() calls the state() holds the *finished*
+/// configuration of the last run, so callers can inspect it before the next
+/// run resets it.
+class RunContext {
+ public:
+  RunContext() = default;
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// Pooled equivalent of run_algorithm(algorithm, spec).
+  [[nodiscard]] RunReport run(Algorithm algorithm, const RunSpec& spec);
+
+  /// The pooled arena; valid after the first run() until the next one.
+  [[nodiscard]] sim::ExecutionState& state() noexcept { return state_; }
+
+  /// The cached scheduler for `kind`, reseeded and ready; creates it on
+  /// first use. Exposed for drivers that step the state manually.
+  [[nodiscard]] sim::Scheduler& scheduler(sim::SchedulerKind kind,
+                                          std::uint64_t seed,
+                                          std::size_t agent_count);
+
+ private:
+  sim::ExecutionState state_;
+  /// The Instance of the current/last run — kept alive so state_ stays
+  /// inspectable after run() returns; emplaced in place per run.
+  std::optional<sim::Instance> instance_;
+  std::array<std::unique_ptr<sim::Scheduler>, sim::kSchedulerKindCount>
+      schedulers_;
+};
+
+/// Runs every spec through `algorithm` across a worker pool (0 = hardware
+/// concurrency) with one RunContext per worker: the batched, pooled driver.
+/// Reports are index-aligned with `specs`; a spec that throws yields a
+/// report with success = false and the exception text in `failure`.
+[[nodiscard]] std::vector<RunReport> run_many(Algorithm algorithm,
+                                              const std::vector<RunSpec>& specs,
+                                              std::size_t workers = 0);
 
 }  // namespace udring::core

@@ -1,0 +1,215 @@
+#include "embed/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace udring::embed {
+
+namespace {
+
+/// Out-port (adjacency index) of the step a → b in `adjacency`. Tours of
+/// simple networks have a unique match per (a, b).
+[[nodiscard]] std::size_t port_of(const std::vector<TreeNodeId>& neighbors,
+                                  TreeNodeId to) {
+  const auto at = std::find(neighbors.begin(), neighbors.end(), to);
+  if (at == neighbors.end()) {
+    throw std::logic_error("embed: tour step is not an edge");
+  }
+  return static_cast<std::size_t>(at - neighbors.begin());
+}
+
+}  // namespace
+
+sim::Topology topology_from(const EulerRing& ring, const TreeNetwork& tree) {
+  const std::vector<TreeNodeId>& tour = ring.tour();
+  std::vector<std::size_t> ports;
+  ports.reserve(tour.size());
+  for (std::size_t v = 0; v < tour.size(); ++v) {
+    const TreeNodeId from = tour[v];
+    const TreeNodeId to = tour[(v + 1) % tour.size()];
+    // The single-node tour stays put; call its one "port" 0.
+    ports.push_back(from == to ? 0 : port_of(tree.neighbors(from), to));
+  }
+  return sim::Topology::virtual_ring(tour.size(), tour, std::move(ports),
+                                     "euler-tree");
+}
+
+sim::Topology euler_tour_topology(const TreeNetwork& tree, TreeNodeId root) {
+  return topology_from(EulerRing(tree, root), tree);
+}
+
+sim::Topology spanning_tree_topology(const GraphNetwork& graph,
+                                     TreeNodeId root) {
+  const TreeNetwork tree = graph.spanning_tree(root);
+  const EulerRing ring(tree, root);
+  const std::vector<TreeNodeId>& tour = ring.tour();
+  // Port view against the *graph's* adjacency: the walk crosses physical
+  // graph edges, and that is the port a deployed patrol would take.
+  std::vector<std::size_t> ports;
+  ports.reserve(tour.size());
+  for (std::size_t v = 0; v < tour.size(); ++v) {
+    const TreeNodeId from = tour[v];
+    const TreeNodeId to = tour[(v + 1) % tour.size()];
+    ports.push_back(from == to ? 0 : port_of(graph.neighbors(from), to));
+  }
+  return sim::Topology::virtual_ring(tour.size(), tour, std::move(ports),
+                                     "euler-graph");
+}
+
+sim::Topology eulerian_circuit_topology(
+    std::size_t node_count,
+    const std::vector<std::pair<TreeNodeId, TreeNodeId>>& edges) {
+  if (node_count == 0) {
+    throw std::invalid_argument("eulerian_circuit_topology: no nodes");
+  }
+  if (edges.empty()) {
+    if (node_count != 1) {
+      throw std::invalid_argument("eulerian_circuit_topology: disconnected");
+    }
+    return sim::Topology::virtual_ring(1, {0}, {0}, "eulerian-circuit");
+  }
+
+  struct Incidence {
+    TreeNodeId to;
+    std::size_t edge;
+  };
+  std::vector<std::vector<Incidence>> incident(node_count);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [a, b] = edges[e];
+    if (a >= node_count || b >= node_count) {
+      throw std::invalid_argument("eulerian_circuit_topology: edge out of range");
+    }
+    incident[a].push_back({b, e});
+    if (a != b) {
+      incident[b].push_back({a, e});
+    } else {
+      // A self-loop contributes 2 to the degree and is walked once.
+      incident[a].push_back({a, e});
+    }
+  }
+  for (TreeNodeId v = 0; v < node_count; ++v) {
+    if (incident[v].size() % 2 != 0) {
+      throw std::invalid_argument(
+          "eulerian_circuit_topology: node " + std::to_string(v) +
+          " has odd degree (no Eulerian circuit)");
+    }
+    if (incident[v].empty()) {
+      throw std::invalid_argument(
+          "eulerian_circuit_topology: node " + std::to_string(v) +
+          " is isolated (disconnected)");
+    }
+  }
+
+  // Hierholzer's algorithm, iterative: walk unused edges from node 0,
+  // emitting the circuit on backtrack. Deterministic in the edge-list order.
+  std::vector<std::size_t> cursor(node_count, 0);
+  std::vector<bool> used(edges.size(), false);
+  std::vector<TreeNodeId> stack = {0};
+  std::vector<TreeNodeId> circuit;
+  circuit.reserve(edges.size() + 1);
+  while (!stack.empty()) {
+    const TreeNodeId v = stack.back();
+    std::size_t& at = cursor[v];
+    while (at < incident[v].size() && used[incident[v][at].edge]) ++at;
+    if (at == incident[v].size()) {
+      circuit.push_back(v);
+      stack.pop_back();
+    } else {
+      const Incidence& step = incident[v][at];
+      used[step.edge] = true;
+      stack.push_back(step.to);
+    }
+  }
+  std::reverse(circuit.begin(), circuit.end());
+  if (circuit.size() != edges.size() + 1) {
+    throw std::invalid_argument(
+        "eulerian_circuit_topology: disconnected (circuit misses edges)");
+  }
+  circuit.pop_back();  // closed walk: last node == first node == 0
+
+  // Port view: re-walk the circuit assigning each step the lowest unused
+  // incident entry that reaches the next node (the circuit guarantees one
+  // exists).
+  std::fill(used.begin(), used.end(), false);
+  std::vector<std::size_t> ports;
+  ports.reserve(circuit.size());
+  for (std::size_t v = 0; v < circuit.size(); ++v) {
+    const TreeNodeId from = circuit[v];
+    const TreeNodeId to = circuit[(v + 1) % circuit.size()];
+    std::size_t port = incident[from].size();
+    for (std::size_t p = 0; p < incident[from].size(); ++p) {
+      if (incident[from][p].to == to && !used[incident[from][p].edge]) {
+        used[incident[from][p].edge] = true;
+        port = p;
+        break;
+      }
+    }
+    if (port == incident[from].size()) {
+      throw std::logic_error("eulerian_circuit_topology: port reconstruction");
+    }
+    ports.push_back(port);
+  }
+
+  const std::size_t steps = circuit.size();  // before the move: argument
+                                             // evaluation order is unspecified
+  return sim::Topology::virtual_ring(steps, std::move(circuit),
+                                     std::move(ports), "eulerian-circuit");
+}
+
+sim::Topology random_network_topology(RandomNetworkKind kind,
+                                      std::size_t node_count, Rng& rng) {
+  switch (kind) {
+    case RandomNetworkKind::Tree:
+      return euler_tour_topology(random_tree(node_count, rng));
+    case RandomNetworkKind::Graph:
+      return spanning_tree_topology(
+          random_connected_graph(node_count, node_count / 2, rng));
+  }
+  throw std::invalid_argument("random_network_topology: unknown kind");
+}
+
+std::vector<std::size_t> draw_virtual_homes(const sim::Topology& topology,
+                                            std::size_t k, Rng& rng) {
+  const std::size_t n = topology.underlying_node_count();
+  if (k > n) {
+    throw std::invalid_argument(
+        "draw_virtual_homes: more agents than underlying nodes");
+  }
+  std::vector<TreeNodeId> underlying;
+  std::vector<bool> used(n, false);
+  underlying.reserve(k);
+  while (underlying.size() < k) {
+    const auto node = static_cast<TreeNodeId>(rng.below(n));
+    if (used[node]) continue;
+    used[node] = true;
+    underlying.push_back(node);
+  }
+  return virtual_homes(topology, underlying);
+}
+
+std::vector<std::size_t> virtual_homes(const sim::Topology& topology,
+                                       const std::vector<TreeNodeId>& homes) {
+  std::vector<std::size_t> first(topology.underlying_node_count(),
+                                 static_cast<std::size_t>(-1));
+  for (std::size_t v = 0; v < topology.size(); ++v) {
+    const TreeNodeId node = topology.label(v);
+    if (first[node] == static_cast<std::size_t>(-1)) first[node] = v;
+  }
+  std::vector<std::size_t> mapped;
+  mapped.reserve(homes.size());
+  for (const TreeNodeId home : homes) {
+    if (home >= first.size() || first[home] == static_cast<std::size_t>(-1)) {
+      throw std::invalid_argument("virtual_homes: home not on the topology");
+    }
+    mapped.push_back(first[home]);
+  }
+  std::vector<std::size_t> check = mapped;
+  std::sort(check.begin(), check.end());
+  if (std::adjacent_find(check.begin(), check.end()) != check.end()) {
+    throw std::invalid_argument("virtual_homes: homes must be distinct");
+  }
+  return mapped;
+}
+
+}  // namespace udring::embed

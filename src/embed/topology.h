@@ -1,0 +1,87 @@
+// udring/embed/topology.h
+//
+// Builders that turn §5's embeddings into native sim::Topology values, so
+// tree and general-network workloads execute *in the core* instead of being
+// copied onto a detached ring and mapped back by hand:
+//
+//  - euler_tour_topology:       tree → its Euler-tour virtual ring of
+//                               2(n−1) steps (1 for the single-node tree),
+//                               labels = tour nodes, ports = out-port per
+//                               step.
+//  - spanning_tree_topology:    connected graph → port-order DFS spanning
+//                               tree → Euler tour (the paper's "construct a
+//                               spanning tree and embed a ring in it").
+//  - eulerian_circuit_topology: connected multigraph with all-even degrees
+//                               → its Eulerian circuit as a virtual ring of
+//                               E steps, every edge crossed exactly once
+//                               per lap (tighter than the spanning-tree
+//                               detour when the network is Eulerian).
+//
+// The executing core only sees size/successor; labels and ports ride along
+// so results, reports and patrols map back to the physical network without
+// any caller-side bookkeeping (core::RunReport::final_labels).
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "embed/euler_ring.h"
+#include "embed/graph.h"
+#include "embed/tree.h"
+#include "sim/topology.h"
+
+namespace udring::embed {
+
+/// The Euler tour of `tree` rooted at `root` as a native topology.
+[[nodiscard]] sim::Topology euler_tour_topology(const TreeNetwork& tree,
+                                                TreeNodeId root = 0);
+
+/// Topology from an already-built EulerRing (avoids re-touring when the
+/// caller also needs the ring's first_position map).
+[[nodiscard]] sim::Topology topology_from(const EulerRing& ring,
+                                          const TreeNetwork& tree);
+
+/// Spanning tree of `graph` (port-order DFS from `root`), then its Euler
+/// tour. Runs every ring algorithm on an arbitrary connected network.
+[[nodiscard]] sim::Topology spanning_tree_topology(const GraphNetwork& graph,
+                                                   TreeNodeId root = 0);
+
+/// The Eulerian circuit of a connected multigraph (parallel edges and
+/// self-loops allowed) in which every node has even degree, as a virtual
+/// ring of edge_count steps starting at node 0. Throws std::invalid_argument
+/// when a degree is odd or the edges do not connect all nodes. The
+/// single-node edgeless network yields the trivial 1-step ring.
+[[nodiscard]] sim::Topology eulerian_circuit_topology(
+    std::size_t node_count,
+    const std::vector<std::pair<TreeNodeId, TreeNodeId>>& edges);
+
+/// Maps distinct underlying homes to their *first* virtual positions on
+/// `topology` (distinct by the Euler-tour first-visit property). Throws when
+/// a home is not on the topology or appears twice.
+[[nodiscard]] std::vector<std::size_t> virtual_homes(
+    const sim::Topology& topology, const std::vector<TreeNodeId>& homes);
+
+/// Draws k distinct underlying nodes uniformly (rejection sampling from
+/// `rng`) and maps them to their first virtual positions — the one way the
+/// fuzzer and the CLIs place agents on an embedded topology, kept here so
+/// the draw cannot drift between copies. Throws when k exceeds the
+/// underlying node count.
+[[nodiscard]] std::vector<std::size_t> draw_virtual_homes(
+    const sim::Topology& topology, std::size_t k, Rng& rng);
+
+/// Random-network families the fuzzer and CLIs draw embedded instances
+/// from. One definition of "a random tree/graph of n nodes" (including the
+/// graph edge density), so the fuzzer's instance family and the CLIs'
+/// --record instances cannot drift apart.
+enum class RandomNetworkKind { Tree, Graph };
+
+/// A random n-node network of the given kind as its native Euler-tour
+/// topology: a uniform (Prüfer) random tree, or a random connected graph
+/// with n/2 extra edges via its port-order DFS spanning tree.
+[[nodiscard]] sim::Topology random_network_topology(RandomNetworkKind kind,
+                                                    std::size_t node_count,
+                                                    Rng& rng);
+
+}  // namespace udring::embed

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 #include <stdexcept>
+#include <utility>
+
+#include "embed/topology.h"
 
 namespace udring::embed {
 
@@ -50,30 +53,25 @@ TreeDeployReport deploy_on_tree(const TreeNetwork& tree,
     throw std::invalid_argument("deploy_on_tree: tree homes must be distinct");
   }
 
-  const EulerRing ring(tree, root);
-
-  core::RunSpec spec = base_spec;
-  spec.node_count = ring.size();
-  spec.homes.clear();
-  spec.homes.reserve(tree_homes.size());
-  for (const TreeNodeId home : tree_homes) {
-    spec.homes.push_back(ring.first_position(home));
-  }
+  // Native topology path: the Euler tour *is* the instance's topology, so
+  // the core executes the tree workload directly and maps results back via
+  // the labels view — no detached copy ring, no caller-side re-mapping.
+  core::RunSpec spec = std::move(base_spec);
+  spec.topology = euler_tour_topology(tree, root);
+  spec.node_count = spec.topology.size();
+  spec.homes = virtual_homes(spec.topology, tree_homes);
 
   const core::RunReport ring_report = core::run_algorithm(algorithm, spec);
 
   TreeDeployReport report;
   report.success = ring_report.success;
   report.failure = ring_report.failure;
-  report.virtual_ring_size = ring.size();
+  report.virtual_ring_size = spec.topology.size();
   report.virtual_positions = ring_report.final_positions;
   report.total_moves = ring_report.total_moves;
   report.makespan = ring_report.makespan;
   report.max_memory_bits = ring_report.max_memory_bits;
-  report.tree_positions.reserve(report.virtual_positions.size());
-  for (const std::size_t v : report.virtual_positions) {
-    report.tree_positions.push_back(ring.tree_node(v));
-  }
+  report.tree_positions = ring_report.final_labels;
   if (!report.tree_positions.empty()) {
     // Note: two agents may map to the same *tree* node (a node appears
     // deg(node) times on the tour); they still occupy distinct tour steps.

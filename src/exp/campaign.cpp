@@ -1,12 +1,9 @@
 #include "exp/campaign.h"
 
-#include <atomic>
 #include <bit>
-#include <exception>
-#include <mutex>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "config/generators.h"
@@ -91,7 +88,7 @@ namespace {
 }
 
 ScenarioResult run_one(const Scenario& scenario, const CampaignGrid& grid,
-                       bool record_final_positions) {
+                       bool record_final_positions, core::RunContext& ctx) {
   ScenarioResult out;
   try {
     Rng rng = Rng(grid.base_seed).substream(instance_key(scenario));
@@ -102,7 +99,7 @@ ScenarioResult run_one(const Scenario& scenario, const CampaignGrid& grid,
     spec.seed = rng();  // scheduler randomness, independent of the homes draw
     spec.scheduler = scenario.scheduler;
     spec.sim_options = grid.sim_options;
-    const core::RunReport report = core::run_algorithm(scenario.algorithm, spec);
+    const core::RunReport report = ctx.run(scenario.algorithm, spec);
     out.success = report.success;
     out.failure = report.failure;
     out.total_moves = report.total_moves;
@@ -255,58 +252,30 @@ std::string CampaignResult::summary() const {
   return text.str();
 }
 
-std::size_t parallel_for_index(std::size_t count, std::size_t workers,
-                               const std::function<void(std::size_t)>& fn) {
-  if (workers == 0) {
-    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  workers =
-      std::max<std::size_t>(1, std::min(workers, std::max<std::size_t>(1, count)));
-
-  // Shard by atomic work-stealing over indices. Each index owns its output
-  // slot, so the parallel phase shares no mutable state beyond the cursor;
-  // all order-sensitive folding happens after the join. An exception from fn
-  // would std::terminate the process if it escaped a worker thread, so the
-  // first one is captured and rethrown on the calling thread after the join
-  // (the remaining workers drain the cursor and stop).
-  std::atomic<std::size_t> cursor{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  const auto work = [&] {
-    for (std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-         i < count; i = cursor.fetch_add(1, std::memory_order_relaxed)) {
-      try {
-        fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        cursor.store(count, std::memory_order_relaxed);  // stop all workers
-        return;
-      }
-    }
-  };
-  if (workers == 1) {
-    work();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
-    for (std::thread& thread : pool) thread.join();
-  }
-  if (first_error) std::rethrow_exception(first_error);
-  return workers;
-}
-
 CampaignResult run_campaign(const CampaignGrid& grid,
                             const CampaignOptions& options) {
   CampaignResult result;
   result.scenarios = expand(grid);
   result.results.resize(result.scenarios.size());
 
-  result.workers_used = parallel_for_index(
-      result.scenarios.size(), options.workers, [&](std::size_t i) {
-        result.results[i] = run_one(result.scenarios[i], grid,
-                                    options.record_final_positions);
+  // One pooled RunContext per worker: every scenario a worker executes
+  // reuses the same ExecutionState arena and scheduler cache, so a
+  // 1000-instance campaign performs O(workers), not O(instances),
+  // steady-state heap allocations. Scenario *outputs* still go to
+  // index-owned slots — pooling changes where the arena lives, not the
+  // determinism story.
+  const std::size_t workers =
+      resolve_workers(result.scenarios.size(), options.workers);
+  std::vector<std::unique_ptr<core::RunContext>> contexts;
+  contexts.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    contexts.push_back(std::make_unique<core::RunContext>());
+  }
+  result.workers_used = parallel_for_workers(
+      result.scenarios.size(), workers, [&](std::size_t worker, std::size_t i) {
+        result.results[i] =
+            run_one(result.scenarios[i], grid, options.record_final_positions,
+                    *contexts[worker]);
       });
 
   // Deterministic aggregation: fold in scenario-index order, so cell sums

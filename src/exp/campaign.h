@@ -39,6 +39,7 @@
 #include "core/runner.h"
 #include "sim/scheduler.h"
 #include "sim/simulator.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -182,17 +183,13 @@ struct CampaignResult {
   [[nodiscard]] std::string summary() const;
 };
 
-/// The engine's sharding primitive, shared with the schedule explorer
-/// (src/explore): calls fn(i) for every i in [0, count) across a pool of
-/// worker threads with atomic work stealing. `workers` follows
-/// CampaignOptions::workers semantics (0 = hardware concurrency, clamped to
-/// count); returns the worker count actually used. fn must be safe to call
-/// concurrently on distinct indices and should write only to index-owned
-/// state — determinism then comes for free by folding results in index
-/// order after this returns. If fn throws, the pool stops early and the
-/// first exception is rethrown on the calling thread after the join.
-std::size_t parallel_for_index(std::size_t count, std::size_t workers,
-                               const std::function<void(std::size_t)>& fn);
+// The engine's sharding primitive moved down a layer to util/parallel.h
+// (core::run_many needs it below exp/); the campaign engine and the
+// schedule explorer now share udring::parallel_for_index /
+// parallel_for_workers. Re-exported here for existing exp:: callers.
+using udring::parallel_for_index;
+using udring::parallel_for_workers;
+using udring::resolve_workers;
 
 /// Runs every scenario of `grid` across a worker pool and aggregates.
 /// A scenario's randomness is Rng(grid.base_seed).substream(key), where the

@@ -46,13 +46,13 @@ namespace udring::explore {
 
 class LinkDelayScheduler final : public sim::Scheduler {
  public:
-  void attach(const sim::Simulator& sim) override { sim_ = &sim; }
+  void attach(const sim::ExecutionState& sim) override { sim_ = &sim; }
   void reset(std::size_t agent_count) override;
   sim::AgentId pick(const std::vector<sim::AgentId>& enabled) override;
   [[nodiscard]] std::string_view name() const override { return "link-delay"; }
 
  private:
-  const sim::Simulator* sim_ = nullptr;
+  const sim::ExecutionState* sim_ = nullptr;
 };
 
 class BurstPartitionScheduler final : public sim::Scheduler {
@@ -76,13 +76,13 @@ class BurstPartitionScheduler final : public sim::Scheduler {
 
 class FifoStressScheduler final : public sim::Scheduler {
  public:
-  void attach(const sim::Simulator& sim) override { sim_ = &sim; }
+  void attach(const sim::ExecutionState& sim) override { sim_ = &sim; }
   void reset(std::size_t agent_count) override;
   sim::AgentId pick(const std::vector<sim::AgentId>& enabled) override;
   [[nodiscard]] std::string_view name() const override { return "fifo-stress"; }
 
  private:
-  const sim::Simulator* sim_ = nullptr;
+  const sim::ExecutionState* sim_ = nullptr;
 };
 
 /// The sim/ scheduler families plus the adversaries: one namespace of

@@ -1,13 +1,34 @@
 #include "explore/fuzz.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "embed/topology.h"
 #include "explore/replay.h"
 #include "sim/checker.h"
+#include "util/parallel.h"
 
 namespace udring::explore {
+
+std::string_view to_string(FuzzTopology topology) noexcept {
+  switch (topology) {
+    case FuzzTopology::Ring: return "ring";
+    case FuzzTopology::Tree: return "tree";
+    case FuzzTopology::Graph: return "graph";
+  }
+  return "?";
+}
+
+FuzzTopology fuzz_topology_from_name(std::string_view name) {
+  for (const FuzzTopology topology :
+       {FuzzTopology::Ring, FuzzTopology::Tree, FuzzTopology::Graph}) {
+    if (to_string(topology) == name) return topology;
+  }
+  throw std::invalid_argument("fuzz_topology_from_name: unknown topology '" +
+                              std::string(name) + "'");
+}
 
 namespace {
 
@@ -15,16 +36,16 @@ namespace {
 /// checking. Shared by the fuzzing and replay paths so both stop at the
 /// same action with the same verdict — that is what makes a failing trace's
 /// digest reproducible.
-ReplayOutcome drive_checked(sim::Simulator& sim, sim::Scheduler& scheduler,
+ReplayOutcome drive_checked(sim::ExecutionState& sim, sim::Scheduler& scheduler,
                             core::Algorithm algorithm) {
   ReplayOutcome out;
   scheduler.attach(sim);
   scheduler.reset(sim.agent_count());
-  std::size_t min_tokens = sim.ring().total_tokens();
+  std::size_t min_tokens = sim.total_tokens();
   while (sim.step(scheduler)) {
     const sim::CheckResult invariants =
         sim::check_model_invariants(sim, min_tokens);
-    min_tokens = sim.ring().total_tokens();
+    min_tokens = sim.total_tokens();
     if (!invariants) {
       out.failed = true;
       out.reason = "invariant: " + invariants.reason;
@@ -48,56 +69,88 @@ ReplayOutcome drive_checked(sim::Simulator& sim, sim::Scheduler& scheduler,
   return out;
 }
 
-[[nodiscard]] std::unique_ptr<sim::Simulator> build_sim(
-    core::Algorithm algorithm, std::size_t node_count,
-    const std::vector<std::size_t>& homes, bool fault_non_fifo,
-    std::size_t fault_min_phase, std::size_t max_actions) {
+[[nodiscard]] sim::Instance build_instance(const RecordRequest& request) {
   core::RunSpec spec;
-  spec.node_count = node_count;
-  spec.homes = homes;
+  spec.node_count = request.node_count;
+  spec.homes = request.homes;
+  spec.topology = request.topology;
   spec.sim_options.record_events = true;
-  spec.sim_options.max_actions = max_actions;
-  spec.sim_options.fault_non_fifo_links = fault_non_fifo;
-  spec.sim_options.fault_non_fifo_min_phase = fault_min_phase;
-  return core::make_simulator(algorithm, spec);
+  spec.sim_options.max_actions = request.max_actions;
+  spec.sim_options.fault_non_fifo_links = request.fault_non_fifo;
+  spec.sim_options.fault_non_fifo_min_phase = request.fault_min_phase;
+  return core::make_instance(request.algorithm, spec);
 }
 
 }  // namespace
 
-ScheduleTrace record_trace(core::Algorithm algorithm, std::size_t node_count,
-                           std::vector<std::size_t> homes,
-                           ExploreSchedulerKind kind, std::uint64_t seed,
-                           bool fault_non_fifo, std::size_t fault_min_phase,
-                           std::size_t max_actions) {
+ScheduleTrace record_trace(const RecordRequest& request,
+                           sim::ExecutionState* reuse) {
   ScheduleTrace trace;
-  trace.algorithm = algorithm;
-  trace.node_count = node_count;
-  trace.homes = std::move(homes);
-  trace.generator = std::string(to_string(kind));
-  trace.seed = seed;
-  trace.fault_non_fifo = fault_non_fifo;
-  trace.fault_min_phase = fault_min_phase;
+  trace.algorithm = request.algorithm;
+  trace.node_count = request.topology.empty() ? request.node_count
+                                              : request.topology.size();
+  trace.homes = request.homes;
+  trace.topology = request.topology.empty()
+                       ? "ring"
+                       : std::string(request.topology.name());
+  trace.generator = std::string(to_string(request.kind));
+  trace.seed = request.seed;
+  trace.fault_non_fifo = request.fault_non_fifo;
+  trace.fault_min_phase = request.fault_min_phase;
 
-  auto sim = build_sim(algorithm, node_count, trace.homes, fault_non_fifo,
-                       fault_min_phase, max_actions);
+  const sim::Instance instance = build_instance(request);
+  sim::ExecutionState local;
+  sim::ExecutionState& state = reuse != nullptr ? *reuse : local;
+  state.reset(instance);
   RecordingScheduler recorder(
-      make_explore_scheduler(kind, seed, trace.homes.size()));
-  const ReplayOutcome outcome = drive_checked(*sim, recorder, algorithm);
+      make_explore_scheduler(request.kind, request.seed, trace.homes.size()));
+  const ReplayOutcome outcome = drive_checked(state, recorder, request.algorithm);
   trace.choices = recorder.choices();
   trace.expected_digest = outcome.digest;
   trace.note = outcome.failed ? outcome.reason : "ok";
   return trace;
 }
 
-ReplayOutcome replay_trace(const ScheduleTrace& trace, std::size_t max_actions) {
-  auto sim = build_sim(trace.algorithm, trace.node_count, trace.homes,
-                       trace.fault_non_fifo, trace.fault_min_phase, max_actions);
+ScheduleTrace record_trace(core::Algorithm algorithm, std::size_t node_count,
+                           std::vector<std::size_t> homes,
+                           ExploreSchedulerKind kind, std::uint64_t seed,
+                           bool fault_non_fifo, std::size_t fault_min_phase,
+                           std::size_t max_actions) {
+  RecordRequest request;
+  request.algorithm = algorithm;
+  request.node_count = node_count;
+  request.homes = std::move(homes);
+  request.kind = kind;
+  request.seed = seed;
+  request.fault_non_fifo = fault_non_fifo;
+  request.fault_min_phase = fault_min_phase;
+  request.max_actions = max_actions;
+  return record_trace(request);
+}
+
+ReplayOutcome replay_trace(const ScheduleTrace& trace, std::size_t max_actions,
+                           sim::ExecutionState* reuse) {
+  // Execution depends only on the virtual ring size (labels decorate
+  // reports, not semantics), so every trace — ring, tree or graph
+  // provenance — replays on the plain ring of its node_count.
+  RecordRequest request;
+  request.algorithm = trace.algorithm;
+  request.node_count = trace.node_count;
+  request.homes = trace.homes;
+  request.fault_non_fifo = trace.fault_non_fifo;
+  request.fault_min_phase = trace.fault_min_phase;
+  request.max_actions = max_actions;
+  const sim::Instance instance = build_instance(request);
+  sim::ExecutionState local;
+  sim::ExecutionState& state = reuse != nullptr ? *reuse : local;
+  state.reset(instance);
   ReplayScheduler replayer(trace.choices);
-  return drive_checked(*sim, replayer, trace.algorithm);
+  return drive_checked(state, replayer, trace.algorithm);
 }
 
 FuzzIteration fuzz_iteration(const FuzzOptions& options,
-                             std::uint64_t iteration) {
+                             std::uint64_t iteration,
+                             sim::ExecutionState* reuse) {
   Rng rng = Rng(options.base_seed).substream(iteration);
 
   if (!options.fixed_homes.empty() &&
@@ -105,27 +158,57 @@ FuzzIteration fuzz_iteration(const FuzzOptions& options,
     throw std::invalid_argument(
         "fuzz_iteration: fixed_homes requires fixed_nodes >= k");
   }
-  std::size_t n = options.fixed_nodes;
-  std::vector<std::size_t> homes = options.fixed_homes;
-  if (homes.empty()) {
-    n = static_cast<std::size_t>(rng.between(
+  if (!options.fixed_homes.empty() && options.topology != FuzzTopology::Ring) {
+    // Fixed homes name ring nodes; silently fuzzing a plain ring while the
+    // caller asked for tree/graph would be a lie.
+    throw std::invalid_argument(
+        "fuzz_iteration: fixed_homes only supports --topology=ring");
+  }
+
+  RecordRequest request;
+  request.algorithm = options.algorithm;
+  request.fault_non_fifo = options.fault_non_fifo;
+  request.fault_min_phase = options.fault_min_phase;
+  request.max_actions = options.max_actions;
+
+  request.node_count = options.fixed_nodes;
+  request.homes = options.fixed_homes;
+  if (request.homes.empty()) {
+    const std::size_t n = static_cast<std::size_t>(rng.between(
         options.min_nodes, std::max(options.min_nodes, options.max_nodes)));
     const std::size_t k_hi =
         std::min(std::max(options.min_agents, options.max_agents), n);
     const std::size_t k = static_cast<std::size_t>(
         rng.between(std::min(options.min_agents, k_hi), k_hi));
-    homes = exp::draw_homes(options.family, n, k, 1, rng);
+    switch (options.topology) {
+      case FuzzTopology::Ring:
+        request.node_count = n;
+        request.homes = exp::draw_homes(options.family, n, k, 1, rng);
+        break;
+      case FuzzTopology::Tree:
+      case FuzzTopology::Graph: {
+        // Draw the underlying network, embed it, and fuzz natively on the
+        // virtual ring: homes are the first tour positions of k distinct
+        // underlying nodes (distinct by the first-visit property).
+        request.topology = embed::random_network_topology(
+            options.topology == FuzzTopology::Tree
+                ? embed::RandomNetworkKind::Tree
+                : embed::RandomNetworkKind::Graph,
+            n, rng);
+        request.node_count = request.topology.size();
+        request.homes = embed::draw_virtual_homes(request.topology, k, rng);
+        break;
+      }
+    }
   }
 
   const std::vector<ExploreSchedulerKind>& pool =
       options.schedulers.empty() ? all_explore_scheduler_kinds()
                                  : options.schedulers;
-  const ExploreSchedulerKind kind = pool[rng.index(pool.size())];
-  const std::uint64_t scheduler_seed = rng();
+  request.kind = pool[rng.index(pool.size())];
+  request.seed = rng();
 
-  ScheduleTrace trace = record_trace(
-      options.algorithm, n, std::move(homes), kind, scheduler_seed,
-      options.fault_non_fifo, options.fault_min_phase, options.max_actions);
+  ScheduleTrace trace = record_trace(request, reuse);
   FuzzIteration out;
   out.actions = trace.choices.size();  // one pick per atomic action
   out.digest = trace.expected_digest;
@@ -144,9 +227,21 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
   report.iterations = options.iterations;
 
   std::vector<FuzzIteration> slots(options.iterations);
-  exp::parallel_for_index(options.iterations, options.workers, [&](std::size_t i) {
-    slots[i] = fuzz_iteration(options, i);
-  });
+  // One pooled ExecutionState per worker (the same shape as the campaign
+  // engine's RunContext pool): arenas recycle across iterations, outputs
+  // stay index-owned, so the digest stays worker-count-invariant.
+  const std::size_t workers =
+      resolve_workers(options.iterations, options.workers);
+  std::vector<std::unique_ptr<sim::ExecutionState>> states;
+  states.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    states.push_back(std::make_unique<sim::ExecutionState>());
+  }
+  parallel_for_workers(options.iterations, workers,
+                       [&](std::size_t worker, std::size_t i) {
+                         slots[i] =
+                             fuzz_iteration(options, i, states[worker].get());
+                       });
 
   std::uint64_t state = 0xf0220feed5eedULL;  // "fuzz-feed" domain
   fold64(state, options.iterations);

@@ -11,11 +11,13 @@
 // a trace under the same per-action checking and reports the event-log
 // digest, so recorded traces are self-verifying artifacts.
 //
-// run_fuzz shards iterations across the campaign engine's worker pool
-// (exp::parallel_for_index). Iteration i's randomness is
+// run_fuzz shards iterations across the shared worker-pool primitive
+// (util::parallel_for_workers) with one pooled sim::ExecutionState per
+// worker, so a long fuzz campaign reuses its arenas exactly like a
+// measurement campaign. Iteration i's randomness is
 // Rng(base_seed).substream(i) — independent of worker count and execution
 // order — and results fold in index order, so a fuzz campaign's digest is
-// byte-identical at any parallelism, exactly like a measurement campaign.
+// byte-identical at any parallelism.
 
 #pragma once
 
@@ -23,6 +25,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/runner.h"
@@ -32,9 +35,25 @@
 
 namespace udring::explore {
 
+/// Which family of topologies the fuzzer draws instances on. Ring is the
+/// paper's model; Tree and Graph draw a random tree / connected graph per
+/// iteration and fuzz the algorithm natively on its Euler-tour topology —
+/// the §5 embedding path, end to end (the recorded traces stay replayable
+/// stand-alone because execution depends only on the virtual ring size).
+enum class FuzzTopology { Ring, Tree, Graph };
+
+[[nodiscard]] std::string_view to_string(FuzzTopology topology) noexcept;
+
+/// Inverse of to_string. Throws std::invalid_argument on an unknown name.
+[[nodiscard]] FuzzTopology fuzz_topology_from_name(std::string_view name);
+
 struct FuzzOptions {
   core::Algorithm algorithm = core::Algorithm::KnownKFull;
   exp::ConfigFamily family = exp::ConfigFamily::RandomAny;
+  /// Topology family instances are drawn on (see FuzzTopology). For Tree
+  /// and Graph the node range below sizes the *underlying* network; the
+  /// virtual ring is 2(n−1) steps.
+  FuzzTopology topology = FuzzTopology::Ring;
   /// Instance size ranges; each iteration draws n then k uniformly.
   std::size_t min_nodes = 8, max_nodes = 24;
   std::size_t min_agents = 2, max_agents = 6;
@@ -93,24 +112,49 @@ struct FuzzIteration {
 };
 
 /// Runs fuzz iteration `iteration` of `options`; a failure carries the
-/// recorded trace. Deterministic in (options, iteration).
+/// recorded trace. Deterministic in (options, iteration). `reuse` points at
+/// a pooled ExecutionState to run in (run_fuzz passes its per-worker
+/// arena); null = a local one-shot state.
 [[nodiscard]] FuzzIteration fuzz_iteration(const FuzzOptions& options,
-                                           std::uint64_t iteration);
+                                           std::uint64_t iteration,
+                                           sim::ExecutionState* reuse = nullptr);
 
-/// Runs options.iterations fuzz iterations across the worker pool.
+/// Runs options.iterations fuzz iterations across the worker pool, one
+/// pooled ExecutionState per worker.
 [[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& options);
 
 /// Replays `trace` with per-action invariant checking: steps until
 /// quiescence, an invariant violation, or the action limit; at quiescence
 /// evaluates the algorithm's goal oracle. Does NOT compare against
 /// trace.expected_digest — callers assert that (tests) or refresh it
-/// (recording, shrinking).
+/// (recording, shrinking). `reuse` as in fuzz_iteration.
 [[nodiscard]] ReplayOutcome replay_trace(const ScheduleTrace& trace,
-                                         std::size_t max_actions = 0);
+                                         std::size_t max_actions = 0,
+                                         sim::ExecutionState* reuse = nullptr);
 
-/// Records one complete run of `trace`'s instance under `kind` and returns
-/// the resulting trace with choices, digest and note filled in (the
-/// recording path of the record/replay pair; also the corpus generator).
+/// One recording request: the instance, the generating scheduler, and the
+/// fault knobs. `topology` empty = the plain ring of node_count (in which
+/// case `homes` are ring nodes); non-empty = record natively on it (homes
+/// are virtual positions, node_count must equal topology.size()).
+struct RecordRequest {
+  core::Algorithm algorithm = core::Algorithm::KnownKFull;
+  std::size_t node_count = 0;
+  std::vector<std::size_t> homes;
+  sim::Topology topology;
+  ExploreSchedulerKind kind = ExploreSchedulerKind::RoundRobin;
+  std::uint64_t seed = 0;
+  bool fault_non_fifo = false;
+  std::size_t fault_min_phase = 0;
+  std::size_t max_actions = 0;
+};
+
+/// Records one complete run of the requested instance and returns the
+/// resulting trace with choices, digest and note filled in (the recording
+/// path of the record/replay pair; also the corpus generator).
+[[nodiscard]] ScheduleTrace record_trace(const RecordRequest& request,
+                                         sim::ExecutionState* reuse = nullptr);
+
+/// Historical ring-instance form of record_trace.
 [[nodiscard]] ScheduleTrace record_trace(core::Algorithm algorithm,
                                          std::size_t node_count,
                                          std::vector<std::size_t> homes,

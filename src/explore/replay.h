@@ -32,7 +32,7 @@ class RecordingScheduler final : public sim::Scheduler {
  public:
   explicit RecordingScheduler(std::unique_ptr<sim::Scheduler> inner);
 
-  void attach(const sim::Simulator& sim) override { inner_->attach(sim); }
+  void attach(const sim::ExecutionState& sim) override { inner_->attach(sim); }
   void reset(std::size_t agent_count) override;
   sim::AgentId pick(const std::vector<sim::AgentId>& enabled) override;
   [[nodiscard]] std::string_view name() const override { return name_; }

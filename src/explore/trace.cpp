@@ -59,6 +59,7 @@ std::string ScheduleTrace::to_text() const {
   out << "homes";
   for (const std::size_t home : homes) out << ' ' << home;
   out << '\n';
+  if (!topology.empty() && topology != "ring") out << "topology " << topology << '\n';
   if (!generator.empty()) out << "generator " << generator << '\n';
   out << "seed " << seed << '\n';
   if (fault_non_fifo) out << "fault-non-fifo 1\n";
@@ -111,6 +112,8 @@ ScheduleTrace ScheduleTrace::parse(std::string_view text) {
       std::uint64_t home = 0;
       while (fields >> home) trace.homes.push_back(static_cast<std::size_t>(home));
       expect_list_consumed(fields, key);
+    } else if (key == "topology") {
+      fields >> trace.topology;
     } else if (key == "generator") {
       fields >> trace.generator;
     } else if (key == "seed") {

@@ -32,8 +32,13 @@ struct ScheduleTrace {
   static constexpr std::size_t kVersion = 1;
 
   core::Algorithm algorithm = core::Algorithm::KnownKFull;
-  std::size_t node_count = 0;
+  std::size_t node_count = 0;         ///< virtual ring size for embedded runs
   std::vector<std::size_t> homes;     ///< initial configuration, verbatim
+  /// Provenance of the instance's topology ("ring", "euler-tree",
+  /// "euler-graph", …). Informational: execution depends only on the
+  /// virtual ring size, so every trace replays stand-alone on the plain
+  /// ring of node_count regardless of where its instance came from.
+  std::string topology = "ring";
   std::string generator;              ///< scheduler that produced it (informational)
   std::uint64_t seed = 0;             ///< generator seed (informational)
   bool fault_non_fifo = false;        ///< replay with the non-FIFO fault injected

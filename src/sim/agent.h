@@ -40,7 +40,7 @@
 
 namespace udring::sim {
 
-class Simulator;
+class ExecutionState;
 class AgentContext;
 
 /// What an agent requested when it ended its atomic action.
@@ -120,7 +120,7 @@ struct ControlAwaiter {
 /// during an atomic action).
 class AgentContext {
  public:
-  AgentContext(Simulator& simulator, AgentId self) : sim_(&simulator), self_(self) {}
+  AgentContext(ExecutionState& state, AgentId self) : sim_(&state), self_(self) {}
 
   AgentContext(const AgentContext&) = delete;
   AgentContext& operator=(const AgentContext&) = delete;
@@ -176,9 +176,9 @@ class AgentContext {
   void set_phase(std::size_t phase);
 
  private:
-  friend class Simulator;
+  friend class ExecutionState;
 
-  Simulator* sim_;
+  ExecutionState* sim_;
   AgentId self_;
   std::vector<Message> inbox_;  // filled by the simulator before each resume
 };

@@ -59,7 +59,7 @@ CheckResult check_positions_uniform(std::vector<std::size_t> positions,
 namespace {
 
 CheckResult check_queues_empty(const Simulator& sim) {
-  for (NodeId node = 0; node < sim.ring().size(); ++node) {
+  for (NodeId node = 0; node < sim.node_count(); ++node) {
     if (sim.queue_length(node) != 0) {
       std::ostringstream why;
       why << "link queue into node " << node << " still holds "
@@ -87,7 +87,7 @@ CheckResult check_all_status(const Simulator& sim, AgentStatus wanted) {
 CheckResult check_uniform_deployment_with_termination(const Simulator& sim) {
   if (auto r = check_all_status(sim, AgentStatus::Halted); !r) return r;
   if (auto r = check_queues_empty(sim); !r) return r;
-  return check_positions_uniform(sim.staying_nodes(), sim.ring().size());
+  return check_positions_uniform(sim.staying_nodes(), sim.node_count());
 }
 
 CheckResult check_uniform_deployment_without_termination(const Simulator& sim) {
@@ -102,7 +102,7 @@ CheckResult check_uniform_deployment_without_termination(const Simulator& sim) {
       return CheckResult::fail(why.str());
     }
   }
-  return check_positions_uniform(sim.staying_nodes(), sim.ring().size());
+  return check_positions_uniform(sim.staying_nodes(), sim.node_count());
 }
 
 CheckResult check_model_invariants(const Simulator& sim,
@@ -111,7 +111,7 @@ CheckResult check_model_invariants(const Simulator& sim,
 
   // Token monotonicity: tokens are indelible, so the total may only grow,
   // and in this paper's algorithms it is bounded by the number of agents.
-  const std::size_t total_tokens = sim.ring().total_tokens();
+  const std::size_t total_tokens = sim.total_tokens();
   if (total_tokens < min_expected_tokens) {
     std::ostringstream why;
     why << "token count decreased: " << total_tokens << " < "

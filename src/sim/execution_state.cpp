@@ -1,73 +1,93 @@
-#include "sim/simulator.h"
+#include "sim/execution_state.h"
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
 #include <utility>
 
 namespace udring::sim {
 
-Simulator::Simulator(std::size_t node_count, std::vector<NodeId> homes,
-                     const ProgramFactory& factory, SimOptions options)
-    : ring_(node_count),
-      homes_(std::move(homes)),
-      queues_(node_count),
-      staying_(node_count),
-      queue_arrival_ts_(node_count, 0),
-      metrics_(homes_.size()),
-      options_(options) {
-  if (homes_.empty()) {
-    throw std::invalid_argument("Simulator: need at least one agent");
+ExecutionState::ExecutionState(std::size_t node_count, std::vector<NodeId> homes,
+                               const ProgramFactory& factory, SimOptions options)
+    : ExecutionState(std::make_shared<const Instance>(
+          Topology::ring(node_count), std::move(homes), factory, options)) {}
+
+ExecutionState::ExecutionState(std::shared_ptr<const Instance> instance)
+    : owned_instance_(std::move(instance)) {
+  if (!owned_instance_) {
+    throw std::invalid_argument("ExecutionState: null instance");
   }
-  if (homes_.size() > node_count) {
-    throw std::invalid_argument("Simulator: more agents than nodes");
-  }
-  std::unordered_set<NodeId> seen;
-  for (const NodeId home : homes_) {
-    if (home >= node_count) {
-      throw std::invalid_argument("Simulator: home node out of range");
-    }
-    if (!seen.insert(home).second) {
-      throw std::invalid_argument("Simulator: home nodes must be distinct");
-    }
-  }
-  if (options_.max_actions == 0) {
-    // Generous default: the paper's algorithms need ≤ ~14n moves per agent;
-    // actions ≈ moves + a few parks each. 64·n·k + 4096 has wide margin.
-    options_.max_actions = 64 * node_count * homes_.size() + 4096;
-  }
-  options_.max_actions = std::max<std::size_t>(options_.max_actions, 1);
+  reset(*owned_instance_);
+}
+
+void ExecutionState::reset(const Instance& instance) {
+  // Release the previously-owned instance only if it is not the one being
+  // reset onto (re-running a legacy-constructed simulator stays valid).
+  if (owned_instance_.get() != &instance) owned_instance_.reset();
+  instance_ = &instance;
+  topo_ = &instance.topology();
+  options_ = instance.options();
+
+  const std::size_t n = instance.node_count();
+  const std::size_t k = instance.agent_count();
 
   log_.set_enabled(options_.record_events);
+  log_.clear();
+  metrics_.reset(k);
+  action_counter_ = 0;
+  acting_agent_ = kNoAgentActing;
 
-  agents_.reserve(homes_.size());
-  enabled_.reserve(homes_.size());
-  enabled_pos_.assign(homes_.size(), kNotEnabled);
+  tokens_.assign(n, 0);
+  queue_arrival_ts_.assign(n, 0);
+  // Shrinking keeps the front queues' buffers; growing default-constructs
+  // the new tail. Either way existing capacity survives.
+  queues_.resize(n);
+  staying_.resize(n);
+  for (auto& queue : queues_) queue.clear();
+  for (auto& set : staying_) set.clear();
   // Hot-path allocation hygiene: queues and staying sets can never exceed k
   // entries; a small up-front reservation makes steady-state actions
-  // allocation-free on typical (k ≪ n) instances.
-  const std::size_t reserve_per_node = std::min<std::size_t>(homes_.size(), 8);
+  // allocation-free on typical (k ≪ n) instances. Reserving is a no-op once
+  // the pooled buffers have grown to it.
+  const std::size_t reserve_per_node = std::min<std::size_t>(k, 8);
   for (auto& queue : queues_) queue.reserve(reserve_per_node);
   for (auto& set : staying_) set.reserve(reserve_per_node);
-  for (AgentId id = 0; id < homes_.size(); ++id) {
-    AgentCell c;
-    c.program = factory(id);
+
+  enabled_.clear();
+  enabled_.reserve(k);
+  enabled_pos_.assign(k, kNotEnabled);
+
+  agents_.resize(k);
+  for (AgentId id = 0; id < k; ++id) {
+    AgentCell& c = agents_[id];
+    // Destroy the previous run's coroutine before its program (the frame
+    // references the program object), then build this run's pair.
+    c.behavior = Behavior();
+    c.program = instance.factory()(id);
     if (!c.program) {
-      throw std::invalid_argument("Simulator: factory returned null program");
+      throw std::invalid_argument("ExecutionState: factory returned null program");
     }
-    c.ctx = std::make_unique<AgentContext>(*this, id);
+    if (c.ctx) {
+      c.ctx->sim_ = this;
+      c.ctx->self_ = id;
+      c.ctx->inbox_.clear();
+    } else {
+      c.ctx = std::make_unique<AgentContext>(*this, id);
+    }
     c.behavior = c.program->run(*c.ctx);
     c.status = AgentStatus::InTransit;
-    c.node = homes_[id];  // destination: the home node's incoming buffer
-    agents_.push_back(std::move(c));
-    queues_[homes_[id]].push_back(id);
+    c.node = instance.homes()[id];  // destination: the home node's buffer
+    c.in_staying_set = false;
+    c.mailbox.clear();
+    c.wake_ts = 0;
+    c.last_ts = 0;
+    queues_[c.node].push_back(id);
   }
-  for (AgentId id = 0; id < agents_.size(); ++id) {
+  for (AgentId id = 0; id < k; ++id) {
     refresh_enabled(id);
   }
 }
 
-RunResult Simulator::run(Scheduler& scheduler) {
+RunResult ExecutionState::run(Scheduler& scheduler) {
   scheduler.attach(*this);
   scheduler.reset(agents_.size());
   RunResult result;
@@ -84,31 +104,37 @@ RunResult Simulator::run(Scheduler& scheduler) {
   return result;
 }
 
-bool Simulator::step(Scheduler& scheduler) {
+bool ExecutionState::step(Scheduler& scheduler) {
   if (enabled_.empty()) return false;
   execute_action(scheduler.pick(enabled_));
   return true;
 }
 
-bool Simulator::step_agent(AgentId id) {
+bool ExecutionState::step_agent(AgentId id) {
   if (id >= agents_.size() || enabled_pos_.at(id) == kNotEnabled) return false;
   execute_action(id);
   return true;
 }
 
-bool Simulator::all_halted() const noexcept {
+bool ExecutionState::all_halted() const noexcept {
   return std::all_of(agents_.begin(), agents_.end(), [](const AgentCell& c) {
     return c.status == AgentStatus::Halted;
   });
 }
 
-bool Simulator::all_suspended() const noexcept {
+bool ExecutionState::all_suspended() const noexcept {
   return std::all_of(agents_.begin(), agents_.end(), [](const AgentCell& c) {
     return c.status == AgentStatus::Suspended;
   });
 }
 
-std::vector<NodeId> Simulator::staying_nodes() const {
+std::size_t ExecutionState::total_tokens() const noexcept {
+  std::size_t total = 0;
+  for (const std::size_t count : tokens_) total += count;
+  return total;
+}
+
+std::vector<NodeId> ExecutionState::staying_nodes() const {
   std::vector<NodeId> nodes;
   for (const AgentCell& c : agents_) {
     if (c.in_staying_set) nodes.push_back(c.node);
@@ -117,10 +143,10 @@ std::vector<NodeId> Simulator::staying_nodes() const {
   return nodes;
 }
 
-Snapshot Simulator::snapshot() const {
+Snapshot ExecutionState::snapshot() const {
   Snapshot snap;
-  snap.node_count = ring_.size();
-  snap.tokens = ring_.token_counts();
+  snap.node_count = tokens_.size();
+  snap.tokens = tokens_;
   snap.agents.reserve(agents_.size());
   for (AgentId id = 0; id < agents_.size(); ++id) {
     const AgentCell& c = agents_[id];
@@ -143,9 +169,12 @@ Snapshot Simulator::snapshot() const {
 
 // ---- action engine ----------------------------------------------------------
 
-void Simulator::execute_action(AgentId id) {
-  AgentCell& c = cell(id);
+void ExecutionState::execute_action(AgentId id) {
+  AgentCell& c = agents_[id];
   ++action_counter_;
+  // Hoisted so the (default-off) logging path costs one predictable branch
+  // per record site instead of materializing Event aggregates per action.
+  const bool logging = log_.enabled();
 
   const bool arrival = (c.status == AgentStatus::InTransit);
   std::uint64_t ts = c.last_ts;
@@ -156,7 +185,8 @@ void Simulator::execute_action(AgentId id) {
     } else if (options_.fault_non_fifo_links && queue.remove(id)) {
       // Fault injection: the agent jumped the queue (see SimOptions).
     } else {
-      throw std::logic_error("Simulator: scheduled a non-head in-transit agent");
+      throw std::logic_error(
+          "ExecutionState: scheduled a non-head in-transit agent");
     }
     ts = std::max(ts, queue_arrival_ts_[c.node]);
     if (!queue.empty()) refresh_enabled(queue.front());
@@ -167,7 +197,9 @@ void Simulator::execute_action(AgentId id) {
   c.last_ts = ts;
   if (arrival) {
     queue_arrival_ts_[c.node] = ts;
-    log_.record({action_counter_, EventKind::Arrive, id, c.node, ts, 0});
+    if (logging) {
+      log_.record({action_counter_, EventKind::Arrive, id, c.node, ts, 0});
+    }
   }
 
   // Receive all pending messages (step 2 of the atomic action). Swapping
@@ -191,8 +223,10 @@ void Simulator::execute_action(AgentId id) {
   switch (request) {
     case Request::Move: {
       if (c.in_staying_set) remove_from_staying(id);
-      log_.record({action_counter_, EventKind::Depart, id, c.node, ts, 0});
-      const NodeId dest = ring_.next(c.node);
+      if (logging) {
+        log_.record({action_counter_, EventKind::Depart, id, c.node, ts, 0});
+      }
+      const NodeId dest = topo_->next(c.node);
       c.status = AgentStatus::InTransit;
       c.node = dest;
       queues_[dest].push_back(id);
@@ -202,25 +236,34 @@ void Simulator::execute_action(AgentId id) {
     case Request::Stay:
       c.status = AgentStatus::Staying;
       if (!c.in_staying_set) add_to_staying(id);
-      log_.record({action_counter_, EventKind::StayPut, id, c.node, ts, 0});
+      if (logging) {
+        log_.record({action_counter_, EventKind::StayPut, id, c.node, ts, 0});
+      }
       break;
     case Request::WaitMessage:
       c.status = AgentStatus::Waiting;
       if (!c.in_staying_set) add_to_staying(id);
-      log_.record({action_counter_, EventKind::EnterWait, id, c.node, ts, 0});
+      if (logging) {
+        log_.record({action_counter_, EventKind::EnterWait, id, c.node, ts, 0});
+      }
       break;
     case Request::Suspend:
       c.status = AgentStatus::Suspended;
       if (!c.in_staying_set) add_to_staying(id);
-      log_.record({action_counter_, EventKind::EnterSuspend, id, c.node, ts, 0});
+      if (logging) {
+        log_.record(
+            {action_counter_, EventKind::EnterSuspend, id, c.node, ts, 0});
+      }
       break;
     case Request::Done:
       c.status = AgentStatus::Halted;
       if (!c.in_staying_set) add_to_staying(id);
-      log_.record({action_counter_, EventKind::Halt, id, c.node, ts, 0});
+      if (logging) {
+        log_.record({action_counter_, EventKind::Halt, id, c.node, ts, 0});
+      }
       break;
     case Request::None:
-      throw std::logic_error("Simulator: agent yielded no request");
+      throw std::logic_error("ExecutionState: agent yielded no request");
   }
 
   refresh_enabled(id);
@@ -234,7 +277,7 @@ void Simulator::execute_action(AgentId id) {
   }
 }
 
-bool Simulator::should_be_enabled(AgentId id) const {
+bool ExecutionState::should_be_enabled(AgentId id) const {
   const AgentCell& c = cell(id);
   switch (c.status) {
     case AgentStatus::InTransit: {
@@ -270,7 +313,7 @@ bool Simulator::should_be_enabled(AgentId id) const {
   return false;
 }
 
-void Simulator::refresh_enabled(AgentId id) {
+void ExecutionState::refresh_enabled(AgentId id) {
   const bool want = should_be_enabled(id);
   const std::size_t pos = enabled_pos_[id];
   if (want && pos == kNotEnabled) {
@@ -285,13 +328,13 @@ void Simulator::refresh_enabled(AgentId id) {
   }
 }
 
-void Simulator::add_to_staying(AgentId id) {
+void ExecutionState::add_to_staying(AgentId id) {
   AgentCell& c = cell(id);
   staying_[c.node].push_back(id);
   c.in_staying_set = true;
 }
 
-void Simulator::remove_from_staying(AgentId id) {
+void ExecutionState::remove_from_staying(AgentId id) {
   AgentCell& c = cell(id);
   auto& set = staying_[c.node];
   set.erase(std::remove(set.begin(), set.end(), id), set.end());
@@ -300,24 +343,27 @@ void Simulator::remove_from_staying(AgentId id) {
 
 // ---- AgentContext hooks ------------------------------------------------------
 
-std::size_t Simulator::tokens_at_agent(AgentId id) const {
-  return ring_.tokens(cell(id).node);
+std::size_t ExecutionState::tokens_at_agent(AgentId id) const {
+  return tokens_[cell(id).node];
 }
 
-std::size_t Simulator::others_staying_at_agent(AgentId id) const {
+std::size_t ExecutionState::others_staying_at_agent(AgentId id) const {
   const AgentCell& c = cell(id);
   const std::size_t here = staying_[c.node].size();
   return c.in_staying_set ? here - 1 : here;
 }
 
-void Simulator::agent_release_token(AgentId id) {
+void ExecutionState::agent_release_token(AgentId id) {
   const AgentCell& c = cell(id);
-  ring_.add_token(c.node);
-  log_.record({action_counter_, EventKind::TokenDrop, id, c.node, c.last_ts, 0});
+  ++tokens_[c.node];
+  if (log_.enabled()) {
+    log_.record({action_counter_, EventKind::TokenDrop, id, c.node, c.last_ts, 0});
+  }
 }
 
-void Simulator::agent_broadcast(AgentId id, Message message) {
+void ExecutionState::agent_broadcast(AgentId id, Message message) {
   const AgentCell& sender = cell(id);
+  const bool logging = log_.enabled();
   std::size_t receivers = 0;
   for (const AgentId other : staying_[sender.node]) {
     if (other == id) continue;
@@ -327,17 +373,39 @@ void Simulator::agent_broadcast(AgentId id, Message message) {
     rc.wake_ts = std::max(rc.wake_ts, sender.last_ts);
     const bool was_enabled = enabled_pos_[other] != kNotEnabled;
     refresh_enabled(other);
-    if (!was_enabled && enabled_pos_[other] != kNotEnabled) {
+    if (logging && !was_enabled && enabled_pos_[other] != kNotEnabled) {
       log_.record({action_counter_, EventKind::Wake, other, rc.node, sender.last_ts, id});
     }
     ++receivers;
   }
-  log_.record(
-      {action_counter_, EventKind::Broadcast, id, sender.node, sender.last_ts, receivers});
+  if (logging) {
+    log_.record({action_counter_, EventKind::Broadcast, id, sender.node,
+                 sender.last_ts, receivers});
+  }
 }
 
-void Simulator::agent_set_phase(AgentId id, std::size_t phase) {
+void ExecutionState::agent_set_phase(AgentId id, std::size_t phase) {
   metrics_.agent(id).phase = phase;
+}
+
+// ---- batching ---------------------------------------------------------------
+
+std::size_t run_batch(
+    ExecutionState& state, const std::vector<const Instance*>& instances,
+    const std::function<Scheduler&(std::size_t)>& scheduler_for,
+    const std::function<void(std::size_t, const ExecutionState&,
+                             const RunResult&)>& consume) {
+  std::size_t executed = 0;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (instances[i] == nullptr) {
+      throw std::invalid_argument("run_batch: null instance");
+    }
+    state.reset(*instances[i]);
+    const RunResult result = state.run(scheduler_for(i));
+    if (consume) consume(i, state, result);
+    ++executed;
+  }
+  return executed;
 }
 
 }  // namespace udring::sim

@@ -1,0 +1,257 @@
+// udring/sim/execution_state.h
+//
+// ExecutionState — the *mutable* half of a run (and, via the legacy
+// constructor, the class the rest of the repo has always called Simulator).
+//
+// An ExecutionState owns a global configuration C = (S, T, M, P, Q) exactly
+// as Table 2 of the paper defines it:
+//
+//   S  agent program states            (AgentProgram objects + coroutines)
+//   T  node states = token counts      (tokens_)
+//   M  undelivered message sequences   (per-agent mailboxes)
+//   P  staying sets p_i                (staying_[i])
+//   Q  FIFO link queues q_i            (queues_[i]: agents in transit to v_i)
+//
+// and advances it one *atomic action* at a time under a pluggable fair
+// Scheduler. An atomic action (§2.1) is: arrive (if in transit) → receive
+// all pending messages → run local computation → optionally broadcast and/or
+// release a token → move, stay, wait, suspend, or halt.
+//
+// Model guarantees enforced structurally:
+//  - FIFO links: only the head of each link queue may arrive; arrivals
+//    preserve departure order.
+//  - Initial buffers: every agent starts *in transit to its home node* and
+//    is the sole initial occupant of that queue, so its first action happens
+//    at its home before any visitor's action there (§2.1). This rule is
+//    load-bearing: without it a fast agent could pass a slow agent's home
+//    before its token is dropped and miscount the ring.
+//  - No overtaking: an agent is observable only while staying at a node;
+//    agents in transit are invisible and cannot be passed except by queueing
+//    behind them.
+//
+// Pooling: reset(const Instance&) rebinds the state to a (possibly
+// different) instance while *reusing every arena allocation* — link-queue
+// buffers, staying sets, mailboxes, metrics arrays, the enabled set, the
+// event log. A campaign that runs thousands of instances through one
+// per-worker ExecutionState performs O(k) allocations per run (the agent
+// programs and their coroutine frames, which are inherently per-run) instead
+// of O(n): the steady-state action loop allocates nothing.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/agent.h"
+#include "sim/event_log.h"
+#include "sim/instance.h"
+#include "sim/link_queue.h"
+#include "sim/metrics.h"
+#include "sim/scheduler.h"
+#include "sim/topology.h"
+#include "sim/types.h"
+
+namespace udring::sim {
+
+struct RunResult {
+  enum class Outcome { Quiescent, ActionLimit };
+  Outcome outcome = Outcome::Quiescent;
+  std::size_t actions = 0;
+
+  [[nodiscard]] bool quiescent() const noexcept {
+    return outcome == Outcome::Quiescent;
+  }
+};
+
+/// Observable state of one agent for snapshots (instrumentation only).
+struct AgentSnap {
+  AgentId id = 0;
+  AgentStatus status = AgentStatus::InTransit;
+  NodeId node = 0;  ///< staying node, or destination while in transit
+  std::size_t moves = 0;
+  std::size_t phase = 0;
+  std::size_t mailbox_size = 0;
+  std::uint64_t state_hash = 0;
+};
+
+/// Deep-copyable observable configuration; used by the checker, the ASCII
+/// renderer, and the Theorem-5 local-configuration comparison.
+struct Snapshot {
+  std::size_t node_count = 0;
+  std::vector<std::size_t> tokens;            // index = node
+  std::vector<AgentSnap> agents;              // index = agent id
+  std::vector<std::vector<AgentId>> queues;   // index = destination node
+};
+
+class ExecutionState {
+ public:
+  /// An empty state: reset() it onto an Instance before use. This is the
+  /// pooled form — construct once per worker, reset per run.
+  ExecutionState() = default;
+
+  /// Legacy one-shot form (the historical Simulator constructor): builds and
+  /// *owns* a ring Instance, then resets onto it. Programs are created
+  /// immediately; their coroutines start at the first scheduled action.
+  ExecutionState(std::size_t node_count, std::vector<NodeId> homes,
+                 const ProgramFactory& factory, SimOptions options = {});
+
+  /// Owns `instance` (shared) and resets onto it — for callers that need a
+  /// self-contained simulator with a non-ring topology (core::make_simulator).
+  explicit ExecutionState(std::shared_ptr<const Instance> instance);
+
+  ExecutionState(const ExecutionState&) = delete;
+  ExecutionState& operator=(const ExecutionState&) = delete;
+
+  /// Rebinds this state to `instance` as configuration C_0, reusing all
+  /// existing arena capacity. `instance` must outlive this state's use of it
+  /// (until the next reset or destruction); it is NOT owned. Any number of
+  /// states may share one Instance concurrently.
+  void reset(const Instance& instance);
+
+  /// True once reset onto an instance (default-constructed states are not
+  /// runnable until then).
+  [[nodiscard]] bool bound() const noexcept { return instance_ != nullptr; }
+  [[nodiscard]] const Instance& instance() const { return *instance_; }
+
+  // ---- execution ----------------------------------------------------------
+
+  /// Runs atomic actions under `scheduler` until quiescence (no enabled
+  /// agents — Definitions 1/2's terminal shapes) or the action limit.
+  RunResult run(Scheduler& scheduler);
+
+  /// Executes one atomic action; returns false when quiescent.
+  bool step(Scheduler& scheduler);
+
+  /// Force-steps a specific agent (tests); returns false if not enabled.
+  bool step_agent(AgentId id);
+
+  // ---- inspection ---------------------------------------------------------
+
+  [[nodiscard]] const Topology& topology() const noexcept {
+    return instance_->topology();
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept { return tokens_.size(); }
+  [[nodiscard]] std::size_t agent_count() const noexcept { return agents_.size(); }
+  [[nodiscard]] const std::vector<NodeId>& homes() const noexcept {
+    return instance_->homes();
+  }
+
+  /// Number of tokens at `node` (T in the configuration). In this paper's
+  /// algorithms it is 0 or 1, but the substrate supports arbitrary counts.
+  [[nodiscard]] std::size_t tokens(NodeId node) const { return tokens_.at(node); }
+  [[nodiscard]] std::size_t total_tokens() const noexcept;
+  [[nodiscard]] const std::vector<std::size_t>& token_counts() const noexcept {
+    return tokens_;
+  }
+
+  [[nodiscard]] AgentStatus status(AgentId id) const { return cell(id).status; }
+
+  /// The node an agent is staying at, or its destination while in transit.
+  [[nodiscard]] NodeId agent_node(AgentId id) const { return cell(id).node; }
+
+  /// Agents currently allowed to act (queue heads; schedulable stayers;
+  /// parked agents with pending mail).
+  [[nodiscard]] const std::vector<AgentId>& enabled() const noexcept {
+    return enabled_;
+  }
+
+  [[nodiscard]] bool quiescent() const noexcept { return enabled_.empty(); }
+  [[nodiscard]] bool all_halted() const noexcept;
+  [[nodiscard]] bool all_suspended() const noexcept;
+
+  /// Nodes of all staying agents (one entry per staying agent, sorted).
+  [[nodiscard]] std::vector<NodeId> staying_nodes() const;
+
+  [[nodiscard]] std::size_t queue_length(NodeId node) const {
+    return queues_.at(node).size();
+  }
+
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] EventLog& log() noexcept { return log_; }
+  [[nodiscard]] const EventLog& log() const noexcept { return log_; }
+
+  [[nodiscard]] const AgentProgram& program(AgentId id) const {
+    return *cell(id).program;
+  }
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  [[nodiscard]] std::size_t actions_executed() const noexcept {
+    return action_counter_;
+  }
+  [[nodiscard]] std::size_t max_actions() const noexcept {
+    return options_.max_actions;
+  }
+
+ private:
+  friend class AgentContext;
+
+  struct AgentCell {
+    std::unique_ptr<AgentProgram> program;
+    std::unique_ptr<AgentContext> ctx;  ///< stable address; reused across resets
+    Behavior behavior;
+    AgentStatus status = AgentStatus::InTransit;
+    NodeId node = 0;  ///< staying node, or destination while in transit
+    bool in_staying_set = false;
+    std::vector<Message> mailbox;
+    std::uint64_t wake_ts = 0;  ///< max sender stamp among undelivered mail
+    std::uint64_t last_ts = 0;
+  };
+
+  // Unchecked: agent ids come from the enabled set / queues and are always
+  // in range; this sits on the per-action hot path.
+  [[nodiscard]] AgentCell& cell(AgentId id) { return agents_[id]; }
+  [[nodiscard]] const AgentCell& cell(AgentId id) const { return agents_[id]; }
+
+  void execute_action(AgentId id);
+  void refresh_enabled(AgentId id);
+  void add_to_staying(AgentId id);
+  void remove_from_staying(AgentId id);
+  [[nodiscard]] bool should_be_enabled(AgentId id) const;
+
+  // AgentContext hooks (the acting agent's perceptions and actions).
+  [[nodiscard]] std::size_t tokens_at_agent(AgentId id) const;
+  [[nodiscard]] std::size_t others_staying_at_agent(AgentId id) const;
+  void agent_release_token(AgentId id);
+  void agent_broadcast(AgentId id, Message message);
+  void agent_set_phase(AgentId id, std::size_t phase);
+
+  std::shared_ptr<const Instance> owned_instance_;  // legacy ctors only
+  const Instance* instance_ = nullptr;
+  const Topology* topo_ = nullptr;                 // == &instance_->topology()
+  SimOptions options_;                             // copy for hot-path access
+  std::vector<std::size_t> tokens_;                // T: token count per node
+  std::vector<AgentCell> agents_;
+  std::vector<LinkQueue> queues_;                  // q_i: in transit to node i
+  std::vector<std::vector<AgentId>> staying_;      // p_i: staying at node i
+  std::vector<std::uint64_t> queue_arrival_ts_;    // FIFO causal stamps
+  std::vector<AgentId> enabled_;
+  std::vector<std::size_t> enabled_pos_;           // id -> index in enabled_
+  Metrics metrics_;
+  EventLog log_;
+  std::size_t action_counter_ = 0;
+  AgentId acting_agent_ = kNoAgentActing;
+
+  static constexpr AgentId kNoAgentActing = static_cast<AgentId>(-1);
+  static constexpr std::size_t kNotEnabled = static_cast<std::size_t>(-1);
+};
+
+/// Historical name, kept so the execution engine reads as "the simulator"
+/// everywhere a run is one-shot. The pooled APIs say ExecutionState.
+using Simulator = ExecutionState;
+
+/// Runs `instances` back to back on one pooled `state` (the serial pooling
+/// primitive; core::run_many adds the worker sharding on top). For each
+/// index i: state.reset(*instances[i]), then run under scheduler_for(i),
+/// then consume(i, state, result) while the state still holds the finished
+/// configuration. Returns the number of runs executed.
+std::size_t run_batch(
+    ExecutionState& state, const std::vector<const Instance*>& instances,
+    const std::function<Scheduler&(std::size_t)>& scheduler_for,
+    const std::function<void(std::size_t, const ExecutionState&,
+                             const RunResult&)>& consume);
+
+}  // namespace udring::sim

@@ -1,0 +1,96 @@
+// udring/sim/instance.h
+//
+// Instance — the *immutable* half of a run.
+//
+// A run is Instance × ExecutionState: the Instance holds everything that
+// never changes while the execution advances (the topology, the initial
+// home configuration, the program factory, and the resolved options), and
+// an ExecutionState is the mutable arena that executes it. One Instance can
+// be executed any number of times, concurrently, by different
+// ExecutionStates — it is never written after construction — which is what
+// makes pooled batch drivers (sim::run_batch, core::run_many,
+// exp::run_campaign) safe and allocation-free in steady state.
+//
+// Lifetime contract: an ExecutionState holds a plain pointer to the
+// Instance it was last reset() onto. The Instance must stay alive until the
+// state is reset onto another one (or destroyed). The convenience Simulator
+// constructor sidesteps the question by owning its Instance.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/agent.h"
+#include "sim/topology.h"
+#include "sim/types.h"
+
+namespace udring::sim {
+
+struct SimOptions {
+  /// Record an Event for every action (tests/examples; off for sweeps).
+  bool record_events = false;
+  /// Hard stop after this many atomic actions; 0 = auto (generous multiple
+  /// of k·n). Hitting the limit marks the run ActionLimit — a livelock or a
+  /// broken algorithm, never a legitimate outcome for this paper's
+  /// algorithms.
+  std::size_t max_actions = 0;
+  /// TEST-ONLY fault injection: weakens the FIFO link guarantee. When set,
+  /// an in-transit agent may arrive from *any* queue position — overtaking
+  /// agents ahead of it — as long as it does not pass an agent still in its
+  /// initial transit (that restriction preserves the §2.1 home-node-first
+  /// rule, which every algorithm legitimately relies on; the FIFO
+  /// non-overtaking property is the only guarantee removed). The scheduler
+  /// decides who jumps: all such agents join the enabled set. This models a
+  /// substrate without FIFO links and exists so the schedule explorer can
+  /// demonstrate that KnownKLogMemStrict's correctness — unlike the hardened
+  /// default — leans on FIFO order (see known_k_logmem.h). Never set it in
+  /// experiments that reproduce the paper's model.
+  bool fault_non_fifo_links = false;
+  /// Narrows the fault window: overtaking is permitted only when the jumper
+  /// and every agent it passes have reached this phase tag (metrics phase,
+  /// see AgentContext::set_phase). Phases are how multi-phase algorithms
+  /// announce their progress, so this seeds a non-FIFO bug into one phase
+  /// without corrupting the phases before it — e.g. phase 1 targets
+  /// Algorithm 3's deployment race while Algorithm 2's selection-phase
+  /// geometry measurements (which also assume non-overtaking, for every
+  /// variant) stay sound. 0 = the fault is live from the first action.
+  std::size_t fault_non_fifo_min_phase = 0;
+};
+
+/// Creates the program (algorithm instance) for agent `id`. Algorithms are
+/// anonymous and must ignore `id`; it exists so tests can plant heterogeneous
+/// programs.
+using ProgramFactory = std::function<std::unique_ptr<AgentProgram>(AgentId)>;
+
+class Instance {
+ public:
+  /// Validates and freezes one runnable configuration: `homes` must be
+  /// distinct nodes of the topology; agent i starts in transit to homes[i]
+  /// (the §2.1 incoming-buffer rule). `options.max_actions == 0` is
+  /// resolved here to the generous 64·n·k + 4096 default, so every
+  /// execution of this Instance sees the same limit.
+  Instance(Topology topology, std::vector<NodeId> homes,
+           ProgramFactory factory, SimOptions options = {});
+
+  /// Ring convenience: Instance(Topology::ring(node_count), …).
+  Instance(std::size_t node_count, std::vector<NodeId> homes,
+           ProgramFactory factory, SimOptions options = {});
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return topology_.size(); }
+  [[nodiscard]] const std::vector<NodeId>& homes() const noexcept { return homes_; }
+  [[nodiscard]] std::size_t agent_count() const noexcept { return homes_.size(); }
+  [[nodiscard]] const ProgramFactory& factory() const noexcept { return factory_; }
+  [[nodiscard]] const SimOptions& options() const noexcept { return options_; }
+
+ private:
+  Topology topology_;
+  std::vector<NodeId> homes_;
+  ProgramFactory factory_;
+  SimOptions options_;
+};
+
+}  // namespace udring::sim

@@ -34,15 +34,33 @@ struct AgentMetrics {
     if (moves_by_phase.size() <= phase) moves_by_phase.resize(phase + 1, 0);
     ++moves_by_phase[phase];
   }
+
+  /// Zeroes everything, keeping moves_by_phase's capacity (pooled reuse).
+  void reset() noexcept {
+    moves = actions = 0;
+    causal_time = 0;
+    peak_memory_bits = phase = 0;
+    moves_by_phase.clear();
+  }
 };
 
 class Metrics {
  public:
+  Metrics() = default;
   explicit Metrics(std::size_t agent_count) : per_agent_(agent_count) {}
 
-  [[nodiscard]] AgentMetrics& agent(std::size_t id) { return per_agent_.at(id); }
+  /// Resizes to `agent_count` and zeroes every entry, reusing the per-agent
+  /// vectors' capacity (ExecutionState::reset).
+  void reset(std::size_t agent_count) {
+    per_agent_.resize(agent_count);
+    for (auto& agent : per_agent_) agent.reset();
+  }
+
+  // Unchecked: agent ids are simulator-internal and always in range, and
+  // this accessor sits on the per-action hot path.
+  [[nodiscard]] AgentMetrics& agent(std::size_t id) { return per_agent_[id]; }
   [[nodiscard]] const AgentMetrics& agent(std::size_t id) const {
-    return per_agent_.at(id);
+    return per_agent_[id];
   }
   [[nodiscard]] std::size_t agent_count() const noexcept { return per_agent_.size(); }
 

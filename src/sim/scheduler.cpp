@@ -62,9 +62,19 @@ AgentId SynchronousScheduler::pick(const std::vector<AgentId>& enabled) {
 // ---- PriorityScheduler ------------------------------------------------------
 
 PriorityScheduler::PriorityScheduler(std::vector<AgentId> order)
-    : order_(std::move(order)) {}
+    : descending_default_(false), order_(std::move(order)) {}
 
 void PriorityScheduler::reset(std::size_t agent_count) {
+  if (descending_default_) {
+    // Canonical adversary: the highest id runs first, agent 0 is starved.
+    // Derived from agent_count here so one object is reusable across runs
+    // of different sizes; matches the explicit order {k-1, …, 0}.
+    rank_.assign(agent_count, 0);
+    for (AgentId id = 0; id < agent_count; ++id) {
+      rank_[id] = agent_count - 1 - id;
+    }
+    return;
+  }
   rank_.assign(agent_count, agent_count + order_.size());
   std::size_t next_rank = 0;
   for (const AgentId id : order_) {
@@ -86,7 +96,13 @@ AgentId PriorityScheduler::pick(const std::vector<AgentId>& enabled) {
 
 // ---- BurstScheduler ---------------------------------------------------------
 
-void BurstScheduler::reset(std::size_t /*agent_count*/) { current_ = kNoAgent; }
+void BurstScheduler::reset(std::size_t /*agent_count*/) {
+  // Re-seed the RNG too: a reused scheduler whose RNG carried state across
+  // runs would make pooled reruns diverge from fresh-object runs (the
+  // correlated-rerun bug test_pooling.cpp pins).
+  rng_ = Rng(seed_);
+  current_ = kNoAgent;
+}
 
 AgentId BurstScheduler::pick(const std::vector<AgentId>& enabled) {
   if (current_ != kNoAgent &&
@@ -121,6 +137,10 @@ const std::vector<SchedulerKind>& all_scheduler_kinds() {
 
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, std::uint64_t seed,
                                           std::size_t agent_count) {
+  // Every kind now sizes itself from reset(agent_count); the parameter is
+  // kept so existing call sites (and future kinds that need it at
+  // construction) stay source-compatible.
+  (void)agent_count;
   switch (kind) {
     case SchedulerKind::RoundRobin:
       return std::make_unique<RoundRobinScheduler>();
@@ -128,14 +148,10 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, std::uint64_t seed
       return std::make_unique<RandomScheduler>(seed);
     case SchedulerKind::Synchronous:
       return std::make_unique<SynchronousScheduler>();
-    case SchedulerKind::Priority: {
-      // Descending ids: the highest id runs first, agent 0 is starved.
-      std::vector<AgentId> order(agent_count);
-      for (std::size_t i = 0; i < agent_count; ++i) {
-        order[i] = agent_count - 1 - i;
-      }
-      return std::make_unique<PriorityScheduler>(std::move(order));
-    }
+    case SchedulerKind::Priority:
+      // Default mode: descending ids, derived from reset()'s agent count —
+      // the pooled form works for any run size.
+      return std::make_unique<PriorityScheduler>();
     case SchedulerKind::Burst:
       return std::make_unique<BurstScheduler>(seed);
   }

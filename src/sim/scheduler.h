@@ -20,6 +20,14 @@
 //
 // All schedulers are fair on terminating workloads: an enabled agent is
 // never ignored forever because the others eventually park or halt.
+//
+// Pooled reuse contract: a scheduler object may drive many runs back to
+// back. reset(agent_count) must restore *every* piece of mutable state —
+// including RNGs, which re-seed from the stored seed — so a reused
+// scheduler is byte-identical to a freshly constructed one (pinned by
+// tests/test_pooling.cpp). reseed() swaps the stored seed between runs,
+// which is how core::RunContext caches one scheduler per kind across a
+// whole campaign.
 
 #pragma once
 
@@ -34,21 +42,28 @@
 
 namespace udring::sim {
 
-class Simulator;
+class ExecutionState;
 
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
-  /// Lets a scheduler observe the simulator it is about to drive. Called by
-  /// Simulator::run (and the explore harnesses) before reset(). The default
-  /// schedulers ignore it; the adversarial schedulers in src/explore use the
-  /// observable state (statuses, queue lengths, metrics) to steer their
-  /// choices. The reference is valid for the duration of the run.
-  virtual void attach(const Simulator& sim) { (void)sim; }
+  /// Lets a scheduler observe the execution it is about to drive. Called by
+  /// ExecutionState::run (and the explore harnesses) before reset(). The
+  /// default schedulers ignore it; the adversarial schedulers in src/explore
+  /// use the observable state (statuses, queue lengths, metrics) to steer
+  /// their choices. The reference is valid for the duration of the run.
+  virtual void attach(const ExecutionState& sim) { (void)sim; }
 
-  /// Called by Simulator::run before the first action.
+  /// Called by ExecutionState::run before the first action. Restores the
+  /// scheduler to its just-constructed behaviour (see the pooled reuse
+  /// contract above).
   virtual void reset(std::size_t agent_count) { (void)agent_count; }
+
+  /// Replaces the stored seed ahead of the next reset(); no-op for
+  /// deterministic kinds. Lets pooled drivers reuse one scheduler object
+  /// across runs with per-run seeds.
+  virtual void reseed(std::uint64_t seed) { (void)seed; }
 
   /// Chooses the next agent to act from `enabled` (never empty, unordered).
   [[nodiscard]] virtual AgentId pick(const std::vector<AgentId>& enabled) = 0;
@@ -77,6 +92,7 @@ class RandomScheduler final : public Scheduler {
  public:
   explicit RandomScheduler(std::uint64_t seed) : seed_(seed), rng_(seed) {}
   void reset(std::size_t agent_count) override;
+  void reseed(std::uint64_t seed) override { seed_ = seed; }
   AgentId pick(const std::vector<AgentId>& enabled) override;
   [[nodiscard]] std::string_view name() const override { return "random"; }
 
@@ -106,14 +122,22 @@ class SynchronousScheduler final : public Scheduler {
 
 /// Always runs the enabled agent that appears earliest in `order`; agents
 /// absent from `order` come last in id order. Deterministic adversary.
+///
+/// The default-constructed form derives the canonical adversarial order —
+/// descending ids, so agent 0 is starved hardest — from reset()'s
+/// agent_count, which makes one object reusable across runs of different
+/// sizes (the pooled factory form). The explicit-order form pins a fixed
+/// permutation for tests.
 class PriorityScheduler final : public Scheduler {
  public:
+  PriorityScheduler() = default;  ///< descending ids, sized at reset()
   explicit PriorityScheduler(std::vector<AgentId> order);
   void reset(std::size_t agent_count) override;
   AgentId pick(const std::vector<AgentId>& enabled) override;
   [[nodiscard]] std::string_view name() const override { return "priority"; }
 
  private:
+  bool descending_default_ = true;  ///< false once an explicit order is given
   std::vector<AgentId> order_;
   std::vector<std::size_t> rank_;  // agent id -> priority rank
 };
@@ -123,12 +147,14 @@ class PriorityScheduler final : public Scheduler {
 /// behind another agent.
 class BurstScheduler final : public Scheduler {
  public:
-  explicit BurstScheduler(std::uint64_t seed) : rng_(seed) {}
+  explicit BurstScheduler(std::uint64_t seed) : seed_(seed), rng_(seed) {}
   void reset(std::size_t agent_count) override;
+  void reseed(std::uint64_t seed) override { seed_ = seed; }
   AgentId pick(const std::vector<AgentId>& enabled) override;
   [[nodiscard]] std::string_view name() const override { return "burst"; }
 
  private:
+  std::uint64_t seed_;
   Rng rng_;
   AgentId current_ = kNoAgent;
 
@@ -144,13 +170,18 @@ enum class SchedulerKind {
   Burst,
 };
 
+/// Number of SchedulerKind values (sizes pooled per-kind caches).
+inline constexpr std::size_t kSchedulerKindCount =
+    static_cast<std::size_t>(SchedulerKind::Burst) + 1;
+
 [[nodiscard]] std::string_view to_string(SchedulerKind kind) noexcept;
 
 /// All kinds, for INSTANTIATE_TEST_SUITE_P sweeps.
 [[nodiscard]] const std::vector<SchedulerKind>& all_scheduler_kinds();
 
-/// Factory. `seed` feeds the randomized kinds; `agent_count` shapes the
-/// default priority order (descending ids ⇒ agent 0 is starved hardest).
+/// Factory. `seed` feeds the randomized kinds; every kind sizes itself from
+/// reset(agent_count), so the returned object is reusable across runs
+/// (reseed() + reset()). `agent_count` is retained for source compatibility.
 [[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
                                                         std::uint64_t seed,
                                                         std::size_t agent_count);

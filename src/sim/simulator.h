@@ -1,293 +1,17 @@
 // udring/sim/simulator.h
 //
-// The asynchronous unidirectional-ring execution engine.
+// Compatibility surface for the historical one-shot API.
 //
-// A Simulator owns a global configuration C = (S, T, M, P, Q) exactly as
-// Table 2 of the paper defines it:
-//
-//   S  agent program states            (AgentProgram objects + coroutines)
-//   T  node states = token counts      (Ring)
-//   M  undelivered message sequences   (per-agent mailboxes)
-//   P  staying sets p_i                (staying_[i])
-//   Q  FIFO link queues q_i            (queues_[i]: agents in transit to v_i)
-//
-// and advances it one *atomic action* at a time under a pluggable fair
-// Scheduler. An atomic action (§2.1) is: arrive (if in transit) → receive
-// all pending messages → run local computation → optionally broadcast and/or
-// release a token → move, stay, wait, suspend, or halt.
-//
-// Model guarantees enforced structurally:
-//  - FIFO links: only the head of each link queue may arrive; arrivals
-//    preserve departure order.
-//  - Initial buffers: every agent starts *in transit to its home node* and
-//    is the sole initial occupant of that queue, so its first action happens
-//    at its home before any visitor's action there (§2.1). This rule is
-//    load-bearing: without it a fast agent could pass a slow agent's home
-//    before its token is dropped and miscount the ring.
-//  - No overtaking: an agent is observable only while staying at a node;
-//    agents in transit are invisible and cannot be passed except by queueing
-//    behind them.
+// The execution engine now lives in sim/execution_state.h as the
+// Instance × ExecutionState split (immutable spec × pooled mutable arena);
+// `Simulator` is an alias for ExecutionState whose legacy constructor
+// builds and owns a one-off ring Instance. Code that runs one instance and
+// throws the simulator away keeps reading naturally; batch drivers
+// (sim::run_batch, core::run_many, exp::run_campaign) construct
+// ExecutionStates directly and reset() them across runs.
 
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
-#include <functional>
-#include <memory>
-#include <optional>
-#include <vector>
-
-#include "sim/agent.h"
-#include "sim/event_log.h"
-#include "sim/metrics.h"
-#include "sim/ring.h"
-#include "sim/scheduler.h"
-#include "sim/types.h"
-
-namespace udring::sim {
-
-/// FIFO link queue q_i with index-based storage: pop advances a head index
-/// instead of shifting or deallocating, the buffer rewinds to offset 0
-/// whenever the queue drains, and a lagging head is compacted in place
-/// (memmove, amortized O(1)) — so steady-state queue traffic performs no
-/// heap allocation, unlike std::deque's block churn. Capacity only ever
-/// grows to the historical maximum (≤ k).
-class LinkQueue {
- public:
-  void reserve(std::size_t capacity) { buffer_.reserve(capacity); }
-
-  [[nodiscard]] bool empty() const noexcept { return head_ == buffer_.size(); }
-  [[nodiscard]] std::size_t size() const noexcept {
-    return buffer_.size() - head_;
-  }
-  [[nodiscard]] AgentId front() const { return buffer_[head_]; }
-
-  void push_back(AgentId id) {
-    if (head_ == buffer_.size()) {  // drained: rewind, reuse the whole buffer
-      buffer_.clear();
-      head_ = 0;
-    }
-    buffer_.push_back(id);
-  }
-
-  void pop_front() {
-    ++head_;
-    if (head_ == buffer_.size()) {
-      buffer_.clear();
-      head_ = 0;
-    } else if (head_ >= 32 && head_ * 2 >= buffer_.size()) {
-      buffer_.erase(buffer_.begin(),
-                    buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
-      head_ = 0;
-    }
-  }
-
-  /// Removes `id` from anywhere in the queue. Only the non-FIFO fault
-  /// injection (SimOptions::fault_non_fifo_links) takes this path; regular
-  /// executions always pop the head.
-  bool remove(AgentId id) {
-    for (std::size_t i = head_; i < buffer_.size(); ++i) {
-      if (buffer_[i] != id) continue;
-      if (i == head_) {
-        pop_front();
-      } else {
-        buffer_.erase(buffer_.begin() + static_cast<std::ptrdiff_t>(i));
-      }
-      return true;
-    }
-    return false;
-  }
-
-  [[nodiscard]] auto begin() const noexcept { return buffer_.begin() + static_cast<std::ptrdiff_t>(head_); }
-  [[nodiscard]] auto end() const noexcept { return buffer_.end(); }
-
- private:
-  std::vector<AgentId> buffer_;
-  std::size_t head_ = 0;
-};
-
-struct SimOptions {
-  /// Record an Event for every action (tests/examples; off for sweeps).
-  bool record_events = false;
-  /// Hard stop after this many atomic actions; 0 = auto (generous multiple
-  /// of k·n). Hitting the limit marks the run ActionLimit — a livelock or a
-  /// broken algorithm, never a legitimate outcome for this paper's
-  /// algorithms.
-  std::size_t max_actions = 0;
-  /// TEST-ONLY fault injection: weakens the FIFO link guarantee. When set,
-  /// an in-transit agent may arrive from *any* queue position — overtaking
-  /// agents ahead of it — as long as it does not pass an agent still in its
-  /// initial transit (that restriction preserves the §2.1 home-node-first
-  /// rule, which every algorithm legitimately relies on; the FIFO
-  /// non-overtaking property is the only guarantee removed). The scheduler
-  /// decides who jumps: all such agents join the enabled set. This models a
-  /// substrate without FIFO links and exists so the schedule explorer can
-  /// demonstrate that KnownKLogMemStrict's correctness — unlike the hardened
-  /// default — leans on FIFO order (see known_k_logmem.h). Never set it in
-  /// experiments that reproduce the paper's model.
-  bool fault_non_fifo_links = false;
-  /// Narrows the fault window: overtaking is permitted only when the jumper
-  /// and every agent it passes have reached this phase tag (metrics phase,
-  /// see AgentContext::set_phase). Phases are how multi-phase algorithms
-  /// announce their progress, so this seeds a non-FIFO bug into one phase
-  /// without corrupting the phases before it — e.g. phase 1 targets
-  /// Algorithm 3's deployment race while Algorithm 2's selection-phase
-  /// geometry measurements (which also assume non-overtaking, for every
-  /// variant) stay sound. 0 = the fault is live from the first action.
-  std::size_t fault_non_fifo_min_phase = 0;
-};
-
-struct RunResult {
-  enum class Outcome { Quiescent, ActionLimit };
-  Outcome outcome = Outcome::Quiescent;
-  std::size_t actions = 0;
-
-  [[nodiscard]] bool quiescent() const noexcept {
-    return outcome == Outcome::Quiescent;
-  }
-};
-
-/// Observable state of one agent for snapshots (instrumentation only).
-struct AgentSnap {
-  AgentId id = 0;
-  AgentStatus status = AgentStatus::InTransit;
-  NodeId node = 0;  ///< staying node, or destination while in transit
-  std::size_t moves = 0;
-  std::size_t phase = 0;
-  std::size_t mailbox_size = 0;
-  std::uint64_t state_hash = 0;
-};
-
-/// Deep-copyable observable configuration; used by the checker, the ASCII
-/// renderer, and the Theorem-5 local-configuration comparison.
-struct Snapshot {
-  std::size_t node_count = 0;
-  std::vector<std::size_t> tokens;            // index = node
-  std::vector<AgentSnap> agents;              // index = agent id
-  std::vector<std::vector<AgentId>> queues;   // index = destination node
-};
-
-/// Creates the program (algorithm instance) for agent `id`. Algorithms are
-/// anonymous and must ignore `id`; it exists so tests can plant heterogeneous
-/// programs.
-using ProgramFactory = std::function<std::unique_ptr<AgentProgram>(AgentId)>;
-
-class Simulator {
- public:
-  /// Builds the initial configuration C_0: `homes` must be distinct nodes of
-  /// a `node_count`-ring; agent i starts in transit to homes[i] (the
-  /// incoming-buffer rule). Programs are created immediately; their
-  /// coroutines start at the first scheduled action.
-  Simulator(std::size_t node_count, std::vector<NodeId> homes,
-            const ProgramFactory& factory, SimOptions options = {});
-
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
-
-  // ---- execution ----------------------------------------------------------
-
-  /// Runs atomic actions under `scheduler` until quiescence (no enabled
-  /// agents — Definitions 1/2's terminal shapes) or the action limit.
-  RunResult run(Scheduler& scheduler);
-
-  /// Executes one atomic action; returns false when quiescent.
-  bool step(Scheduler& scheduler);
-
-  /// Force-steps a specific agent (tests); returns false if not enabled.
-  bool step_agent(AgentId id);
-
-  // ---- inspection ---------------------------------------------------------
-
-  [[nodiscard]] const Ring& ring() const noexcept { return ring_; }
-  [[nodiscard]] std::size_t agent_count() const noexcept { return agents_.size(); }
-  [[nodiscard]] const std::vector<NodeId>& homes() const noexcept { return homes_; }
-
-  [[nodiscard]] AgentStatus status(AgentId id) const { return cell(id).status; }
-
-  /// The node an agent is staying at, or its destination while in transit.
-  [[nodiscard]] NodeId agent_node(AgentId id) const { return cell(id).node; }
-
-  /// Agents currently allowed to act (queue heads; schedulable stayers;
-  /// parked agents with pending mail).
-  [[nodiscard]] const std::vector<AgentId>& enabled() const noexcept {
-    return enabled_;
-  }
-
-  [[nodiscard]] bool quiescent() const noexcept { return enabled_.empty(); }
-  [[nodiscard]] bool all_halted() const noexcept;
-  [[nodiscard]] bool all_suspended() const noexcept;
-
-  /// Nodes of all staying agents (one entry per staying agent, sorted).
-  [[nodiscard]] std::vector<NodeId> staying_nodes() const;
-
-  [[nodiscard]] std::size_t queue_length(NodeId node) const {
-    return queues_.at(node).size();
-  }
-
-  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
-  [[nodiscard]] EventLog& log() noexcept { return log_; }
-  [[nodiscard]] const EventLog& log() const noexcept { return log_; }
-
-  [[nodiscard]] const AgentProgram& program(AgentId id) const {
-    return *cell(id).program;
-  }
-
-  [[nodiscard]] Snapshot snapshot() const;
-
-  [[nodiscard]] std::size_t actions_executed() const noexcept {
-    return action_counter_;
-  }
-  [[nodiscard]] std::size_t max_actions() const noexcept {
-    return options_.max_actions;
-  }
-
- private:
-  friend class AgentContext;
-
-  struct AgentCell {
-    std::unique_ptr<AgentProgram> program;
-    std::unique_ptr<AgentContext> ctx;
-    Behavior behavior;
-    AgentStatus status = AgentStatus::InTransit;
-    NodeId node = 0;  ///< staying node, or destination while in transit
-    bool in_staying_set = false;
-    std::vector<Message> mailbox;
-    std::uint64_t wake_ts = 0;  ///< max sender stamp among undelivered mail
-    std::uint64_t last_ts = 0;
-  };
-
-  [[nodiscard]] AgentCell& cell(AgentId id) { return agents_.at(id); }
-  [[nodiscard]] const AgentCell& cell(AgentId id) const { return agents_.at(id); }
-
-  void execute_action(AgentId id);
-  void refresh_enabled(AgentId id);
-  void add_to_staying(AgentId id);
-  void remove_from_staying(AgentId id);
-  [[nodiscard]] bool should_be_enabled(AgentId id) const;
-
-  // AgentContext hooks (the acting agent's perceptions and actions).
-  [[nodiscard]] std::size_t tokens_at_agent(AgentId id) const;
-  [[nodiscard]] std::size_t others_staying_at_agent(AgentId id) const;
-  void agent_release_token(AgentId id);
-  void agent_broadcast(AgentId id, Message message);
-  void agent_set_phase(AgentId id, std::size_t phase);
-
-  Ring ring_;
-  std::vector<NodeId> homes_;
-  std::vector<AgentCell> agents_;
-  std::vector<LinkQueue> queues_;                  // q_i: in transit to node i
-  std::vector<std::vector<AgentId>> staying_;      // p_i: staying at node i
-  std::vector<std::uint64_t> queue_arrival_ts_;    // FIFO causal stamps
-  std::vector<AgentId> enabled_;
-  std::vector<std::size_t> enabled_pos_;           // id -> index in enabled_
-  Metrics metrics_;
-  EventLog log_;
-  SimOptions options_;
-  std::size_t action_counter_ = 0;
-  AgentId acting_agent_ = kNoAgentActing;
-
-  static constexpr AgentId kNoAgentActing = static_cast<AgentId>(-1);
-  static constexpr std::size_t kNotEnabled = static_cast<std::size_t>(-1);
-};
-
-}  // namespace udring::sim
+#include "sim/execution_state.h"  // IWYU pragma: export
+#include "sim/instance.h"         // IWYU pragma: export
+#include "sim/topology.h"         // IWYU pragma: export

@@ -79,10 +79,10 @@ std::string gap_summary(const sim::Simulator& simulator) {
   const std::vector<std::size_t> positions = simulator.staying_nodes();
   std::ostringstream out;
   if (positions.empty()) return "gaps: (no staying agents)";
-  const auto gaps = sim::ring_gaps(positions, simulator.ring().size());
+  const auto gaps = sim::ring_gaps(positions, simulator.node_count());
   out << "gaps:";
   for (const std::size_t gap : gaps) out << ' ' << gap;
-  const std::size_t n = simulator.ring().size();
+  const std::size_t n = simulator.node_count();
   const std::size_t k = positions.size();
   out << "  (floor=" << n / k << ", ceil=" << (n + k - 1) / k << ")";
   return out.str();

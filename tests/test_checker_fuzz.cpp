@@ -251,7 +251,7 @@ TEST(ModelInvariantsFuzz, HoldsAtEveryStepOfRandomRuns) {
     while (sim.step(scheduler)) {
       const CheckResult invariants = check_model_invariants(sim, min_tokens);
       ASSERT_TRUE(invariants.ok) << invariants.reason;
-      min_tokens = sim.ring().total_tokens();
+      min_tokens = sim.total_tokens();
     }
   }
 }

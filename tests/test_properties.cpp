@@ -89,9 +89,9 @@ TEST(Tokens, EveryHomeKeepsExactlyOneToken) {
     auto simulator = make_simulator(algorithm, spec);
     sim::RoundRobinScheduler scheduler;
     (void)simulator->run(scheduler);
-    EXPECT_EQ(simulator->ring().total_tokens(), k) << to_string(algorithm);
+    EXPECT_EQ(simulator->total_tokens(), k) << to_string(algorithm);
     for (const std::size_t home : spec.homes) {
-      EXPECT_EQ(simulator->ring().tokens(home), 1u)
+      EXPECT_EQ(simulator->tokens(home), 1u)
           << to_string(algorithm) << " home " << home;
     }
   }
@@ -122,7 +122,7 @@ TEST(ModelInvariants, HoldThroughoutEveryAlgorithmsExecution) {
     scheduler.reset(simulator->agent_count());
     std::size_t peak_tokens = 0;
     while (simulator->step(scheduler)) {
-      peak_tokens = std::max(peak_tokens, simulator->ring().total_tokens());
+      peak_tokens = std::max(peak_tokens, simulator->total_tokens());
       const auto check = sim::check_model_invariants(*simulator, peak_tokens);
       ASSERT_TRUE(check.ok) << to_string(algorithm) << ": " << check.reason;
     }

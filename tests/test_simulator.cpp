@@ -147,7 +147,7 @@ TEST(Fifo, ArrivalOrderMatchesDepartureOrderOnEveryLink) {
 
   // Reconstruct per-link order: Depart at node v = enqueue on link v→v+1;
   // Arrive at node v+1 = dequeue. Sequences must match exactly.
-  const std::size_t n = sim.ring().size();
+  const std::size_t n = sim.node_count();
   std::vector<std::vector<AgentId>> departs(n), arrives(n);
   for (const Event& e : sim.log().events()) {
     if (e.kind == EventKind::Depart) departs[(e.node + 1) % n].push_back(e.agent);
@@ -308,11 +308,11 @@ TEST(Invariants, HoldAfterEveryStepOfARandomRun) {
   scheduler.reset(sim.agent_count());
   std::size_t tokens_so_far = 0;
   while (sim.step(scheduler)) {
-    tokens_so_far = std::max(tokens_so_far, sim.ring().total_tokens());
+    tokens_so_far = std::max(tokens_so_far, sim.total_tokens());
     const CheckResult invariants = check_model_invariants(sim, tokens_so_far);
     ASSERT_TRUE(invariants.ok) << invariants.reason;
   }
-  EXPECT_EQ(sim.ring().total_tokens(), 4u);
+  EXPECT_EQ(sim.total_tokens(), 4u);
 }
 
 TEST(Snapshot, ReflectsConfiguration) {

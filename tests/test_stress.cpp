@@ -46,7 +46,7 @@ TEST(Stress, InvariantsEveryStepUnderEveryScheduler) {
     std::size_t peak_tokens = 0;
     std::size_t steps = 0;
     while (simulator->step(*scheduler)) {
-      peak_tokens = std::max(peak_tokens, simulator->ring().total_tokens());
+      peak_tokens = std::max(peak_tokens, simulator->total_tokens());
       // Full invariant check every 64 steps (every step would be O(actions²)).
       if (++steps % 64 == 0) {
         const auto check = sim::check_model_invariants(*simulator, peak_tokens);

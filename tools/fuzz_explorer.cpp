@@ -5,8 +5,10 @@
 //   udring_fuzz                              # fuzz (budget from UDRING_FUZZ_BUDGET)
 //   udring_fuzz --algorithm=known-k-logmem-strict --inject-non-fifo
 //               --iterations=500 --out=fuzz-artifacts
+//   udring_fuzz --topology=tree --iterations=300     # fuzz on Euler-tour rings
 //   udring_fuzz --record=trace.txt --algorithm=known-k-full --nodes=16
 //               --agents=4 --sched=fifo-stress --seed=7
+//   udring_fuzz --record=trace.txt --topology=graph --nodes=12 --agents=3
 //   udring_fuzz --replay=trace.txt
 //
 // Fuzz mode exits 1 when a failure is found; each failure is shrunk to a
@@ -17,6 +19,7 @@
 // identically exits 0) — so corpus files double as self-verifying
 // regression inputs.
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -24,6 +27,7 @@
 #include <sstream>
 #include <string>
 
+#include "embed/topology.h"
 #include "explore/fuzz.h"
 #include "explore/shrink.h"
 #include "util/cli.h"
@@ -70,14 +74,37 @@ int replay_mode(const std::string& path) {
 }
 
 int record_mode(const std::string& path, core::Algorithm algorithm,
-                std::size_t n, std::size_t k,
+                explore::FuzzTopology topology, std::size_t n, std::size_t k,
                 explore::ExploreSchedulerKind kind, std::uint64_t seed,
                 bool fault, std::size_t fault_min_phase) {
   Rng rng(seed);
-  const std::vector<std::size_t> homes =
-      exp::draw_homes(exp::ConfigFamily::RandomAny, n, k, 1, rng);
-  const explore::ScheduleTrace trace =
-      explore::record_trace(algorithm, n, homes, kind, seed, fault, fault_min_phase);
+  explore::RecordRequest request;
+  request.algorithm = algorithm;
+  request.kind = kind;
+  request.seed = seed;
+  request.fault_non_fifo = fault;
+  request.fault_min_phase = fault_min_phase;
+  switch (topology) {
+    case explore::FuzzTopology::Ring:
+      request.node_count = n;
+      request.homes = exp::draw_homes(exp::ConfigFamily::RandomAny, n, k, 1, rng);
+      break;
+    case explore::FuzzTopology::Tree:
+    case explore::FuzzTopology::Graph: {
+      // --nodes sizes the underlying network; the recorded instance is its
+      // Euler-tour virtual ring, so the trace replays stand-alone.
+      request.topology = embed::random_network_topology(
+          topology == explore::FuzzTopology::Tree
+              ? embed::RandomNetworkKind::Tree
+              : embed::RandomNetworkKind::Graph,
+          n, rng);
+      request.node_count = request.topology.size();
+      request.homes =
+          embed::draw_virtual_homes(request.topology, std::min(k, n), rng);
+      break;
+    }
+  }
+  const explore::ScheduleTrace trace = explore::record_trace(request);
   if (!write_file(path, trace.to_text())) {
     std::cerr << "udring_fuzz: cannot write " << path << '\n';
     return 2;
@@ -142,7 +169,14 @@ int main(int argc, char** argv) {
                 "(empty = all kinds)",
                 "")
             .value_or("");
-    const std::size_t n = cli.get_size("nodes", 16, "ring size for --record");
+    const std::string topology_name =
+        cli.get("topology",
+                "instance topology: ring|tree|graph (tree/graph fuzz and "
+                "record on the Euler-tour virtual ring of a random network)",
+                "ring")
+            .value_or("ring");
+    const std::size_t n = cli.get_size(
+        "nodes", 16, "ring size (or underlying network size) for --record");
     const std::size_t k = cli.get_size("agents", 4, "agent count for --record");
     // A malformed or zero budget must not silently turn the CI fuzz gate
     // into a no-op pass; fall back to the default and say so.
@@ -200,8 +234,9 @@ int main(int argc, char** argv) {
     if (!replay_path.empty()) return replay_mode(replay_path);
 
     options.algorithm = explore::algorithm_from_name(algorithm_name);
+    options.topology = explore::fuzz_topology_from_name(topology_name);
     if (!record_path.empty()) {
-      return record_mode(record_path, options.algorithm, n, k,
+      return record_mode(record_path, options.algorithm, options.topology, n, k,
                          explore::explore_scheduler_from_name(
                              sched_name.empty() ? "round-robin" : sched_name),
                          options.base_seed, options.fault_non_fifo,
