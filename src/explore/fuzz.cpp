@@ -30,6 +30,31 @@ FuzzTopology fuzz_topology_from_name(std::string_view name) {
                               std::string(name) + "'");
 }
 
+DrawnInstance draw_instance(FuzzTopology topology, std::size_t n, std::size_t k,
+                            Rng& rng) {
+  DrawnInstance out;
+  const std::size_t agents = std::min(k, n);
+  switch (topology) {
+    case FuzzTopology::Ring:
+      out.node_count = n;
+      out.homes = exp::draw_homes(exp::ConfigFamily::RandomAny, n, agents, 1, rng);
+      break;
+    case FuzzTopology::Tree:
+    case FuzzTopology::Graph:
+      // Draw the underlying network and embed it: the instance runs natively
+      // on the Euler-tour virtual ring; homes are the first tour positions
+      // of `agents` distinct underlying nodes (distinct by first-visit).
+      out.topology = embed::random_network_topology(
+          topology == FuzzTopology::Tree ? embed::RandomNetworkKind::Tree
+                                         : embed::RandomNetworkKind::Graph,
+          n, rng);
+      out.node_count = out.topology.size();
+      out.homes = embed::draw_virtual_homes(out.topology, agents, rng);
+      break;
+  }
+  return out;
+}
+
 namespace {
 
 /// Steps `sim` to completion under `scheduler` with per-action invariant
@@ -97,6 +122,7 @@ ScheduleTrace record_trace(const RecordRequest& request,
   trace.seed = request.seed;
   trace.fault_non_fifo = request.fault_non_fifo;
   trace.fault_min_phase = request.fault_min_phase;
+  trace.max_actions = request.max_actions;
 
   const sim::Instance instance = build_instance(request);
   sim::ExecutionState local;
@@ -139,7 +165,9 @@ ReplayOutcome replay_trace(const ScheduleTrace& trace, std::size_t max_actions,
   request.homes = trace.homes;
   request.fault_non_fifo = trace.fault_non_fifo;
   request.fault_min_phase = trace.fault_min_phase;
-  request.max_actions = max_actions;
+  // An explicit cap wins; otherwise the cap the trace was recorded under,
+  // so cap-sensitive outcomes ("action limit reached") replay stand-alone.
+  request.max_actions = max_actions != 0 ? max_actions : trace.max_actions;
   const sim::Instance instance = build_instance(request);
   sim::ExecutionState local;
   sim::ExecutionState& state = reuse != nullptr ? *reuse : local;
@@ -180,25 +208,16 @@ FuzzIteration fuzz_iteration(const FuzzOptions& options,
         std::min(std::max(options.min_agents, options.max_agents), n);
     const std::size_t k = static_cast<std::size_t>(
         rng.between(std::min(options.min_agents, k_hi), k_hi));
-    switch (options.topology) {
-      case FuzzTopology::Ring:
-        request.node_count = n;
-        request.homes = exp::draw_homes(options.family, n, k, 1, rng);
-        break;
-      case FuzzTopology::Tree:
-      case FuzzTopology::Graph: {
-        // Draw the underlying network, embed it, and fuzz natively on the
-        // virtual ring: homes are the first tour positions of k distinct
-        // underlying nodes (distinct by the first-visit property).
-        request.topology = embed::random_network_topology(
-            options.topology == FuzzTopology::Tree
-                ? embed::RandomNetworkKind::Tree
-                : embed::RandomNetworkKind::Graph,
-            n, rng);
-        request.node_count = request.topology.size();
-        request.homes = embed::draw_virtual_homes(request.topology, k, rng);
-        break;
-      }
+    if (options.topology == FuzzTopology::Ring &&
+        options.family != exp::ConfigFamily::RandomAny) {
+      // draw_instance draws RandomAny; other families are ring-only.
+      request.node_count = n;
+      request.homes = exp::draw_homes(options.family, n, k, 1, rng);
+    } else {
+      DrawnInstance drawn = draw_instance(options.topology, n, k, rng);
+      request.node_count = drawn.node_count;
+      request.homes = std::move(drawn.homes);
+      request.topology = std::move(drawn.topology);
     }
   }
 

@@ -47,6 +47,22 @@ enum class FuzzTopology { Ring, Tree, Graph };
 /// Inverse of to_string. Throws std::invalid_argument on an unknown name.
 [[nodiscard]] FuzzTopology fuzz_topology_from_name(std::string_view name);
 
+/// One drawn instance of a topology family: the virtual ring size, the home
+/// configuration, and (for Tree/Graph) the native topology it embeds.
+struct DrawnInstance {
+  std::size_t node_count = 0;
+  std::vector<std::size_t> homes;
+  sim::Topology topology;  ///< empty for Ring
+};
+
+/// Draws "a random instance of family `topology` with n (underlying) nodes
+/// and k agents" — the ONE definition of that draw, shared by the fuzzer,
+/// `udring_fuzz --record` and `udring_mc`, so the instance families the
+/// three surfaces exercise cannot drift apart. k is clamped to the
+/// underlying node count. Deterministic in `rng`.
+[[nodiscard]] DrawnInstance draw_instance(FuzzTopology topology, std::size_t n,
+                                          std::size_t k, Rng& rng);
+
 struct FuzzOptions {
   core::Algorithm algorithm = core::Algorithm::KnownKFull;
   exp::ConfigFamily family = exp::ConfigFamily::RandomAny;
@@ -127,7 +143,10 @@ struct FuzzIteration {
 /// quiescence, an invariant violation, or the action limit; at quiescence
 /// evaluates the algorithm's goal oracle. Does NOT compare against
 /// trace.expected_digest — callers assert that (tests) or refresh it
-/// (recording, shrinking). `reuse` as in fuzz_iteration.
+/// (recording, shrinking). `max_actions` overrides the cap when nonzero;
+/// 0 uses trace.max_actions (the cap the trace was recorded under), which
+/// is itself 0 (the simulator's auto limit) for most traces. `reuse` as in
+/// fuzz_iteration.
 [[nodiscard]] ReplayOutcome replay_trace(const ScheduleTrace& trace,
                                          std::size_t max_actions = 0,
                                          sim::ExecutionState* reuse = nullptr);

@@ -30,14 +30,28 @@ sim::AgentId RecordingScheduler::pick(const std::vector<sim::AgentId>& enabled) 
   return chosen;
 }
 
-void ReplayScheduler::reset(std::size_t /*agent_count*/) { cursor_ = 0; }
+void ReplayScheduler::reset(std::size_t /*agent_count*/) {
+  cursor_ = 0;
+  divergence_.clear();
+}
 
 sim::AgentId ReplayScheduler::pick(const std::vector<sim::AgentId>& enabled) {
   sorted_.assign(enabled.begin(), enabled.end());
   std::sort(sorted_.begin(), sorted_.end());
-  const std::uint32_t choice =
-      cursor_ < choices_.size() ? choices_[cursor_] : 0;
+  const bool exhausted = cursor_ >= choices_.size();
+  const std::uint32_t choice = exhausted ? 0 : choices_[cursor_];
+  if (mode_ == ReplayMode::Strict && divergence_.empty()) {
+    if (exhausted) {
+      divergence_ = "trace exhausted at pick " + std::to_string(cursor_);
+    } else if (choice >= sorted_.size()) {
+      divergence_ = "choice " + std::to_string(choice) + " out of range at pick " +
+                    std::to_string(cursor_) + " (enabled " +
+                    std::to_string(sorted_.size()) + ")";
+    }
+  }
   ++cursor_;
+  // Both modes proceed on the lenient fallback; Strict only *reports*, so a
+  // diverged run is still a complete schedule the caller can inspect.
   return sorted_[choice % sorted_.size()];
 }
 

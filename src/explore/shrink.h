@@ -33,7 +33,8 @@ namespace udring::explore {
 struct ShrinkOptions {
   /// Hard cap on replays (each candidate costs one simulator run).
   std::size_t max_replays = 4000;
-  /// Forwarded to replay_trace (0 = the simulator's auto action limit).
+  /// Forwarded to replay_trace (0 = the cap the trace was recorded under,
+  /// falling back to the simulator's auto limit for uncapped traces).
   std::size_t max_actions = 0;
 };
 

@@ -64,6 +64,7 @@ std::string ScheduleTrace::to_text() const {
   out << "seed " << seed << '\n';
   if (fault_non_fifo) out << "fault-non-fifo 1\n";
   if (fault_min_phase != 0) out << "fault-min-phase " << fault_min_phase << '\n';
+  if (max_actions != 0) out << "max-actions " << max_actions << '\n';
   if (!note.empty()) out << "note " << note << '\n';
   out << "choices";
   for (const std::uint32_t choice : choices) out << ' ' << choice;
@@ -122,6 +123,8 @@ ScheduleTrace ScheduleTrace::parse(std::string_view text) {
       trace.fault_non_fifo = parse_u64(fields, key) != 0;
     } else if (key == "fault-min-phase") {
       trace.fault_min_phase = static_cast<std::size_t>(parse_u64(fields, key));
+    } else if (key == "max-actions") {
+      trace.max_actions = static_cast<std::size_t>(parse_u64(fields, key));
     } else if (key == "note") {
       std::getline(fields, trace.note);
       if (!trace.note.empty() && trace.note.front() == ' ') trace.note.erase(0, 1);

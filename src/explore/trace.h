@@ -43,6 +43,11 @@ struct ScheduleTrace {
   std::uint64_t seed = 0;             ///< generator seed (informational)
   bool fault_non_fifo = false;        ///< replay with the non-FIFO fault injected
   std::size_t fault_min_phase = 0;    ///< SimOptions::fault_non_fifo_min_phase
+  /// Per-run action cap the execution was recorded under; 0 = the
+  /// simulator's auto limit. Serialized (when nonzero) so cap-sensitive
+  /// outcomes — "action limit reached" above all — replay identically
+  /// through `udring_fuzz --replay` without the caller re-supplying the cap.
+  std::size_t max_actions = 0;
   std::vector<std::uint32_t> choices; ///< index into the sorted enabled set
   std::uint64_t expected_digest = 0;  ///< event-log digest the replay must match
   std::string note;                   ///< free text (e.g. the failure reason)

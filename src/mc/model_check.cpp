@@ -1,0 +1,563 @@
+#include "mc/model_check.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "explore/fuzz.h"
+#include "explore/replay.h"
+#include "sim/checker.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace udring::mc {
+
+namespace {
+
+constexpr std::size_t kUnlimited = std::numeric_limits<std::size_t>::max();
+
+/// A choice-tree node handed from the BFS frontier phase to a DFS shard:
+/// the schedule prefix that reaches it plus the sleep set it inherited.
+struct ShardNode {
+  std::vector<std::uint32_t> prefix;
+  std::uint64_t sleep = 0;
+};
+
+/// Visited-state store: config digest -> sleep masks the state was expanded
+/// with. The subset rule (see model_check.h) needs all incomparable masks.
+using VisitedMap = std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>;
+
+[[nodiscard]] sim::Instance build_instance(const CheckRequest& request) {
+  core::RunSpec spec;
+  spec.node_count = request.node_count;
+  spec.homes = request.homes;
+  spec.topology = request.topology;
+  spec.sim_options.record_events = false;  // history is not state; stay lean
+  spec.sim_options.max_actions = request.max_actions;
+  spec.sim_options.fault_non_fifo_links = request.fault_non_fifo;
+  spec.sim_options.fault_non_fifo_min_phase = request.fault_min_phase;
+  return core::make_instance(request.algorithm, spec);
+}
+
+/// One stateless DFS (or BFS-expansion) engine over one pooled
+/// ExecutionState. Not thread-safe; shards own independent Explorers.
+class Explorer {
+ public:
+  Explorer(const sim::Instance& instance, const CheckRequest& request,
+           const McOptions& options, sim::ExecutionState& state,
+           std::size_t budget, VisitedMap visited_seed)
+      : instance_(instance),
+        request_(request),
+        options_(options),
+        cur_(state),
+        budget_(budget),
+        visited_(std::move(visited_seed)) {}
+
+  McStats stats;
+  bool budget_stop = false;
+  /// First violation in this explorer's deterministic walk order.
+  std::optional<std::pair<std::vector<std::uint32_t>, std::string>> violation;
+
+  [[nodiscard]] const VisitedMap& visited() const noexcept { return visited_; }
+
+  /// Walks the whole subtree rooted at `prefix` (with inherited sleep set)
+  /// by iterative DFS. The prefix node must be an open interior node (the
+  /// tree root, or a node the BFS phase classified as open).
+  void dfs(const std::vector<std::uint32_t>& prefix, std::uint64_t root_sleep) {
+    struct Frame {
+      std::vector<sim::AgentId> agents;  ///< sorted enabled set at this node
+      std::uint32_t next_branch = 0;
+      std::uint64_t sleep = 0;
+      sim::AgentId entered_agent = 0;  ///< edge into this node (parent's pick)
+    };
+    const auto make_frame = [this](std::uint64_t sleep, sim::AgentId entered) {
+      sort_enabled();
+      ++stats.states_expanded;
+      return Frame{sorted_, 0, sleep, entered};
+    };
+
+    path_ = prefix;
+    reposition();
+    std::vector<Frame> stack;
+    stack.push_back(make_frame(root_sleep, 0));
+
+    while (!stack.empty() && !violation && !budget_stop) {
+      Frame& f = stack.back();
+      if (f.next_branch >= f.agents.size()) {
+        // Node fully explored: return to the parent and put the edge agent
+        // to sleep for the parent's remaining branches.
+        const sim::AgentId entered = f.entered_agent;
+        stack.pop_back();
+        if (!stack.empty()) {
+          path_.pop_back();
+          at_tip_ = false;
+          if (options_.sleep_sets) stack.back().sleep |= bit(entered);
+        }
+        continue;
+      }
+      const std::uint32_t b = f.next_branch++;
+      // The frame caches the node's sorted enabled set, so sleep-pruning a
+      // branch costs nothing — in particular no prefix replay.
+      const sim::AgentId agent = f.agents[b];
+      if (options_.sleep_sets && (f.sleep & bit(agent)) != 0) {
+        ++stats.sleep_pruned;
+        continue;
+      }
+      if (!at_tip_) {
+        reposition();
+        sort_enabled();
+        if (sorted_ != f.agents) {
+          throw std::logic_error(
+              "mc: enabled set changed on backtrack replay (determinism bug)");
+        }
+      }
+      const std::uint64_t child_sleep = inherit_sleep(f.agents, f.sleep, agent);
+      const std::size_t prev_tokens = cur_.total_tokens();
+      path_.push_back(b);
+      step(agent);
+      if (classify(child_sleep, prev_tokens)) {
+        stack.push_back(make_frame(child_sleep, agent));
+      } else {
+        path_.pop_back();
+        at_tip_ = false;
+        if (options_.sleep_sets) f.sleep |= bit(agent);
+      }
+    }
+  }
+
+  /// Expands every node of `level` one step, appending surviving open
+  /// children to `next` (the BFS frontier phase). Stops early on violation
+  /// or budget exhaustion.
+  void expand_level(const std::vector<ShardNode>& level,
+                    std::vector<ShardNode>& next) {
+    for (const ShardNode& node : level) {
+      if (violation || budget_stop) return;
+      path_ = node.prefix;
+      reposition();
+      sort_enabled();
+      // Stepping invalidates the tip, and each sibling repositions; copy the
+      // branch agents up front.
+      const std::vector<sim::AgentId> agents = sorted_;
+      std::uint64_t sleep = node.sleep;
+      ++stats.states_expanded;
+      for (std::uint32_t b = 0; b < agents.size(); ++b) {
+        if (violation || budget_stop) return;
+        const sim::AgentId agent = agents[b];
+        if (options_.sleep_sets && (sleep & bit(agent)) != 0) {
+          ++stats.sleep_pruned;
+          continue;
+        }
+        if (!at_tip_) {
+          path_ = node.prefix;
+          reposition();
+        }
+        const std::uint64_t child_sleep = inherit_sleep(agents, sleep, agent);
+        const std::size_t prev_tokens = cur_.total_tokens();
+        path_.push_back(b);
+        step(agent);
+        if (classify(child_sleep, prev_tokens)) {
+          next.push_back({path_, child_sleep});
+        }
+        path_.pop_back();
+        at_tip_ = false;
+        if (options_.sleep_sets) sleep |= bit(agent);
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t bit(sim::AgentId agent) noexcept {
+    return std::uint64_t{1} << agent;
+  }
+
+  /// Re-executes the current prefix from C_0 through a Strict-mode
+  /// ReplayScheduler: the divergence check on every backtrack. A prefix that
+  /// no longer replays exactly means the simulator is not deterministic in
+  /// the pick sequence — a checker-invalidating bug, reported loudly.
+  void reposition() {
+    cur_.reset(instance_);
+    if (!path_.empty()) {
+      explore::ReplayScheduler replayer(path_, explore::ReplayMode::Strict);
+      replayer.reset(cur_.agent_count());
+      for (std::size_t i = 0; i < path_.size(); ++i) {
+        if (!cur_.step(replayer)) {
+          throw std::logic_error("mc: prefix replay hit quiescence early");
+        }
+      }
+      if (replayer.diverged()) {
+        throw std::logic_error("mc: strict prefix replay diverged: " +
+                               replayer.divergence());
+      }
+      ++stats.replays;
+      stats.total_actions += path_.size();
+    }
+    at_tip_ = true;
+  }
+
+  void sort_enabled() {
+    sorted_.assign(cur_.enabled().begin(), cur_.enabled().end());
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+
+  void step(sim::AgentId agent) {
+    if (!cur_.step_agent(agent)) {
+      throw std::logic_error("mc: picked agent not enabled");
+    }
+    ++stats.total_actions;
+    stats.max_depth = std::max(stats.max_depth, path_.size());
+  }
+
+  /// Sleeping agents that stay asleep across the edge taken by `agent`:
+  /// those whose pending action is independent of it (conservative
+  /// footprint disjointness on {node, next(node)}). `enabled_agents` is the
+  /// node's enabled set (sleep ⊆ enabled always holds — see model_check.h).
+  [[nodiscard]] std::uint64_t inherit_sleep(
+      const std::vector<sim::AgentId>& enabled_agents, std::uint64_t sleep,
+      sim::AgentId agent) const {
+    if (!options_.sleep_sets || sleep == 0) return 0;
+    std::uint64_t child = 0;
+    for (const sim::AgentId z : enabled_agents) {
+      if ((sleep & bit(z)) != 0 && independent(z, agent)) child |= bit(z);
+    }
+    return child;
+  }
+
+  [[nodiscard]] bool independent(sim::AgentId a, sim::AgentId b) const {
+    const sim::Topology& topo = cur_.topology();
+    const sim::NodeId an = cur_.agent_node(a);
+    const sim::NodeId bn = cur_.agent_node(b);
+    const sim::NodeId an2 = topo.next(an);
+    const sim::NodeId bn2 = topo.next(bn);
+    return an != bn && an != bn2 && an2 != bn && an2 != bn2;
+  }
+
+  /// Classifies the configuration just stepped into. Returns true when the
+  /// node is open (interior: caller pushes a frame / emits a BFS child);
+  /// false for every leaf — quiescent schedule, violation, action limit,
+  /// dedup hit, or budget stop. Mirrors the fuzzer's drive_checked verdicts
+  /// exactly, so a counterexample replays to the same failure.
+  [[nodiscard]] bool classify(std::uint64_t sleep, std::size_t prev_tokens) {
+    const sim::CheckResult invariants =
+        sim::check_model_invariants(cur_, prev_tokens);
+    if (!invariants) {
+      violation = {path_, "invariant: " + invariants.reason};
+      return false;
+    }
+    if (cur_.quiescent()) {
+      ++stats.schedules;
+      const sim::CheckResult goal =
+          core::evaluate_goal(request_.algorithm, cur_);
+      if (!goal) violation = {path_, "goal: " + goal.reason};
+      return false;
+    }
+    if (cur_.actions_executed() >= cur_.max_actions()) {
+      ++stats.schedules;
+      violation = {path_, "action limit reached (livelock or broken algorithm)"};
+      return false;
+    }
+    if (budget_ != kUnlimited && stats.total_actions >= budget_) {
+      budget_stop = true;
+      return false;
+    }
+    if (options_.dedup_states) {
+      std::vector<std::uint64_t>& masks = visited_[cur_.config_digest()];
+      for (const std::uint64_t mask : masks) {
+        if ((mask & sleep) == mask) {  // stored ⊆ current: already covered
+          ++stats.states_deduped;
+          return false;
+        }
+      }
+      // The new mask dominates any stored superset (it will be explored
+      // with more branches awake); drop the dominated entries.
+      masks.erase(std::remove_if(masks.begin(), masks.end(),
+                                 [sleep](std::uint64_t mask) {
+                                   return (sleep & mask) == sleep;
+                                 }),
+                  masks.end());
+      masks.push_back(sleep);
+    }
+    return true;
+  }
+
+  const sim::Instance& instance_;
+  const CheckRequest& request_;
+  const McOptions& options_;
+  sim::ExecutionState& cur_;
+  std::size_t budget_ = kUnlimited;
+  VisitedMap visited_;
+  std::vector<std::uint32_t> path_;
+  std::vector<sim::AgentId> sorted_;  // scratch, reused across nodes
+  bool at_tip_ = false;
+};
+
+/// Builds the replayable counterexample trace for a violating path: digest
+/// and note are refreshed from the trace's own replay (the same
+/// drive-checked semantics), so the artifact is self-verifying like every
+/// recorded/shrunk trace.
+[[nodiscard]] explore::ScheduleTrace materialize_counterexample(
+    const CheckRequest& request, const std::vector<std::uint32_t>& choices,
+    const std::string& reason) {
+  explore::ScheduleTrace trace;
+  trace.algorithm = request.algorithm;
+  trace.node_count =
+      request.topology.empty() ? request.node_count : request.topology.size();
+  trace.homes = request.homes;
+  trace.topology = request.topology.empty()
+                       ? "ring"
+                       : std::string(request.topology.name());
+  trace.generator = "model-check";
+  trace.fault_non_fifo = request.fault_non_fifo;
+  trace.fault_min_phase = request.fault_min_phase;
+  trace.max_actions = request.max_actions;  // cap-sensitive verdicts replay
+  trace.choices = choices;
+  const explore::ReplayOutcome outcome = explore::replay_trace(trace);
+  trace.expected_digest = outcome.digest;
+  trace.note = outcome.failed ? outcome.reason : reason;
+  return trace;
+}
+
+void fold_stats(std::uint64_t& state, const McStats& stats) {
+  fold64(state, stats.schedules);
+  fold64(state, stats.states_expanded);
+  fold64(state, stats.states_deduped);
+  fold64(state, stats.sleep_pruned);
+  fold64(state, stats.replays);
+  fold64(state, stats.total_actions);
+  fold64(state, stats.max_depth);
+  fold64(state, stats.shards);
+}
+
+void accumulate(McStats& into, const McStats& from) {
+  into.schedules += from.schedules;
+  into.states_expanded += from.states_expanded;
+  into.states_deduped += from.states_deduped;
+  into.sleep_pruned += from.sleep_pruned;
+  into.replays += from.replays;
+  into.total_actions += from.total_actions;
+  into.max_depth = std::max(into.max_depth, from.max_depth);
+}
+
+}  // namespace
+
+std::uint64_t ModelCheckReport::digest() const {
+  std::uint64_t state = 0x3c0de1c4ec5e7ULL;  // "model-check" domain
+  fold64(state, complete ? 1 : 0);
+  fold64(state, ok ? 1 : 0);
+  fold_stats(state, stats);
+  fold64(state, counterexample ? counterexample->choices.size() + 1 : 0);
+  if (counterexample) {
+    for (const std::uint32_t choice : counterexample->choices) {
+      fold64(state, choice);
+    }
+  }
+  return state;
+}
+
+ModelCheckReport check(const CheckRequest& request, const McOptions& options) {
+  if (request.homes.empty()) {
+    throw std::invalid_argument("mc::check: no agents (homes empty)");
+  }
+  McOptions opts = options;
+  if (request.homes.size() > 64) opts.sleep_sets = false;  // mask width
+  if (opts.frontier_target == 0) opts.frontier_target = 1;
+
+  const sim::Instance instance = build_instance(request);
+  const std::size_t budget =
+      opts.budget_actions == 0 ? kUnlimited : opts.budget_actions;
+
+  ModelCheckReport report;
+
+  // ---- frontier phase (serial, deterministic) -------------------------------
+  core::RunContext root_context;
+  Explorer root(instance, request, opts, root_context.state(), budget, {});
+  std::vector<ShardNode> level = {{{}, 0}};
+  bool resolved_in_bfs = false;
+  if (opts.frontier_target > 1) {
+    std::vector<ShardNode> next;
+    while (level.size() < opts.frontier_target && !root.violation &&
+           !root.budget_stop) {
+      next.clear();
+      root.expand_level(level, next);
+      level.swap(next);
+      if (level.empty()) {  // the whole tree fit above the frontier
+        resolved_in_bfs = true;
+        break;
+      }
+    }
+  }
+  report.stats = root.stats;
+  std::optional<std::pair<std::vector<std::uint32_t>, std::string>> violation =
+      root.violation;
+  bool budget_stop = root.budget_stop;
+
+  // ---- shard phase ----------------------------------------------------------
+  if (!violation && !budget_stop && !resolved_in_bfs) {
+    const std::vector<ShardNode> shards = std::move(level);
+    report.stats.shards = shards.size();
+    // Deterministic budget split: what the frontier phase left, divided
+    // across shards (remainder to the first ones). Never depends on workers.
+    std::vector<std::size_t> shard_budget(shards.size(), kUnlimited);
+    if (budget != kUnlimited) {
+      const std::size_t remaining =
+          budget > report.stats.total_actions
+              ? budget - report.stats.total_actions
+              : 0;
+      for (std::size_t i = 0; i < shards.size(); ++i) {
+        shard_budget[i] =
+            remaining / shards.size() + (i < remaining % shards.size() ? 1 : 0);
+      }
+    }
+
+    struct ShardOutcome {
+      McStats stats;
+      bool budget_stop = false;
+      std::optional<std::pair<std::vector<std::uint32_t>, std::string>>
+          violation;
+    };
+    std::vector<ShardOutcome> outcomes(shards.size());
+    const std::size_t workers = resolve_workers(shards.size(), opts.workers);
+    std::vector<std::unique_ptr<core::RunContext>> contexts;
+    contexts.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      contexts.push_back(std::make_unique<core::RunContext>());
+    }
+    // Each shard copies the frontier phase's visited map as its seed: states
+    // the frontier already resolved are covered by some shard's subtree, so
+    // re-encounters skip (soundness argument in the header). Per-shard maps
+    // never cross worker boundaries — determinism like the campaign engine.
+    const VisitedMap& seed = root.visited();
+    parallel_for_workers(
+        shards.size(), workers, [&](std::size_t worker, std::size_t i) {
+          Explorer shard(instance, request, opts, contexts[worker]->state(),
+                         shard_budget[i], seed);
+          shard.dfs(shards[i].prefix, shards[i].sleep);
+          outcomes[i] = {shard.stats, shard.budget_stop,
+                         std::move(shard.violation)};
+        });
+    for (const ShardOutcome& outcome : outcomes) {  // index order: determinism
+      accumulate(report.stats, outcome.stats);
+      budget_stop = budget_stop || outcome.budget_stop;
+      if (!violation && outcome.violation) violation = outcome.violation;
+    }
+  }
+
+  // ---- verdict --------------------------------------------------------------
+  if (violation) {
+    report.ok = false;
+    report.complete = false;
+    report.verdict = "violation";
+    report.failure_reason = violation->second;
+    report.counterexample =
+        materialize_counterexample(request, violation->first, violation->second);
+  } else if (budget_stop) {
+    report.ok = true;
+    report.complete = false;
+    report.verdict = "budget-exhausted";
+  } else {
+    report.ok = true;
+    report.complete = true;
+    report.verdict = "verified";
+  }
+  return report;
+}
+
+// ---- campaign integration ---------------------------------------------------
+
+GridReport check_grid(const exp::CampaignGrid& grid, const McOptions& options) {
+  // The scheduler axis is what the checker replaces: collapse it so each
+  // instance is checked once. Home configurations are scheduler-independent
+  // by the campaign's substream contract, so these are byte-for-byte the
+  // instances the sampled cells ran.
+  exp::CampaignGrid collapsed = grid;
+  collapsed.schedulers = {grid.schedulers.empty()
+                              ? sim::SchedulerKind::Synchronous
+                              : grid.schedulers.front()};
+  const std::vector<exp::Scenario> scenarios = exp::expand(collapsed);
+
+  GridReport report;
+  report.cells.reserve(scenarios.size());
+  for (const exp::Scenario& s : scenarios) {
+    GridCell cell;
+    cell.algorithm = s.algorithm;
+    cell.family = s.family;
+    cell.node_count = s.node_count;
+    cell.agent_count = s.agent_count;
+    cell.symmetry = s.symmetry;
+    cell.repetition = s.repetition;
+    cell.homes = exp::scenario_homes(collapsed, s);
+
+    CheckRequest request;
+    request.algorithm = s.algorithm;
+    request.node_count = s.node_count;
+    request.homes = cell.homes;
+    request.fault_non_fifo = grid.sim_options.fault_non_fifo_links;
+    request.fault_min_phase = grid.sim_options.fault_non_fifo_min_phase;
+    request.max_actions = grid.sim_options.max_actions;
+    cell.report = check(request, options);
+
+    if (!cell.report.ok) {
+      ++report.violations;
+    } else if (!cell.report.complete) {
+      ++report.budget_exhausted;
+    }
+    report.cells.push_back(std::move(cell));
+  }
+  return report;
+}
+
+std::uint64_t GridReport::digest() const {
+  std::uint64_t state = 0x36c1dc4ec5e7ULL;  // "mc-grid-check" domain
+  fold64(state, cells.size());
+  for (const GridCell& cell : cells) {
+    fold64(state, static_cast<std::uint64_t>(cell.algorithm));
+    fold64(state, static_cast<std::uint64_t>(cell.family));
+    fold64(state, cell.node_count);
+    fold64(state, cell.agent_count);
+    fold64(state, cell.symmetry);
+    fold64(state, cell.repetition);
+    fold64(state, cell.report.digest());
+  }
+  fold64(state, violations);
+  fold64(state, budget_exhausted);
+  return state;
+}
+
+Table GridReport::summary_table() const {
+  Table table({"algorithm", "family", "n", "k", "l", "rep", "schedules",
+               "states", "deduped", "sleep-pruned", "actions", "verdict"});
+  for (const GridCell& cell : cells) {
+    const McStats& s = cell.report.stats;
+    table.add_row({std::string(core::to_string(cell.algorithm)),
+                   std::string(exp::to_string(cell.family)),
+                   Table::num(cell.node_count), Table::num(cell.agent_count),
+                   Table::num(cell.symmetry),
+                   Table::num(static_cast<std::size_t>(cell.repetition)),
+                   Table::num(s.schedules), Table::num(s.states_expanded),
+                   Table::num(s.states_deduped), Table::num(s.sleep_pruned),
+                   Table::num(s.total_actions),
+                   cell.report.complete && cell.report.ok
+                       ? "verified over all schedules"
+                       : (cell.report.ok ? "budget" : "VIOLATION")});
+  }
+  return table;
+}
+
+std::string GridReport::summary() const {
+  std::ostringstream out;
+  out << summary_table();
+  out << "cells: " << cells.size() << "   violations: " << violations
+      << "   budget-exhausted: " << budget_exhausted << '\n';
+  for (const GridCell& cell : cells) {
+    if (cell.report.ok) continue;
+    out << "  VIOLATION " << core::to_string(cell.algorithm) << " n="
+        << cell.node_count << " k=" << cell.agent_count << ": "
+        << cell.report.failure_reason << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace udring::mc

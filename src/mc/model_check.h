@@ -1,0 +1,190 @@
+// udring/mc/model_check.h
+//
+// Exhaustive stateless model checking over the replay choice tree.
+//
+// The paper's correctness claims are quantified over *every* asynchronous
+// schedule; the fuzzer (src/explore) samples that quantifier, this subsystem
+// discharges it for small instances. The object being walked is the exact
+// choice tree the sorted-enabled-index trace encoding defines: a node is a
+// reachable configuration C = (S, T, M, P, Q), its out-edges are the indices
+// 0..|enabled|-1 into the sorted enabled set, and every root-to-leaf path IS
+// a ScheduleTrace — so a violating path is immediately a replayable artifact
+// for `udring_fuzz --replay` and shrink_trace, and "verified" means every
+// schedule of the instance was executed (modulo the sound prunings below)
+// with check_model_invariants after each action and the algorithm's goal
+// oracle at quiescence, exactly the fuzzer's per-run verdict.
+//
+// The walk is an iterative DFS with an explicit prefix stack over a pooled
+// sim::ExecutionState: descending one level is one atomic action; advancing
+// to a sibling re-executes the prefix from C_0 (the stateless discipline —
+// PR 3's arena reset makes this a near-free replay). Every such backtrack
+// re-run uses explore::ReplayScheduler in Strict mode and treats any
+// out-of-range/exhausted pick as a determinism bug (std::logic_error), so
+// the checker cannot silently wander off the recorded branch.
+//
+// Two prunings, both verdict-preserving (pinned by test_mc.cpp's
+// pruned == unpruned grids):
+//  - Visited-state dedup on ExecutionState::config_digest(): a configuration
+//    reached again (necessarily at the same depth — the digest folds
+//    per-agent action counts) is not re-expanded. Combined with sleep sets
+//    via the standard subset rule: a state is skipped only when it was
+//    previously expanded with a sleep set that is a SUBSET of the current
+//    one (the stored exploration covered a superset of the transitions the
+//    current visit would explore).
+//  - Sleep sets (last-agent independence): after branch `a` of a node is
+//    fully explored, `a` sleeps for the node's later branches; a child
+//    inherits the sleeping agents that are independent of the edge taken.
+//    Independence is conservative footprint disjointness — an enabled
+//    agent's next action can only touch its node (arrival, tokens,
+//    broadcast, staying set, queue head) and its successor node's link
+//    queue (departure), so two agents with disjoint {node, next(node)}
+//    footprints commute and cannot enable/disable each other, including
+//    under the non-FIFO fault (overtaking eligibility is a queue-membership
+//    property of those same nodes).
+//
+// Parallel mode is frontier-sharded: a serial BFS expands the tree until a
+// level has at least `frontier_target` open nodes, each frontier node (its
+// choice prefix + inherited sleep set) becomes one shard, and shards run
+// DFS walks across util::parallel_for_workers with one pooled
+// core::RunContext per worker. The shard decomposition, per-shard budgets
+// and per-shard visited maps (seeded from the BFS phase's map) depend only
+// on the options — never on the worker count — and reports fold in shard
+// index order, so schedules/states/verdict and digest() are byte-identical
+// at any parallelism, the same contract as exp::run_campaign.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "exp/campaign.h"
+#include "explore/trace.h"
+#include "sim/topology.h"
+#include "util/table.h"
+
+namespace udring::mc {
+
+/// One instance to verify over all schedules: the same coordinates a
+/// ScheduleTrace carries, minus the choices (the checker supplies all of
+/// them). `topology` empty = the plain ring of node_count.
+struct CheckRequest {
+  core::Algorithm algorithm = core::Algorithm::KnownKFull;
+  std::size_t node_count = 0;
+  std::vector<std::size_t> homes;
+  sim::Topology topology;
+  /// TEST-ONLY non-FIFO fault injection, as in SimOptions / ScheduleTrace.
+  bool fault_non_fifo = false;
+  std::size_t fault_min_phase = 0;
+  /// Per-schedule action cap; 0 = the simulator's auto limit. Hitting it on
+  /// any branch is a violation (livelock or broken algorithm), like the
+  /// fuzzer's verdict.
+  std::size_t max_actions = 0;
+};
+
+struct McOptions {
+  /// (a) visited-state deduplication on ExecutionState::config_digest().
+  bool dedup_states = true;
+  /// (b) sleep-set / last-agent independence pruning. Auto-disabled when
+  /// the instance has more than 64 agents (the sleep mask is a bitmask —
+  /// exhaustive checking far beyond that is hopeless anyway).
+  bool sleep_sets = true;
+  /// Global budget on executed simulator actions, replays included
+  /// (0 = unlimited). Split deterministically across shards, so exceeding
+  /// it yields `complete = false` at any worker count identically.
+  std::size_t budget_actions = 0;
+  /// Frontier sharding target: the BFS phase expands until a level has at
+  /// least this many open nodes, each of which becomes one DFS shard.
+  /// 1 (default) = a single serial walk. The value changes how the work is
+  /// cut, never the verdict.
+  std::size_t frontier_target = 1;
+  /// Worker threads executing shards (resolve_workers semantics; 0 = all
+  /// cores). Never affects any reported number.
+  std::size_t workers = 1;
+};
+
+struct McStats {
+  std::size_t schedules = 0;        ///< complete schedules (quiescent or limit leaves)
+  std::size_t states_expanded = 0;  ///< choice-tree nodes expanded
+  std::size_t states_deduped = 0;   ///< subtrees cut by the visited-state hash
+  std::size_t sleep_pruned = 0;     ///< branches cut by sleep sets
+  std::size_t replays = 0;          ///< strict prefix re-executions (backtracks)
+  std::size_t total_actions = 0;    ///< simulator actions executed, replays included
+  std::size_t max_depth = 0;        ///< deepest schedule prefix reached
+  std::size_t shards = 0;           ///< DFS shards executed (0 = BFS resolved all)
+};
+
+struct ModelCheckReport {
+  /// True when the (pruned) choice tree was walked to exhaustion within the
+  /// budget. `ok && complete` is the "verified over all schedules" verdict.
+  bool complete = false;
+  /// False as soon as any branch violated an invariant, failed its goal
+  /// oracle at quiescence, or hit the action limit.
+  bool ok = true;
+  /// "verified" | "violation" | "budget-exhausted".
+  std::string verdict;
+  /// The violating branch's reason, in the fuzzer's exact phrasing
+  /// ("invariant: …", "goal: …", or the action-limit text).
+  std::string failure_reason;
+  /// First counterexample in deterministic walk order, as a replayable
+  /// trace: digest and note refreshed from its own replay, so
+  /// `udring_fuzz --replay` accepts it like any corpus file.
+  std::optional<explore::ScheduleTrace> counterexample;
+  McStats stats;
+
+  /// Order-sensitive digest of the verdict and every stat; equality across
+  /// worker counts is the determinism contract (test_mc.cpp pins it).
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+/// Exhaustively verifies one instance. Deterministic in (request, options):
+/// worker count affects wall-clock only.
+[[nodiscard]] ModelCheckReport check(const CheckRequest& request,
+                                     const McOptions& options = {});
+
+// ---- campaign integration ---------------------------------------------------
+
+/// One exhaustively-checked cell of a campaign grid.
+struct GridCell {
+  core::Algorithm algorithm = core::Algorithm::KnownKFull;
+  exp::ConfigFamily family = exp::ConfigFamily::RandomAny;
+  std::size_t node_count = 0;
+  std::size_t agent_count = 0;
+  std::size_t symmetry = 1;
+  std::uint64_t repetition = 0;
+  std::vector<std::size_t> homes;  ///< the instance actually checked
+  ModelCheckReport report;
+};
+
+struct GridReport {
+  std::vector<GridCell> cells;  ///< grid expansion order
+  std::size_t violations = 0;
+  std::size_t budget_exhausted = 0;
+
+  /// Every cell verified over all schedules (complete && ok).
+  [[nodiscard]] bool all_verified() const noexcept {
+    return violations == 0 && budget_exhausted == 0;
+  }
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// One row per cell: coordinates, schedule/state counts, prune counters,
+  /// and a "verified over all schedules" / "VIOLATION" / "budget" verdict —
+  /// the exhaustive sibling of exp::CampaignResult::summary_table().
+  [[nodiscard]] Table summary_table() const;
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Exhaustively model-checks every instance of `grid` — the same expansion
+/// order and substream-derived home configurations exp::run_campaign
+/// samples (exp::scenario_homes), so "verified over all schedules" becomes
+/// a grid cell alongside fuzzed/measured cells. The scheduler axis is
+/// collapsed (the checker quantifies over every scheduler by construction);
+/// grid.sim_options supplies the fault knobs and action cap. Cells run in
+/// expansion order; `options` applies per cell.
+[[nodiscard]] GridReport check_grid(const exp::CampaignGrid& grid,
+                                    const McOptions& options = {});
+
+}  // namespace udring::mc

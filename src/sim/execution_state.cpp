@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
+#include <variant>
+
+#include "util/rng.h"
 
 namespace udring::sim {
 
@@ -165,6 +169,76 @@ Snapshot ExecutionState::snapshot() const {
     snap.queues.emplace_back(queue.begin(), queue.end());
   }
   return snap;
+}
+
+namespace {
+
+template <class>
+inline constexpr bool kUnhandledMessageAlternative = false;
+
+/// Folds one undelivered message into a configuration digest. Every payload
+/// field participates: M is part of the configuration, and two states that
+/// differ only in a pending message must never dedup together. The visitor
+/// is deliberately exhaustive — adding a Message alternative without
+/// folding its payload would silently punch a soundness hole in the model
+/// checker's visited-state key, so it is a compile error instead.
+void fold_message(std::uint64_t& state, const Message& message) {
+  fold64(state, message.index());
+  std::visit(
+      [&state](const auto& payload) {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, BaseInfoMessage>) {
+          fold64(state, payload.t_base);
+          fold64(state, payload.seg_agents);
+          fold64(state, payload.ceil_gaps);
+          fold64(state, payload.floor_gap);
+        } else if constexpr (std::is_same_v<T, EstimateMessage>) {
+          fold64(state, payload.n_est);
+          fold64(state, payload.k_est);
+          fold64(state, payload.nodes_visited);
+          fold64(state, payload.distance_seq.size());
+          for (const std::size_t d : payload.distance_seq) fold64(state, d);
+        } else if constexpr (std::is_same_v<T, TextMessage>) {
+          fold64(state, payload.text.size());
+          for (const char c : payload.text) {
+            fold64(state,
+                   static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+          }
+        } else {
+          static_assert(kUnhandledMessageAlternative<T>,
+                        "config_digest: fold every Message payload");
+        }
+      },
+      message);
+}
+
+}  // namespace
+
+std::uint64_t ExecutionState::config_digest() const {
+  std::uint64_t state = 0xc0f1Dd16e5700000ULL;  // "config-digest" domain
+  fold64(state, tokens_.size());
+  fold64(state, agents_.size());
+  for (const std::size_t count : tokens_) fold64(state, count);  // T
+  for (AgentId id = 0; id < agents_.size(); ++id) {              // S, M
+    const AgentCell& c = agents_[id];
+    fold64(state, static_cast<std::uint64_t>(c.status));
+    fold64(state, c.node);
+    // Phase and action count are behavioural under the non-FIFO fault
+    // (should_be_enabled reads both); including them unconditionally keeps
+    // one digest definition for every mode, and commuting schedules agree
+    // on per-agent counts, so dedup effectiveness is unaffected.
+    fold64(state, metrics_.agent(id).phase);
+    fold64(state, metrics_.agent(id).actions);
+    fold64(state, c.program->state_hash());
+    fold64(state, c.mailbox.size());
+    for (const Message& message : c.mailbox) fold_message(state, message);
+  }
+  for (const auto& queue : queues_) {  // Q (FIFO order is state)
+    fold64(state, queue.size());
+    for (const AgentId member : queue) fold64(state, member);
+  }
+  // P (staying membership) is fully determined by status + node above.
+  return state;
 }
 
 // ---- action engine ----------------------------------------------------------

@@ -179,6 +179,19 @@ class ExecutionState {
 
   [[nodiscard]] Snapshot snapshot() const;
 
+  /// Canonical 64-bit digest of the configuration C = (S, T, M, P, Q): agent
+  /// program states (status, node, phase, action count, AgentProgram::
+  /// state_hash), token counts, undelivered message sequences, staying
+  /// membership (derived from status + node), and link-queue contents in
+  /// FIFO order. Deliberately EXCLUDES causal timestamps and the event log —
+  /// they record *history*, not state — so two schedules that reach the same
+  /// configuration by commuting independent actions digest equally. This is
+  /// the visited-state key of the mc:: stateless model checker; its fidelity
+  /// caveat is the AgentProgram contract that all algorithm state lives in
+  /// named members reported by state_hash() (coroutine-frame locals are
+  /// invisible), which src/mc's pruned-vs-unpruned equality tests exercise.
+  [[nodiscard]] std::uint64_t config_digest() const;
+
   [[nodiscard]] std::size_t actions_executed() const noexcept {
     return action_counter_;
   }

@@ -1,0 +1,14 @@
+#include "util/io.h"
+
+#include <fstream>
+
+namespace udring {
+
+bool write_text_file(const std::string& path, std::string_view text) {
+  std::ofstream out(path);
+  out << text;
+  out.flush();
+  return out.good();
+}
+
+}  // namespace udring

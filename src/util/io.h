@@ -1,0 +1,19 @@
+// udring/util/io.h
+//
+// Tiny file-IO helpers shared by the tool binaries.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace udring {
+
+/// Writes `text` to `path` and flushes; false when the stream failed at any
+/// point (missing directory, full disk). Trace artifacts are the repo's
+/// evidence — a lost one must never look written, which is why every tool
+/// checks this result instead of fire-and-forgetting an ofstream.
+[[nodiscard]] bool write_text_file(const std::string& path,
+                                   std::string_view text);
+
+}  // namespace udring

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "config/generators.h"
+#include "embed/topology.h"
 #include "sim/checker.h"
+#include "sim/instance.h"
 #include "sim/simulator.h"
 #include "support/test_agents.h"
 #include "util/rng.h"
@@ -221,6 +223,90 @@ TEST(Definition2Fuzz, UndeliveredMailFailsWithMessageReason) {
   ASSERT_TRUE(meet.all_suspended());
   EXPECT_FAILS_WITH(check_uniform_deployment_without_termination(meet),
                     "agent ");
+}
+
+// ---- near misses on embedded (non-ring) topologies --------------------------
+//
+// The checker consumes observable simulator state, and since PR 3 that state
+// can live on an Euler-tree or Eulerian-graph virtual ring. The negative
+// space must reject for the same reasons there: a wrong verdict on an
+// embedded instance would poison both the fuzzer and the mc:: exhaustive
+// checker, which trust these oracles on every topology family.
+
+TEST(EmbeddedTopologyFuzz, NonHaltedAgentFailsWithStatusReasonOnEulerTrees) {
+  Rng rng(409);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 3 + rng.index(6);  // underlying tree nodes
+    sim::Topology topology = embed::random_network_topology(
+        embed::RandomNetworkKind::Tree, n, rng);
+    const std::size_t k = 2 + rng.index(std::min<std::size_t>(n - 1, 3));
+    const std::size_t parked = rng.index(k);
+    std::vector<std::size_t> homes =
+        embed::draw_virtual_homes(topology, k, rng);
+    Simulator sim(std::make_shared<const sim::Instance>(
+        std::move(topology), std::move(homes), [&](AgentId id) {
+          return id == parked
+                     ? std::unique_ptr<AgentProgram>(std::make_unique<ParkAgent>())
+                     : std::unique_ptr<AgentProgram>(std::make_unique<HaltAgent>());
+        }));
+    ASSERT_TRUE(drain(sim).quiescent());
+    EXPECT_FAILS_WITH(check_uniform_deployment_with_termination(sim), "agent ");
+  }
+}
+
+TEST(EmbeddedTopologyFuzz, SharedNodeFailsWithSharedNodeReasonOnEulerianGraphs) {
+  // A bow-tie multigraph (all degrees even) yields a 6-step Eulerian
+  // circuit; walk one agent onto another's halt node so the occupancy scan
+  // fires — and pin that it fires with the geometry reason, not a status one.
+  const sim::Topology topology = embed::eulerian_circuit_topology(
+      5, {{0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4}, {4, 0}});
+  ASSERT_EQ(topology.size(), 6u);
+  Rng rng(410);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t gap = 1 + rng.index(topology.size() - 1);
+    const std::size_t start = rng.index(topology.size());
+    const std::size_t chaser = (start + topology.size() - gap) % topology.size();
+    if (chaser == start) continue;
+    Simulator sim(std::make_shared<const sim::Instance>(
+        topology, std::vector<std::size_t>{start, chaser}, [&](AgentId id) {
+          // Agent 1 walks exactly onto agent 0's halt node (the virtual
+          // ring's successor order is the circuit, so `gap` moves close it).
+          return std::make_unique<test::WalkerAgent>(id == 0 ? 0 : gap);
+        }));
+    ASSERT_TRUE(drain(sim).quiescent());
+    EXPECT_FAILS_WITH(check_uniform_deployment_with_termination(sim),
+                      "two agents share node ");
+  }
+}
+
+TEST(EmbeddedTopologyFuzz, ModelInvariantsHoldAtEveryStepOfEmbeddedRuns) {
+  // The fuzzer's and model checker's per-action oracle must hold along every
+  // legal execution of embedded instances too — tree and graph families.
+  Rng rng(411);
+  for (const embed::RandomNetworkKind kind :
+       {embed::RandomNetworkKind::Tree, embed::RandomNetworkKind::Graph}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const std::size_t n = 3 + rng.index(6);
+      sim::Topology topology = embed::random_network_topology(kind, n, rng);
+      const std::size_t k = 1 + rng.index(std::min<std::size_t>(n, 3));
+      std::vector<std::size_t> homes =
+          embed::draw_virtual_homes(topology, k, rng);
+      Simulator sim(std::make_shared<const sim::Instance>(
+          std::move(topology), std::move(homes), [k](AgentId) {
+            return std::make_unique<test::WalkerAgent>(/*steps=*/k + 4,
+                                                       /*drop_token=*/true);
+          }));
+      RandomScheduler scheduler(rng());
+      scheduler.reset(k);
+      std::size_t min_tokens = 0;
+      while (sim.step(scheduler)) {
+        const CheckResult invariants = check_model_invariants(sim, min_tokens);
+        ASSERT_TRUE(invariants.ok) << invariants.reason;
+        min_tokens = sim.total_tokens();
+      }
+      EXPECT_TRUE(sim.all_halted());
+    }
+  }
 }
 
 // ---- model invariants -------------------------------------------------------

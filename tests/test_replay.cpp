@@ -94,6 +94,59 @@ INSTANTIATE_TEST_SUITE_P(AllSchedulers, RoundTrip,
                            return name;
                          });
 
+// ---- round-trip determinism for every topology family -----------------------
+
+class TopologyRoundTrip : public ::testing::TestWithParam<FuzzTopology> {};
+
+TEST_P(TopologyRoundTrip, RecordReplayAndTextSurviveNatively) {
+  // The PR-3 provenance axis, closed under record → serialize → parse →
+  // replay: an instance recorded natively on a ring / Euler-tree /
+  // Eulerian-graph virtual ring must round-trip its digest AND its
+  // provenance key (execution depends only on the virtual ring size, so the
+  // replay runs stand-alone either way).
+  Rng rng(29);
+  RecordRequest request;
+  request.algorithm = core::Algorithm::KnownKFull;
+  request.kind = ExploreSchedulerKind::FifoStress;
+  request.seed = 5;
+  if (GetParam() == FuzzTopology::Ring) {
+    request.node_count = 14;
+    request.homes = draw_instance_homes(14, 4, 13);
+  } else {
+    // The same draw the fuzzer and both CLIs use (explore::draw_instance),
+    // so this suite round-trips exactly the instance family they emit.
+    DrawnInstance drawn = draw_instance(GetParam(), 8, 3, rng);
+    request.node_count = drawn.node_count;
+    request.homes = std::move(drawn.homes);
+    request.topology = std::move(drawn.topology);
+  }
+  const ScheduleTrace trace = record_trace(request);
+  EXPECT_EQ(trace.note, "ok") << trace.note;
+  EXPECT_EQ(trace.topology, request.topology.empty()
+                                ? "ring"
+                                : std::string(request.topology.name()));
+  EXPECT_FALSE(trace.choices.empty());
+
+  const ScheduleTrace reparsed = ScheduleTrace::parse(trace.to_text());
+  EXPECT_EQ(reparsed.topology, trace.topology);
+  EXPECT_EQ(reparsed.node_count, trace.node_count);
+  EXPECT_EQ(reparsed.homes, trace.homes);
+  EXPECT_EQ(reparsed.choices, trace.choices);
+
+  const ReplayOutcome replayed = replay_trace(reparsed);
+  EXPECT_FALSE(replayed.failed) << replayed.reason;
+  EXPECT_EQ(replayed.digest, trace.expected_digest);
+  EXPECT_EQ(replayed.actions, trace.choices.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, TopologyRoundTrip,
+                         ::testing::Values(FuzzTopology::Ring,
+                                           FuzzTopology::Tree,
+                                           FuzzTopology::Graph),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
 // ---- regression corpus ------------------------------------------------------
 
 std::vector<std::filesystem::path> corpus_files() {
@@ -106,19 +159,25 @@ std::vector<std::filesystem::path> corpus_files() {
   return files;
 }
 
-TEST(ScheduleCorpus, HasAtLeastFiveTracesIncludingFifoStress) {
+TEST(ScheduleCorpus, CoversAdversariesAndEveryTopologyFamily) {
   const auto files = corpus_files();
-  EXPECT_GE(files.size(), 5u);
+  EXPECT_GE(files.size(), 7u);
   bool fifo_stress = false;
+  bool euler_tree = false;
+  bool euler_graph = false;
   for (const auto& file : files) {
     std::ifstream in(file);
     std::stringstream buffer;
     buffer << in.rdbuf();
     const ScheduleTrace trace = ScheduleTrace::parse(buffer.str());
     fifo_stress = fifo_stress || trace.generator == "fifo-stress";
+    euler_tree = euler_tree || trace.topology == "euler-tree";
+    euler_graph = euler_graph || trace.topology == "euler-graph";
   }
   EXPECT_TRUE(fifo_stress)
       << "corpus must include an adversarial fifo-stress trace";
+  EXPECT_TRUE(euler_tree) << "corpus must include an euler-tree trace";
+  EXPECT_TRUE(euler_graph) << "corpus must include an euler-graph trace";
 }
 
 TEST(ScheduleCorpus, EveryTraceReplaysToItsRecordedDigest) {
@@ -146,12 +205,49 @@ TEST(ReplayScheduler, PadsExhaustedTraceWithFallback) {
   EXPECT_EQ(scheduler.pick(enabled), 5u);  // sorted {1,5,9}[1]
   EXPECT_EQ(scheduler.pick(enabled), 1u);  // exhausted -> index 0
   EXPECT_EQ(scheduler.consumed(), 3u);
+  // Lenient mode is the shrinker's contract: padding and wrapping stay
+  // silent, so a mutated trace is always a complete schedule.
+  EXPECT_FALSE(scheduler.diverged());
+  EXPECT_EQ(scheduler.divergence(), "");
 }
 
 TEST(ReplayScheduler, ReducesChoicesModuloEnabledCount) {
   ReplayScheduler scheduler({7});
   scheduler.reset(2);
   EXPECT_EQ(scheduler.pick({4, 2}), 4u);  // sorted {2,4}[7 % 2 = 1]
+  EXPECT_FALSE(scheduler.diverged());
+}
+
+TEST(ReplayScheduler, StrictModeReportsExhaustedTrace) {
+  // The model checker's backtrack contract: the same picks as Lenient (the
+  // run proceeds on the fallback so the aftermath is observable), but the
+  // exhaustion is reported instead of silently masked.
+  ReplayScheduler scheduler({2}, ReplayMode::Strict);
+  scheduler.reset(3);
+  const std::vector<sim::AgentId> enabled = {5, 1, 9};
+  EXPECT_EQ(scheduler.pick(enabled), 9u);
+  EXPECT_FALSE(scheduler.diverged());
+  EXPECT_EQ(scheduler.pick(enabled), 1u);  // exhausted -> fallback 0
+  EXPECT_TRUE(scheduler.diverged());
+  EXPECT_EQ(scheduler.divergence(), "trace exhausted at pick 1");
+}
+
+TEST(ReplayScheduler, StrictModeReportsOutOfRangeChoice) {
+  ReplayScheduler scheduler({1, 7, 5}, ReplayMode::Strict);
+  scheduler.reset(2);
+  EXPECT_EQ(scheduler.pick({4, 2}), 4u);  // in range: sorted {2,4}[1]
+  EXPECT_FALSE(scheduler.diverged());
+  EXPECT_EQ(scheduler.pick({4, 2}), 4u);  // 7 wraps to 1, and is reported
+  EXPECT_TRUE(scheduler.diverged());
+  EXPECT_EQ(scheduler.divergence(),
+            "choice 7 out of range at pick 1 (enabled 2)");
+  // Only the FIRST divergence is kept (5 out of range too); the run goes on.
+  EXPECT_EQ(scheduler.pick({4, 2}), 4u);
+  EXPECT_EQ(scheduler.divergence(),
+            "choice 7 out of range at pick 1 (enabled 2)");
+  // reset() restores a clean slate, per the pooled-reuse contract.
+  scheduler.reset(2);
+  EXPECT_FALSE(scheduler.diverged());
 }
 
 TEST(TraceFormat, RejectsMalformedInput) {

@@ -27,10 +27,10 @@
 #include <sstream>
 #include <string>
 
-#include "embed/topology.h"
 #include "explore/fuzz.h"
 #include "explore/shrink.h"
 #include "util/cli.h"
+#include "util/io.h"
 
 namespace {
 
@@ -42,15 +42,6 @@ using namespace udring;
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
-}
-
-/// Writes and flushes; false when the stream failed at any point (missing
-/// directory, full disk) — a lost trace artifact must never look written.
-[[nodiscard]] bool write_file(const std::string& path, const std::string& text) {
-  std::ofstream out(path);
-  out << text;
-  out.flush();
-  return out.good();
 }
 
 int replay_mode(const std::string& path) {
@@ -84,28 +75,15 @@ int record_mode(const std::string& path, core::Algorithm algorithm,
   request.seed = seed;
   request.fault_non_fifo = fault;
   request.fault_min_phase = fault_min_phase;
-  switch (topology) {
-    case explore::FuzzTopology::Ring:
-      request.node_count = n;
-      request.homes = exp::draw_homes(exp::ConfigFamily::RandomAny, n, k, 1, rng);
-      break;
-    case explore::FuzzTopology::Tree:
-    case explore::FuzzTopology::Graph: {
-      // --nodes sizes the underlying network; the recorded instance is its
-      // Euler-tour virtual ring, so the trace replays stand-alone.
-      request.topology = embed::random_network_topology(
-          topology == explore::FuzzTopology::Tree
-              ? embed::RandomNetworkKind::Tree
-              : embed::RandomNetworkKind::Graph,
-          n, rng);
-      request.node_count = request.topology.size();
-      request.homes =
-          embed::draw_virtual_homes(request.topology, std::min(k, n), rng);
-      break;
-    }
-  }
+  // --nodes sizes the underlying network for tree/graph; the recorded
+  // instance is its Euler-tour virtual ring, so the trace replays
+  // stand-alone.
+  explore::DrawnInstance drawn = explore::draw_instance(topology, n, k, rng);
+  request.node_count = drawn.node_count;
+  request.homes = std::move(drawn.homes);
+  request.topology = std::move(drawn.topology);
   const explore::ScheduleTrace trace = explore::record_trace(request);
-  if (!write_file(path, trace.to_text())) {
+  if (!write_text_file(path, trace.to_text())) {
     std::cerr << "udring_fuzz: cannot write " << path << '\n';
     return 2;
   }
@@ -137,7 +115,7 @@ int fuzz_mode(const explore::FuzzOptions& options, const std::string& out_dir) {
       std::ostringstream name;
       name << out_dir << "/shrunk-" << core::to_string(options.algorithm)
            << "-iter" << failure.iteration << ".trace";
-      if (write_file(name.str(), shrunk.trace.to_text())) {
+      if (write_text_file(name.str(), shrunk.trace.to_text())) {
         std::cout << "    wrote " << name.str() << '\n';
         ++written;
       } else {
