@@ -62,6 +62,18 @@ void print_report() {
   }
   std::cout << table;
 
+  // The O(cells + workers)-memory aggregation path must be the same
+  // computation, not a sibling: its digest has to reproduce the
+  // materialized one byte-for-byte (bench_streaming_campaign is the full
+  // artifact; this row keeps the engine's own report honest).
+  print_section(std::cout, "Streaming aggregation");
+  const exp::CampaignResult streamed =
+      exp::run_campaign_streaming(grid, {.workers = 8});
+  std::cout << "streaming digest "
+            << (streamed.digest() == serial.digest() ? "matches" : "DOES NOT match")
+            << " the materialized serial run ("
+            << streamed.cells.size() << " cells, no per-scenario storage).\n";
+
   std::cout << "\nfailures: " << serial.failures << " / " << scenario_count
             << "   digest: " << std::hex << serial.digest() << std::dec << '\n';
   if (!serial.all_ok()) {

@@ -57,12 +57,17 @@ void BM_RawRun(benchmark::State& state) {
 }
 
 /// One full fuzzer step pipeline: record + invariant check every action +
-/// goal oracle. items/sec here IS fuzzer steps/sec.
+/// goal oracle. items/sec here IS fuzzer steps/sec. range(2) picks the
+/// per-action oracle (0 = full re-walk, 1 = incremental O(dirty)) — the
+/// spread between the two rows is what the incremental checker buys, and it
+/// widens with n (the full walk is O(n) per action, the footprint is not).
 void BM_FuzzerSteps(benchmark::State& state) {
   explore::FuzzOptions options;
   options.algorithm = core::Algorithm::KnownKFull;
   options.min_nodes = options.max_nodes = static_cast<std::size_t>(state.range(0));
   options.min_agents = options.max_agents = static_cast<std::size_t>(state.range(1));
+  options.oracle = state.range(2) == 0 ? explore::OracleMode::Full
+                                       : explore::OracleMode::Incremental;
   std::size_t actions = 0;
   std::uint64_t iteration = 0;
   for (auto _ : state) {
@@ -119,7 +124,10 @@ void register_all() {
                     {24, 6}, {64, 8}, {128, 16}};
   for (const auto& [n, k] : instances) {
     benchmark::RegisterBenchmark("raw_run", BM_RawRun)->Args({n, k});
-    benchmark::RegisterBenchmark("fuzzer_steps", BM_FuzzerSteps)->Args({n, k});
+    benchmark::RegisterBenchmark("fuzzer_steps", BM_FuzzerSteps)
+        ->Args({n, k, 0});
+    benchmark::RegisterBenchmark("fuzzer_steps_incremental", BM_FuzzerSteps)
+        ->Args({n, k, 1});
     benchmark::RegisterBenchmark("replay", BM_Replay)->Args({n, k});
   }
   const std::vector<std::int64_t> workers =

@@ -9,6 +9,7 @@
 // the algorithms actually reach it from random starts.
 
 #include <map>
+#include <span>
 
 #include "sim/checker.h"
 #include "support/bench_common.h"
@@ -62,8 +63,11 @@ void print_report() {
                                      static_cast<double>(n) / static_cast<double>(k)));
         }
         all_exact = all_exact && result.results[i].success;
-        for (const std::size_t gap :
-             sim::ring_gaps(result.results[i].final_positions, n)) {
+        const std::span<const std::size_t> positions =
+            result.results[i].final_positions();
+        for (const std::size_t gap : sim::ring_gaps(
+                 std::vector<std::size_t>(positions.begin(), positions.end()),
+                 n)) {
           ++histogram[gap];
         }
       }

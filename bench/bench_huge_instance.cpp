@@ -15,34 +15,17 @@
 // nonzero exit (the CI bench-smoke job does). UDRING_HUGE_NODES overrides
 // the ring size. Wall-clock timings register as google-benchmarks.
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <new>
 
 #include "embed/topology.h"
 #include "embed/tree.h"
 #include "support/bench_common.h"
-
-// ---- global allocation counter ----------------------------------------------
-// Counts every operator new in the process; measurement windows snapshot it.
-// Relaxed ordering is fine: the measured windows are single-threaded.
-
-namespace {
-std::atomic<std::size_t> g_alloc_count{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Defines the global counting operator new for this binary (one TU only);
+// measurement windows snapshot udring::allocation_count(). Compiled out
+// under sanitizers — this audit only runs in the Release bench-smoke job.
+#include "util/counting_allocator.h"
 
 namespace {
 
@@ -59,14 +42,14 @@ struct RunStats {
 RunStats timed_run(sim::ExecutionState& state, const sim::Instance& instance,
                    sim::Scheduler& scheduler) {
   RunStats stats;
-  const std::size_t before_reset = g_alloc_count.load();
+  const std::size_t before_reset = allocation_count();
   state.reset(instance);
-  stats.reset_allocs = g_alloc_count.load() - before_reset;
+  stats.reset_allocs = allocation_count() - before_reset;
 
   const auto start = std::chrono::steady_clock::now();
-  const std::size_t before_run = g_alloc_count.load();
+  const std::size_t before_run = allocation_count();
   const sim::RunResult result = state.run(scheduler);
-  stats.run_allocs = g_alloc_count.load() - before_run;
+  stats.run_allocs = allocation_count() - before_run;
   const auto stop = std::chrono::steady_clock::now();
   stats.actions = result.actions;
   stats.run_ms = std::chrono::duration<double, std::milli>(stop - start).count();

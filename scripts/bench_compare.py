@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Diff a fresh google-benchmark JSON against a committed baseline.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json FRESH.json [--tolerance 5.0]
+                             [--informational]
+
+For every benchmark present in the baseline, the fresh run must (a) contain
+a benchmark of the same name and (b) not be slower than baseline_time x
+tolerance. Benchmarks that only exist in the fresh run are reported but
+never fail the comparison (new benches land before their baseline does).
+
+Exit codes: 0 = within tolerance, 1 = regression or missing benchmark,
+2 = unreadable/malformed input. With --informational, regressions print
+GitHub warning annotations and the exit code stays 0 (missing benchmarks
+still fail: a silently dropped benchmark is a broken artifact, not noise).
+
+The default tolerance is deliberately generous: the committed baselines and
+the CI runners are different machines, so this gate catches order-of-
+magnitude regressions (an O(n) walk reappearing on a hot path), not
+single-digit percentages. Tighten it only with same-machine baselines.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"bench_compare: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+    benchmarks = {}
+    for bench in data.get("benchmarks", []):
+        # Aggregate reruns (mean/median rows) keep their suffixed names and
+        # compare independently; plain rows compare directly.
+        name = bench.get("name")
+        time = bench.get("real_time")
+        if name is None or time is None:
+            continue
+        benchmarks[name] = (float(time), bench.get("time_unit", "ns"))
+    if not benchmarks:
+        print(f"bench_compare: {path} contains no benchmarks", file=sys.stderr)
+        sys.exit(2)
+    return benchmarks
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=5.0,
+                        help="fail when fresh > baseline x tolerance "
+                             "(default: %(default)s)")
+    parser.add_argument("--informational", action="store_true",
+                        help="report regressions as warnings, exit 0")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    failures = 0
+    regressions = 0
+    for name, (base_time, base_unit) in sorted(baseline.items()):
+        if name not in fresh:
+            print(f"::error::bench_compare: '{name}' present in "
+                  f"{args.baseline} but missing from {args.fresh}")
+            failures += 1
+            continue
+        fresh_time, fresh_unit = fresh[name]
+        if base_unit != fresh_unit:
+            print(f"::error::bench_compare: '{name}' changed time unit "
+                  f"({base_unit} -> {fresh_unit})")
+            failures += 1
+            continue
+        ratio = fresh_time / base_time if base_time > 0 else float("inf")
+        verdict = "ok" if ratio <= args.tolerance else "REGRESSION"
+        print(f"  {verdict:>10}  {name}: {base_time:.3g} -> {fresh_time:.3g} "
+              f"{base_unit} ({ratio:.2f}x, tolerance {args.tolerance:.1f}x)")
+        if ratio > args.tolerance:
+            level = "warning" if args.informational else "error"
+            print(f"::{level}::bench regression: {name} is {ratio:.2f}x the "
+                  f"committed baseline (tolerance {args.tolerance:.1f}x)")
+            regressions += 1
+
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"         new  {name} (no baseline yet)")
+
+    if failures or (regressions and not args.informational):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

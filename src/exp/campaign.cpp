@@ -1,7 +1,8 @@
 #include "exp/campaign.h"
 
-#include <bit>
+#include <algorithm>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -101,15 +102,17 @@ ScenarioResult run_one(const Scenario& scenario, const CampaignGrid& grid,
     spec.sim_options = grid.sim_options;
     const core::RunReport report = ctx.run(scenario.algorithm, spec);
     out.success = report.success;
-    out.failure = report.failure;
+    if (!report.success) out.ensure_cold().failure = report.failure;
     out.total_moves = report.total_moves;
     out.makespan = report.makespan;
     out.max_memory_bits = report.max_memory_bits;
     out.actions = report.result.actions;
-    if (record_final_positions) out.final_positions = report.final_positions;
+    if (record_final_positions) {
+      out.ensure_cold().final_positions = report.final_positions;
+    }
   } catch (const std::exception& error) {
     out.success = false;
-    out.failure = std::string("exception: ") + error.what();
+    out.ensure_cold().failure = std::string("exception: ") + error.what();
   }
   return out;
 }
@@ -123,9 +126,93 @@ ScenarioResult run_one(const Scenario& scenario, const CampaignGrid& grid,
   return text.str();
 }
 
+/// Init state for the per-scenario outcome hash (see hash_scenario); its own
+/// domain, distinct from the digest and substream salts.
+constexpr std::uint64_t kScenarioHashSalt = 0x5ce7a210ba5eedULL;
+
+/// One scenario's contribution to CampaignResult::scenario_hash: a
+/// well-mixed 64-bit word over (index, outcome). Contributions combine by
+/// wrapping addition — commutative and associative — so any partition of
+/// the scenario set over any workers sums to the same value; the index
+/// inside the hash is what keeps the sum sensitive to results landing on
+/// the wrong scenario.
+[[nodiscard]] std::uint64_t hash_scenario(std::size_t index,
+                                          const ScenarioResult& r) {
+  std::uint64_t h = kScenarioHashSalt;
+  fold64(h, index);
+  fold64(h, r.success ? 1 : 0);
+  fold64(h, r.total_moves);
+  fold64(h, r.makespan);
+  fold64(h, r.max_memory_bits);
+  fold64(h, r.actions);
+  const std::span<const std::size_t> positions = r.final_positions();
+  fold64(h, positions.size());
+  for (const std::size_t position : positions) fold64(h, position);
+  return h;
+}
+
+using SampleBuffer = std::vector<std::pair<std::size_t, std::string>>;
+
+/// Would insert_bounded keep an entry with this index? Checked before the
+/// description string is built, so a failure-heavy sweep formats only the
+/// ≤ cap samples it keeps, not every failing scenario.
+[[nodiscard]] bool wants_index(const SampleBuffer& buffer, std::size_t cap,
+                               std::size_t index) noexcept {
+  return cap != 0 && (buffer.size() < cap || index < buffer.back().first);
+}
+
+/// Inserts (index, text) into a buffer that keeps the `cap` lowest-index
+/// entries in ascending order. Workers see scenarios in work-stealing order,
+/// so "first N failures" must mean "lowest N indices", maintained by
+/// bounded insertion — that is what makes failure samples identical at any
+/// worker count and across aggregation paths.
+void insert_bounded(SampleBuffer& buffer, std::size_t cap, std::size_t index,
+                    std::string text) {
+  if (cap == 0) return;
+  auto at = std::upper_bound(
+      buffer.begin(), buffer.end(), index,
+      [](std::size_t i, const auto& entry) { return i < entry.first; });
+  if (at == buffer.end() && buffer.size() >= cap) return;
+  buffer.insert(at, {index, std::move(text)});
+  if (buffer.size() > cap) buffer.pop_back();
+}
+
+/// Folds one scenario's measures into its cell accumulator — THE
+/// aggregation step, shared verbatim by the materialized fold and the
+/// streaming per-worker fold so the two paths cannot drift.
+void fold_into_cell(CellStats& stats, const ScenarioResult& r) {
+  ++stats.runs;
+  if (r.success) ++stats.successes;
+  stats.moves_sum += r.total_moves;
+  stats.makespan_sum += r.makespan;
+  stats.memory_bits_sum += r.max_memory_bits;
+  stats.actions_sum += r.actions;
+}
+
+/// Samples one failing scenario into the cell and global buffers, building
+/// the description string at most once — and only when one of the bounded
+/// buffers will actually keep it. Shared by both aggregation paths.
+void sample_failure(CellStats& stats, SampleBuffer& global, const Scenario& s,
+                    const ScenarioResult& r, const CampaignOptions& options) {
+  const bool cell_wants =
+      wants_index(stats.failure_samples, options.max_failures_per_cell, s.index);
+  const bool global_wants =
+      wants_index(global, options.max_recorded_failures, s.index);
+  if (!cell_wants && !global_wants) return;
+  std::string description = describe(s) + ": " + std::string(r.failure());
+  if (cell_wants) {
+    insert_bounded(stats.failure_samples, options.max_failures_per_cell,
+                   s.index, description);
+  }
+  if (global_wants) {
+    insert_bounded(global, options.max_recorded_failures, s.index,
+                   std::move(description));
+  }
+}
+
 }  // namespace
 
-std::vector<Scenario> expand(const CampaignGrid& grid) {
+std::vector<CellKey> expand_cells(const CampaignGrid& grid) {
   std::vector<std::pair<std::size_t, std::size_t>> points = grid.instances;
   if (points.empty()) {
     for (const std::size_t n : grid.node_counts) {
@@ -134,7 +221,7 @@ std::vector<Scenario> expand(const CampaignGrid& grid) {
       }
     }
   }
-  std::vector<Scenario> scenarios;
+  std::vector<CellKey> cells;
   for (const core::Algorithm algorithm : grid.algorithms) {
     for (const ConfigFamily family : grid.families) {
       for (const sim::SchedulerKind scheduler : grid.schedulers) {
@@ -145,22 +232,43 @@ std::vector<Scenario> expand(const CampaignGrid& grid) {
             if (!uses_symmetry(family) && !first_symmetry) continue;
             first_symmetry = false;
             if (!feasible(family, n, k, effective_l)) continue;
-            for (std::uint64_t rep = 0; rep < grid.seeds; ++rep) {
-              Scenario s;
-              s.index = scenarios.size();
-              s.algorithm = algorithm;
-              s.family = family;
-              s.scheduler = scheduler;
-              s.node_count = n;
-              s.agent_count = k;
-              s.symmetry = effective_l;
-              s.repetition = rep;
-              scenarios.push_back(s);
-            }
+            cells.push_back(
+                CellKey{algorithm, family, scheduler, n, k, effective_l});
           }
         }
       }
     }
+  }
+  return cells;
+}
+
+std::size_t expansion_size(const CampaignGrid& grid) {
+  return expand_cells(grid).size() * grid.seeds;
+}
+
+Scenario scenario_at(const std::vector<CellKey>& cells, std::size_t seeds,
+                     std::size_t index) {
+  const CellKey& cell = cells.at(index / seeds);
+  Scenario s;
+  s.index = index;
+  s.algorithm = cell.algorithm;
+  s.family = cell.family;
+  s.scheduler = cell.scheduler;
+  s.node_count = cell.node_count;
+  s.agent_count = cell.agent_count;
+  s.symmetry = cell.symmetry;
+  s.repetition = index % seeds;
+  return s;
+}
+
+std::vector<Scenario> expand(const CampaignGrid& grid) {
+  // Built over the compact cell expansion so the materialized and streaming
+  // paths agree on scenario order by construction.
+  const std::vector<CellKey> cells = expand_cells(grid);
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(cells.size() * grid.seeds);
+  for (std::size_t i = 0; i < cells.size() * grid.seeds; ++i) {
+    scenarios.push_back(scenario_at(cells, grid.seeds, i));
   }
   return scenarios;
 }
@@ -169,9 +277,9 @@ Averages CellStats::averages() const {
   Averages avg;
   avg.runs = runs;
   const double denominator = runs > 0 ? static_cast<double>(runs) : 1.0;
-  avg.moves = moves_sum / denominator;
-  avg.makespan = makespan_sum / denominator;
-  avg.memory_bits = memory_bits_sum / denominator;
+  avg.moves = static_cast<double>(moves_sum) / denominator;
+  avg.makespan = static_cast<double>(makespan_sum) / denominator;
+  avg.memory_bits = static_cast<double>(memory_bits_sum) / denominator;
   avg.success_rate = static_cast<double>(successes) / denominator;
   return avg;
 }
@@ -195,16 +303,11 @@ constexpr std::uint64_t kDigestSalt = 0xd16e57eeda7a600dULL;
 
 std::uint64_t CampaignResult::digest() const {
   std::uint64_t state = kDigestSalt;
-  fold64(state, scenarios.size());
-  for (const ScenarioResult& r : results) {
-    fold64(state, r.success ? 1 : 0);
-    fold64(state, r.total_moves);
-    fold64(state, r.makespan);
-    fold64(state, r.max_memory_bits);
-    fold64(state, r.actions);
-    fold64(state, r.final_positions.size());
-    for (const std::size_t position : r.final_positions) fold64(state, position);
-  }
+  fold64(state, scenario_count);
+  // The per-scenario component is the cached commutative hash-sum: the
+  // streaming path has no results vector to walk, and the materialized path
+  // computes the identical sum during aggregation.
+  fold64(state, scenario_hash);
   for (const auto& [key, stats] : cells) {
     fold64(state, static_cast<std::uint64_t>(key.algorithm));
     fold64(state, static_cast<std::uint64_t>(key.family));
@@ -214,12 +317,14 @@ std::uint64_t CampaignResult::digest() const {
     fold64(state, key.symmetry);
     fold64(state, stats.runs);
     fold64(state, stats.successes);
-    fold64(state, std::bit_cast<std::uint64_t>(stats.moves_sum));
-    fold64(state, std::bit_cast<std::uint64_t>(stats.makespan_sum));
-    fold64(state, std::bit_cast<std::uint64_t>(stats.memory_bits_sum));
+    fold64(state, stats.moves_sum);
+    fold64(state, stats.makespan_sum);
+    fold64(state, stats.memory_bits_sum);
     fold64(state, stats.actions_sum);
   }
   fold64(state, failures);
+  fold64(state, cells_skipped);
+  fold64(state, scenarios_skipped);
   return state;
 }
 
@@ -243,9 +348,20 @@ Table CampaignResult::summary_table() const {
 std::string CampaignResult::summary() const {
   std::ostringstream text;
   text << summary_table();
-  text << "scenarios: " << scenarios.size() << "  failures: " << failures
+  text << "scenarios: " << scenario_count << "  failures: " << failures
        << "  workers: " << workers_used << "  digest: " << std::hex << digest()
        << std::dec << '\n';
+  if (cells_skipped != 0) {
+    text << "SKIPPED " << cells_skipped << " cell(s) / " << scenarios_skipped
+         << " scenario(s) over the memory budget";
+    for (const CellKey& key : skipped_cell_samples) {
+      text << "\n  skipped " << core::to_string(key.algorithm) << ' '
+           << to_string(key.family) << ' ' << sim::to_string(key.scheduler)
+           << " n=" << key.node_count << " k=" << key.agent_count
+           << " l=" << key.symmetry;
+    }
+    text << '\n';
+  }
   for (const std::string& sample : failure_samples) {
     text << "  FAIL " << sample << '\n';
   }
@@ -257,6 +373,7 @@ CampaignResult run_campaign(const CampaignGrid& grid,
   CampaignResult result;
   result.scenarios = expand(grid);
   result.results.resize(result.scenarios.size());
+  result.scenario_count = result.scenarios.size();
 
   // One pooled RunContext per worker: every scenario a worker executes
   // reuses the same ExecutionState arena and scheduler cache, so a
@@ -278,28 +395,135 @@ CampaignResult run_campaign(const CampaignGrid& grid,
                     *contexts[worker]);
       });
 
-  // Deterministic aggregation: fold in scenario-index order, so cell sums
-  // (floating point, order-sensitive) are bitwise identical at any worker
-  // count.
+  // Aggregation in scenario-index order. Every fold below is
+  // order-independent anyway (integer sums, commutative hash-sum,
+  // lowest-index sampling) — the same folds the streaming path applies
+  // per worker — so this loop and a streaming merge produce identical
+  // bytes; walking in index order here is just the natural iteration.
+  SampleBuffer samples;
   for (std::size_t i = 0; i < result.scenarios.size(); ++i) {
     const Scenario& s = result.scenarios[i];
     const ScenarioResult& r = result.results[i];
+    result.scenario_hash += hash_scenario(i, r);
     CellStats& stats = result.cells[CellKey{s.algorithm, s.family, s.scheduler,
                                             s.node_count, s.agent_count,
                                             s.symmetry}];
-    ++stats.runs;
-    if (r.success) {
-      ++stats.successes;
-    } else {
+    fold_into_cell(stats, r);
+    if (!r.success) {
       ++result.failures;
-      if (result.failure_samples.size() < options.max_recorded_failures) {
-        result.failure_samples.push_back(describe(s) + ": " + r.failure);
+      sample_failure(stats, samples, s, r, options);
+    }
+  }
+  result.failure_samples.reserve(samples.size());
+  for (auto& entry : samples) {
+    result.failure_samples.push_back(std::move(entry.second));
+  }
+  return result;
+}
+
+std::size_t streaming_cell_footprint_bytes(
+    const CampaignOptions& options) noexcept {
+  // A map node (key + stats + tree overhead) plus an allowance per sampled
+  // failure string (description + heap block). Deliberately generous: the
+  // budget exists to keep a sweep from exhausting the host, not to
+  // byte-count the allocator.
+  constexpr std::size_t kNodeBytes =
+      sizeof(CellKey) + sizeof(CellStats) + 64;  // red-black node overhead
+  constexpr std::size_t kSampleBytes = 160;
+  return kNodeBytes + options.max_failures_per_cell * kSampleBytes;
+}
+
+CampaignResult run_campaign_streaming(const CampaignGrid& grid,
+                                      const CampaignOptions& options) {
+  CampaignResult result;
+  result.streamed = true;
+  const std::vector<CellKey> cells = expand_cells(grid);
+
+  // Budget enforcement happens before any scenario runs, on the compact
+  // expansion: cells are admitted in expansion order until one aggregation
+  // store would exceed the budget, the rest are skipped and reported. The
+  // admitted set depends only on (grid, options), never on the worker
+  // count, so the digest contract survives a binding budget.
+  std::size_t admitted = cells.size();
+  if (options.memory_budget_bytes != 0) {
+    admitted = std::min(
+        admitted,
+        options.memory_budget_bytes / streaming_cell_footprint_bytes(options));
+  }
+  result.cells_skipped = cells.size() - admitted;
+  result.scenarios_skipped = result.cells_skipped * grid.seeds;
+  for (std::size_t c = admitted; c < cells.size() &&
+                                 result.skipped_cell_samples.size() < 8; ++c) {
+    result.skipped_cell_samples.push_back(cells[c]);
+  }
+
+  const std::size_t scenario_count = admitted * grid.seeds;
+  result.scenario_count = scenario_count;
+  const std::size_t workers = resolve_workers(scenario_count, options.workers);
+
+  // Per-worker state: the pooled RunContext (as in the materialized path)
+  // plus this path's whole point — a private CellAccumulator the worker
+  // folds each ScenarioResult into the moment the scenario finishes. The
+  // result is discarded right after; nothing per-scenario survives the
+  // fold.
+  struct CellAccumulator {
+    std::map<CellKey, CellStats> cells;
+    std::uint64_t scenario_hash = 0;
+    std::size_t failures = 0;
+    SampleBuffer samples;
+  };
+  std::vector<std::unique_ptr<core::RunContext>> contexts;
+  std::vector<CellAccumulator> accumulators(workers);
+  contexts.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    contexts.push_back(std::make_unique<core::RunContext>());
+  }
+
+  result.workers_used = parallel_for_workers(
+      scenario_count, workers, [&](std::size_t worker, std::size_t i) {
+        const Scenario s = scenario_at(cells, grid.seeds, i);
+        const ScenarioResult r =
+            run_one(s, grid, /*record_final_positions=*/false,
+                    *contexts[worker]);
+        CellAccumulator& acc = accumulators[worker];
+        acc.scenario_hash += hash_scenario(i, r);
+        CellStats& stats = acc.cells[cells[i / grid.seeds]];
+        fold_into_cell(stats, r);
+        if (!r.success) {
+          ++acc.failures;
+          sample_failure(stats, acc.samples, s, r, options);
+        }
+      });
+
+  // Merge. Work stealing hands workers arbitrary scenario subsets, so every
+  // combination below is commutative-exact: integer sums, wrapping
+  // hash-sum, lowest-index bounded sample merges. Any worker count — and
+  // the materialized index-order fold — lands on the same bytes.
+  SampleBuffer samples;
+  for (CellAccumulator& acc : accumulators) {
+    result.scenario_hash += acc.scenario_hash;
+    result.failures += acc.failures;
+    for (auto& [key, stats] : acc.cells) {
+      CellStats& merged = result.cells[key];
+      merged.runs += stats.runs;
+      merged.successes += stats.successes;
+      merged.moves_sum += stats.moves_sum;
+      merged.makespan_sum += stats.makespan_sum;
+      merged.memory_bits_sum += stats.memory_bits_sum;
+      merged.actions_sum += stats.actions_sum;
+      for (auto& [index, text] : stats.failure_samples) {
+        insert_bounded(merged.failure_samples, options.max_failures_per_cell,
+                       index, std::move(text));
       }
     }
-    stats.moves_sum += static_cast<double>(r.total_moves);
-    stats.makespan_sum += static_cast<double>(r.makespan);
-    stats.memory_bits_sum += static_cast<double>(r.max_memory_bits);
-    stats.actions_sum += r.actions;
+    for (auto& [index, text] : acc.samples) {
+      insert_bounded(samples, options.max_recorded_failures, index,
+                     std::move(text));
+    }
+  }
+  result.failure_samples.reserve(samples.size());
+  for (auto& entry : samples) {
+    result.failure_samples.push_back(std::move(entry.second));
   }
   return result;
 }
@@ -324,7 +548,10 @@ Averages measure_cell(core::Algorithm algorithm, ConfigFamily family,
   grid.symmetries = {l};
   grid.seeds = seeds;
   grid.base_seed = base_seed;
-  const Averages avg = run_campaign(grid).averages(
+  // Cells are all a measurement needs, so take the streaming path: the
+  // bench binaries' grid sweeps then run in O(cells) memory at any n
+  // (identical averages — the two paths share the aggregation fold).
+  const Averages avg = run_campaign_streaming(grid).averages(
       CellKey{algorithm, family, scheduler, n, k,
               family == ConfigFamily::Periodic ? l : 1});
   if (avg.runs == 0) {

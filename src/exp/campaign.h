@@ -19,12 +19,27 @@
 // scenario's randomness derives from Rng(base_seed).substream(key) where the
 // key covers the instance coordinates (family, n, k, l, repetition) — but
 // not the algorithm or scheduler, so every algorithm × scheduler cell sees
-// the same drawn configurations (paired comparisons) — and aggregation
-// folds scenario results in index order after the workers join.
-// The same grid therefore produces *byte-identical* results — digest(),
-// summary(), every cell — at any worker count (test_campaign.cpp pins this).
+// the same drawn configurations (paired comparisons) — and aggregation is
+// *order-independent by construction*: cell sums are exact integers
+// (associative), the per-scenario digest component is a commutative
+// hash-sum, and failure samples keep the lowest scenario indices. The same
+// grid therefore produces *byte-identical* results — digest(), summary(),
+// every cell — at any worker count, and identically through either
+// aggregation path (test_campaign.cpp / test_streaming.cpp pin this).
 // Failures never abort the campaign; they are counted, sampled, and visible
 // in the summary so a 10^5-scenario sweep reports every bad cell at once.
+//
+// Two aggregation paths share all of the above:
+//  - run_campaign: materialized — every ScenarioResult is kept,
+//    index-aligned with the expansion (the inspectable form benches like
+//    fig2 need).
+//  - run_campaign_streaming: workers fold each ScenarioResult into a
+//    per-worker cell accumulator the moment the scenario finishes and the
+//    accumulators merge after the join, so a 10^6-scenario sweep runs in
+//    O(cells + workers) memory — no per-scenario storage, no materialized
+//    expansion (scenarios are recomputed from their index on the fly), and
+//    an optional memory budget that drops whole cells (reported, never
+//    silent) instead of exhausting the host.
 
 #pragma once
 
@@ -32,8 +47,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/runner.h"
@@ -99,20 +117,10 @@ struct CampaignGrid {
 /// Scenario i of the returned vector has index == i.
 [[nodiscard]] std::vector<Scenario> expand(const CampaignGrid& grid);
 
-/// Outcome of one scenario. Written exactly once, into the scenario's own
-/// slot of CampaignResult::results — workers never share accumulators.
-struct ScenarioResult {
-  bool success = false;
-  std::string failure;  ///< checker verdict or exception text (when !success)
-  std::size_t total_moves = 0;
-  std::uint64_t makespan = 0;
-  std::size_t max_memory_bits = 0;
-  std::size_t actions = 0;
-  std::vector<std::size_t> final_positions;  ///< only when options request it
-};
-
 /// Aggregation key: one cell of the reported table (seed repetitions of the
-/// same cell fold together).
+/// same cell fold together). Also the compact O(cells) unit of the
+/// expansion: the expansion IS expand_cells(grid) × seeds, repetition
+/// innermost.
 struct CellKey {
   core::Algorithm algorithm;
   ConfigFamily family;
@@ -122,6 +130,55 @@ struct CellKey {
   std::size_t symmetry;
 
   auto operator<=>(const CellKey&) const = default;
+};
+
+/// The grid's feasible cells in expansion order — the O(cells) form of the
+/// expansion a streaming campaign iterates without ever materializing the
+/// scenario list. expand(grid) == flatten(expand_cells(grid) × grid.seeds).
+[[nodiscard]] std::vector<CellKey> expand_cells(const CampaignGrid& grid);
+
+/// Number of scenarios expand(grid) would produce, in O(cells) memory.
+[[nodiscard]] std::size_t expansion_size(const CampaignGrid& grid);
+
+/// Scenario `index` of the expansion `cells` × `seeds` (repetition
+/// innermost) — the O(1) random-access form of expand()[index].
+[[nodiscard]] Scenario scenario_at(const std::vector<CellKey>& cells,
+                                   std::size_t seeds, std::size_t index);
+
+/// Outcome of one scenario. Written exactly once, into the scenario's own
+/// slot of CampaignResult::results — workers never share accumulators.
+/// The hot struct carries only the five measures; failure text and final
+/// positions live behind one cold pointer, so the all-success sweep stores
+/// ~48 bytes per scenario with zero per-scenario heap traffic
+/// (test_campaign.cpp pins both with a counting allocator).
+struct ScenarioResult {
+  bool success = false;
+  std::size_t total_moves = 0;
+  std::uint64_t makespan = 0;
+  std::size_t max_memory_bits = 0;
+  std::size_t actions = 0;
+
+  /// Off-path data: allocated only on failure or when the options request
+  /// final positions.
+  struct Cold {
+    std::string failure;
+    std::vector<std::size_t> final_positions;
+  };
+  std::unique_ptr<Cold> cold;
+
+  /// The failure text ("" on the success path).
+  [[nodiscard]] std::string_view failure() const noexcept {
+    return cold ? std::string_view(cold->failure) : std::string_view{};
+  }
+  /// Final staying positions (empty unless record_final_positions was set).
+  [[nodiscard]] std::span<const std::size_t> final_positions() const noexcept {
+    return cold ? std::span<const std::size_t>(cold->final_positions)
+                : std::span<const std::size_t>{};
+  }
+  [[nodiscard]] Cold& ensure_cold() {
+    if (!cold) cold = std::make_unique<Cold>();
+    return *cold;
+  }
 };
 
 /// Seed-averaged measurements of one cell (the paper's three measures plus
@@ -134,13 +191,24 @@ struct Averages {
   std::size_t runs = 0;
 };
 
+/// The per-cell accumulator both aggregation paths fold ScenarioResults
+/// into. Sums are exact integers deliberately: integer addition is
+/// associative, so per-worker partial accumulators merge to the *same
+/// bytes* as an index-order fold — that associativity is what lets the
+/// streaming path keep the worker-count-invariant digest contract without
+/// ever ordering scenarios (the measures are counts ≪ 2^64, so nothing
+/// overflows before ~10^12 scenarios per cell).
 struct CellStats {
   std::size_t runs = 0;
   std::size_t successes = 0;
-  double moves_sum = 0;
-  double makespan_sum = 0;
-  double memory_bits_sum = 0;
-  std::size_t actions_sum = 0;
+  std::uint64_t moves_sum = 0;
+  std::uint64_t makespan_sum = 0;
+  std::uint64_t memory_bits_sum = 0;
+  std::uint64_t actions_sum = 0;
+  /// The cell's lowest-index failing scenarios, ≤ max_failures_per_cell of
+  /// them, ascending (scenario index, description) — failure *sampling*, so
+  /// a cell that fails 10^5 times costs M strings, not 10^5.
+  std::vector<std::pair<std::size_t, std::string>> failure_samples;
 
   [[nodiscard]] Averages averages() const;
 };
@@ -148,19 +216,47 @@ struct CellStats {
 struct CampaignOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
   std::size_t workers = 0;
-  /// Record each scenario's final staying positions (off for big sweeps).
+  /// Record each scenario's final staying positions (materialized path
+  /// only; the streaming path never stores per-scenario data).
   bool record_final_positions = false;
   /// How many failing scenarios to describe verbatim in the summary.
   std::size_t max_recorded_failures = 16;
+  /// Failure strings kept per cell (CellStats::failure_samples).
+  std::size_t max_failures_per_cell = 4;
+  /// Streaming path only: byte budget for ONE aggregation store (each
+  /// worker holds one during the run, the merged result is one more).
+  /// When cells × streaming_cell_footprint_bytes() exceeds it, trailing
+  /// cells of the expansion are skipped — their scenarios never run — and
+  /// reported in cells_skipped / skipped_cell_samples. 0 = unlimited.
+  /// Deliberately independent of the worker count so the digest contract
+  /// holds even when the budget binds.
+  std::size_t memory_budget_bytes = 0;
 };
 
+/// Conservative per-cell byte estimate the streaming budget divides by:
+/// map-node + CellStats + sampled-failure-string allowance.
+[[nodiscard]] std::size_t streaming_cell_footprint_bytes(
+    const CampaignOptions& options) noexcept;
+
 struct CampaignResult {
-  std::vector<Scenario> scenarios;       ///< the expansion that was run
-  std::vector<ScenarioResult> results;   ///< index-aligned with scenarios
+  std::vector<Scenario> scenarios;       ///< materialized path only
+  std::vector<ScenarioResult> results;   ///< materialized path only
   std::map<CellKey, CellStats> cells;    ///< deterministic iteration order
+  std::size_t scenario_count = 0;        ///< scenarios run (both paths)
   std::size_t failures = 0;
-  std::vector<std::string> failure_samples;  ///< first N failures, index order
+  std::vector<std::string> failure_samples;  ///< lowest-index N failures
   std::size_t workers_used = 0;
+  bool streamed = false;                 ///< which path produced this
+  /// Streaming budget bookkeeping: cells dropped to respect
+  /// memory_budget_bytes (their scenarios were never run), plus the first
+  /// few dropped keys for the report.
+  std::size_t cells_skipped = 0;
+  std::size_t scenarios_skipped = 0;
+  std::vector<CellKey> skipped_cell_samples;
+  /// Commutative (wrapping) sum of per-scenario outcome hashes — the
+  /// scenario half of digest(), cached by both aggregation paths so the
+  /// streaming one never needs the results it discarded.
+  std::uint64_t scenario_hash = 0;
 
   [[nodiscard]] bool all_ok() const noexcept { return failures == 0; }
 
@@ -170,9 +266,11 @@ struct CampaignResult {
   /// Convenience: the averages of a cell, zeroed when absent.
   [[nodiscard]] Averages averages(const CellKey& key) const;
 
-  /// Order-sensitive 64-bit digest of every scenario outcome and every
-  /// aggregated cell; equal digests at different worker counts is the
-  /// determinism contract.
+  /// 64-bit digest of every scenario outcome (index-keyed commutative
+  /// hash-sum) and every aggregated cell (key-order fold). Equal digests at
+  /// different worker counts — and between run_campaign and
+  /// run_campaign_streaming on the same grid (with record_final_positions
+  /// off) — is the determinism contract.
   [[nodiscard]] std::uint64_t digest() const;
 
   /// Aggregated per-cell table (one row per cell, expansion order).
@@ -202,6 +300,19 @@ using udring::resolve_workers;
 /// always completes.
 [[nodiscard]] CampaignResult run_campaign(const CampaignGrid& grid,
                                           const CampaignOptions& options = {});
+
+/// Streaming mode of run_campaign: identical scenarios, identical
+/// per-scenario execution, but each worker folds every ScenarioResult into
+/// its own cell accumulator the moment the scenario finishes, and the
+/// accumulators merge (exactly — integer sums, commutative hash-sum,
+/// lowest-index samples) after the join. The campaign holds O(cells +
+/// workers) state regardless of scenario count: no results vector, no
+/// materialized expansion (scenario i is recomputed from i on the fly), so
+/// a 10^6-scenario sweep's resident set is flat. cells/digest()/summary()
+/// are byte-identical to the materialized path on the same grid;
+/// scenarios/results stay empty and record_final_positions is ignored.
+[[nodiscard]] CampaignResult run_campaign_streaming(
+    const CampaignGrid& grid, const CampaignOptions& options = {});
 
 /// The home configuration scenario `s` of `grid` runs on — the substream
 /// contract makes it recomputable outside the engine, so reports can relate

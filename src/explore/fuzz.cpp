@@ -12,6 +12,22 @@
 
 namespace udring::explore {
 
+std::string_view to_string(OracleMode mode) noexcept {
+  switch (mode) {
+    case OracleMode::Full: return "full";
+    case OracleMode::Incremental: return "incremental";
+  }
+  return "?";
+}
+
+OracleMode oracle_mode_from_name(std::string_view name) {
+  for (const OracleMode mode : {OracleMode::Full, OracleMode::Incremental}) {
+    if (to_string(mode) == name) return mode;
+  }
+  throw std::invalid_argument("oracle_mode_from_name: unknown oracle '" +
+                              std::string(name) + "'");
+}
+
 std::string_view to_string(FuzzTopology topology) noexcept {
   switch (topology) {
     case FuzzTopology::Ring: return "ring";
@@ -60,16 +76,40 @@ namespace {
 /// Steps `sim` to completion under `scheduler` with per-action invariant
 /// checking. Shared by the fuzzing and replay paths so both stop at the
 /// same action with the same verdict — that is what makes a failing trace's
-/// digest reproducible.
+/// digest reproducible. `oracle` picks the per-action checker: Full
+/// re-walks everything each action; Incremental revalidates the action's
+/// footprint in O(dirty) (equivalent verdicts — the checks are passive, so
+/// the executed schedule and the event-log digest are mode-independent).
 ReplayOutcome drive_checked(sim::ExecutionState& sim, sim::Scheduler& scheduler,
-                            core::Algorithm algorithm) {
+                            core::Algorithm algorithm,
+                            OracleMode oracle = OracleMode::Full,
+                            std::size_t full_check_every = 1024) {
   ReplayOutcome out;
   scheduler.attach(sim);
   scheduler.reset(sim.agent_count());
   std::size_t min_tokens = sim.total_tokens();
+  const bool incremental = oracle == OracleMode::Incremental;
+  // One pooled checker per worker thread (run_fuzz workers are threads, so
+  // this is exactly the per-worker-arena shape the pooled ExecutionState
+  // uses): reset() rebinds it per run reusing the shadow buffers, instead
+  // of reallocating O(n) state every fuzz iteration.
+  static thread_local sim::IncrementalInvariantChecker checker;
+  if (incremental) {
+    checker.set_options(
+        sim::IncrementalInvariantChecker::Options{.full_check_every =
+                                                      full_check_every});
+    if (const sim::CheckResult start = checker.reset(sim, min_tokens); !start) {
+      out.failed = true;
+      out.reason = "invariant: " + start.reason;
+      out.actions = sim.actions_executed();
+      out.digest = sim.log().digest();
+      return out;
+    }
+  }
   while (sim.step(scheduler)) {
     const sim::CheckResult invariants =
-        sim::check_model_invariants(sim, min_tokens);
+        incremental ? checker.check_after_action(sim, min_tokens)
+                    : sim::check_model_invariants(sim, min_tokens);
     min_tokens = sim.total_tokens();
     if (!invariants) {
       out.failed = true;
@@ -130,7 +170,9 @@ ScheduleTrace record_trace(const RecordRequest& request,
   state.reset(instance);
   RecordingScheduler recorder(
       make_explore_scheduler(request.kind, request.seed, trace.homes.size()));
-  const ReplayOutcome outcome = drive_checked(state, recorder, request.algorithm);
+  const ReplayOutcome outcome =
+      drive_checked(state, recorder, request.algorithm, request.oracle,
+                    request.oracle_full_check_every);
   trace.choices = recorder.choices();
   trace.expected_digest = outcome.digest;
   trace.note = outcome.failed ? outcome.reason : "ok";
@@ -155,7 +197,8 @@ ScheduleTrace record_trace(core::Algorithm algorithm, std::size_t node_count,
 }
 
 ReplayOutcome replay_trace(const ScheduleTrace& trace, std::size_t max_actions,
-                           sim::ExecutionState* reuse) {
+                           sim::ExecutionState* reuse, OracleMode oracle,
+                           std::size_t full_check_every) {
   // Execution depends only on the virtual ring size (labels decorate
   // reports, not semantics), so every trace — ring, tree or graph
   // provenance — replays on the plain ring of its node_count.
@@ -173,7 +216,8 @@ ReplayOutcome replay_trace(const ScheduleTrace& trace, std::size_t max_actions,
   sim::ExecutionState& state = reuse != nullptr ? *reuse : local;
   state.reset(instance);
   ReplayScheduler replayer(trace.choices);
-  return drive_checked(state, replayer, trace.algorithm);
+  return drive_checked(state, replayer, trace.algorithm, oracle,
+                       full_check_every);
 }
 
 FuzzIteration fuzz_iteration(const FuzzOptions& options,
@@ -198,6 +242,8 @@ FuzzIteration fuzz_iteration(const FuzzOptions& options,
   request.fault_non_fifo = options.fault_non_fifo;
   request.fault_min_phase = options.fault_min_phase;
   request.max_actions = options.max_actions;
+  request.oracle = options.oracle;
+  request.oracle_full_check_every = options.oracle_full_check_every;
 
   request.node_count = options.fixed_nodes;
   request.homes = options.fixed_homes;

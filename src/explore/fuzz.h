@@ -35,6 +35,24 @@
 
 namespace udring::explore {
 
+/// How the per-action model-invariant oracle runs during checked execution.
+/// Full re-walks every node and queue after every action — O(n + k) per
+/// action, the exhaustive default. Incremental revalidates only the
+/// action's {node, next(node)} footprint against shadow counts
+/// (sim::IncrementalInvariantChecker) with a periodic full re-walk as the
+/// safety net — O(dirty) per action, which is what makes per-action
+/// checking viable at n ≫ 100 (≥2× checked-fuzz throughput at n = 4096;
+/// see bench_streaming_campaign). Verdicts are equivalent on any violation
+/// a single action can introduce (tests/test_checker_incremental.cpp), so
+/// the mode changes cost, not coverage, and report digests match across
+/// modes.
+enum class OracleMode { Full, Incremental };
+
+[[nodiscard]] std::string_view to_string(OracleMode mode) noexcept;
+
+/// Inverse of to_string. Throws std::invalid_argument on an unknown name.
+[[nodiscard]] OracleMode oracle_mode_from_name(std::string_view name);
+
 /// Which family of topologies the fuzzer draws instances on. Ring is the
 /// paper's model; Tree and Graph draw a random tree / connected graph per
 /// iteration and fuzz the algorithm natively on its Euler-tour topology —
@@ -84,6 +102,12 @@ struct FuzzOptions {
   bool fault_non_fifo = false;
   /// Fault window (SimOptions::fault_non_fifo_min_phase).
   std::size_t fault_min_phase = 0;
+  /// Per-action invariant oracle (see OracleMode). Full by default;
+  /// Incremental for big instances.
+  OracleMode oracle = OracleMode::Full;
+  /// Incremental oracle's safety-net interval (full re-walk every N
+  /// actions; 0 = never).
+  std::size_t oracle_full_check_every = 1024;
   /// Per-run action cap; 0 = the simulator's auto limit.
   std::size_t max_actions = 0;
   std::size_t iterations = 100;
@@ -146,10 +170,14 @@ struct FuzzIteration {
 /// (recording, shrinking). `max_actions` overrides the cap when nonzero;
 /// 0 uses trace.max_actions (the cap the trace was recorded under), which
 /// is itself 0 (the simulator's auto limit) for most traces. `reuse` as in
-/// fuzz_iteration.
+/// fuzz_iteration. `oracle` picks the per-action invariant checker; the
+/// replayed schedule and event-log digest are mode-independent
+/// (tests/test_checker_incremental.cpp replays the whole corpus both ways).
 [[nodiscard]] ReplayOutcome replay_trace(const ScheduleTrace& trace,
                                          std::size_t max_actions = 0,
-                                         sim::ExecutionState* reuse = nullptr);
+                                         sim::ExecutionState* reuse = nullptr,
+                                         OracleMode oracle = OracleMode::Full,
+                                         std::size_t full_check_every = 1024);
 
 /// One recording request: the instance, the generating scheduler, and the
 /// fault knobs. `topology` empty = the plain ring of node_count (in which
@@ -165,6 +193,9 @@ struct RecordRequest {
   bool fault_non_fifo = false;
   std::size_t fault_min_phase = 0;
   std::size_t max_actions = 0;
+  /// Per-action oracle for the recording run (see OracleMode).
+  OracleMode oracle = OracleMode::Full;
+  std::size_t oracle_full_check_every = 1024;
 };
 
 /// Records one complete run of the requested instance and returns the

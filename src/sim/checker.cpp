@@ -105,10 +105,47 @@ CheckResult check_uniform_deployment_without_termination(const Simulator& sim) {
   return check_positions_uniform(sim.staying_nodes(), sim.node_count());
 }
 
-CheckResult check_model_invariants(const Simulator& sim,
-                                   std::size_t min_expected_tokens) {
-  const Snapshot snap = sim.snapshot();
+namespace {
 
+/// One queue member's local validity: InTransit status and a destination
+/// matching the queue it sits in. Shared verbatim by the full and
+/// incremental checkers so the two modes cannot drift apart in wording.
+CheckResult check_queue_member(const Simulator& sim, AgentId id, NodeId node) {
+  if (sim.status(id) != AgentStatus::InTransit) {
+    std::ostringstream why;
+    why << "agent " << id << " is in queue to node " << node << " but has status "
+        << to_string(sim.status(id));
+    return CheckResult::fail(why.str());
+  }
+  if (sim.agent_node(id) != node) {
+    std::ostringstream why;
+    why << "agent " << id << " queue/destination mismatch";
+    return CheckResult::fail(why.str());
+  }
+  return CheckResult::pass();
+}
+
+/// One agent's status/queue-occurrence consistency given how many queues
+/// hold it. Shared by both checker modes.
+CheckResult check_occurrences(const Simulator& sim, AgentId id,
+                              std::size_t occurrences) {
+  const bool in_transit = sim.status(id) == AgentStatus::InTransit;
+  if (in_transit && occurrences != 1) {
+    std::ostringstream why;
+    why << "in-transit agent " << id << " appears in " << occurrences
+        << " queues";
+    return CheckResult::fail(why.str());
+  }
+  if (!in_transit && occurrences != 0) {
+    std::ostringstream why;
+    why << "staying agent " << id << " also appears in a link queue";
+    return CheckResult::fail(why.str());
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_token_monotonicity(const Simulator& sim,
+                                     std::size_t min_expected_tokens) {
   // Token monotonicity: tokens are indelible, so the total may only grow,
   // and in this paper's algorithms it is bounded by the number of agents.
   const std::size_t total_tokens = sim.total_tokens();
@@ -118,39 +155,118 @@ CheckResult check_model_invariants(const Simulator& sim,
         << min_expected_tokens;
     return CheckResult::fail(why.str());
   }
+  return CheckResult::pass();
+}
+
+}  // namespace
+
+CheckResult check_model_invariants(const Simulator& sim,
+                                   std::size_t min_expected_tokens) {
+  if (auto r = check_token_monotonicity(sim, min_expected_tokens); !r) return r;
 
   // Every agent is either in exactly one link queue (in transit) or staying;
   // queue members must have InTransit status and match their queue's node.
   std::vector<std::size_t> seen_in_queue(sim.agent_count(), 0);
-  for (NodeId node = 0; node < snap.queues.size(); ++node) {
-    for (const AgentId id : snap.queues[node]) {
+  for (NodeId node = 0; node < sim.node_count(); ++node) {
+    for (const AgentId id : sim.link_queue(node)) {
       ++seen_in_queue.at(id);
-      if (snap.agents.at(id).status != AgentStatus::InTransit) {
-        std::ostringstream why;
-        why << "agent " << id << " is in queue to node " << node << " but has status "
-            << to_string(snap.agents.at(id).status);
-        return CheckResult::fail(why.str());
-      }
-      if (snap.agents.at(id).node != node) {
-        std::ostringstream why;
-        why << "agent " << id << " queue/destination mismatch";
-        return CheckResult::fail(why.str());
-      }
+      if (auto r = check_queue_member(sim, id, node); !r) return r;
     }
   }
   for (AgentId id = 0; id < sim.agent_count(); ++id) {
-    const bool in_transit = snap.agents[id].status == AgentStatus::InTransit;
-    if (in_transit && seen_in_queue[id] != 1) {
-      std::ostringstream why;
-      why << "in-transit agent " << id << " appears in " << seen_in_queue[id]
-          << " queues";
-      return CheckResult::fail(why.str());
+    if (auto r = check_occurrences(sim, id, seen_in_queue[id]); !r) return r;
+  }
+  return CheckResult::pass();
+}
+
+CheckResult IncrementalInvariantChecker::reset(const ExecutionState& sim,
+                                               std::size_t min_expected_tokens) {
+  rebuild_shadow(sim);
+  actions_since_full_ = 0;
+  full_checks_ = 0;
+  return check_model_invariants(sim, min_expected_tokens);
+}
+
+void IncrementalInvariantChecker::rebuild_shadow(const ExecutionState& sim) {
+  in_queue_count_.assign(sim.agent_count(), 0);
+  touched_mark_.assign(sim.agent_count(), 0);
+  touched_.clear();
+  // Shrinking keeps the surviving nodes' buffers; growing default-constructs
+  // the tail — same pooled-arena shape as the ExecutionState itself.
+  queue_shadow_.resize(sim.node_count());
+  for (NodeId node = 0; node < sim.node_count(); ++node) {
+    auto& shadow = queue_shadow_[node];
+    shadow.clear();
+    for (const AgentId id : sim.link_queue(node)) {
+      shadow.push_back(id);
+      ++in_queue_count_[id];
     }
-    if (!in_transit && seen_in_queue[id] != 0) {
-      std::ostringstream why;
-      why << "staying agent " << id << " also appears in a link queue";
-      return CheckResult::fail(why.str());
+  }
+}
+
+void IncrementalInvariantChecker::touch(AgentId id) {
+  if (touched_mark_[id] != 0) return;
+  touched_mark_[id] = 1;
+  touched_.push_back(id);
+}
+
+CheckResult IncrementalInvariantChecker::check_after_action(
+    const ExecutionState& sim, std::size_t min_expected_tokens) {
+  if (in_queue_count_.size() != sim.agent_count() ||
+      queue_shadow_.size() != sim.node_count()) {
+    // Misuse guard: this state was never reset() onto — adopt it with a
+    // full validation instead of diffing against a foreign shadow.
+    rebuild_shadow(sim);
+    actions_since_full_ = 0;
+    return check_model_invariants(sim, min_expected_tokens);
+  }
+
+  // total_tokens() is a maintained counter, so the global token check stays
+  // exact and O(1) even in incremental mode.
+  if (auto r = check_token_monotonicity(sim, min_expected_tokens); !r) return r;
+
+  // Diff the dirty queues against the shadow: membership counts update for
+  // departed and (re)present members, and each current member is validated
+  // exactly as the full checker would.
+  for (const AgentId id : touched_) touched_mark_[id] = 0;
+  touched_.clear();
+  const AgentId actor = sim.last_acting_agent();
+  if (actor != ExecutionState::kNoAgentActing) touch(actor);
+  CheckResult member_verdict = CheckResult::pass();
+  for (const NodeId node : sim.last_action_nodes()) {
+    auto& shadow = queue_shadow_[node];
+    for (const AgentId id : shadow) {
+      --in_queue_count_[id];
+      touch(id);
     }
+    shadow.clear();
+    for (const AgentId id : sim.link_queue(node)) {
+      shadow.push_back(id);
+      ++in_queue_count_[id];
+      touch(id);
+      if (member_verdict.ok) {
+        member_verdict = check_queue_member(sim, id, node);
+      }
+    }
+  }
+  // Counts must be consistent before returning a member failure, or a later
+  // check_after_action would diff against stale state; hence the deferred
+  // return.
+  if (!member_verdict.ok) return member_verdict;
+
+  // Ascending agent order mirrors the full checker's occurrence sweep.
+  std::sort(touched_.begin(), touched_.end());
+  for (const AgentId id : touched_) {
+    if (auto r = check_occurrences(sim, id, in_queue_count_[id]); !r) return r;
+  }
+
+  // Periodic safety net: a full re-walk catches any corruption outside the
+  // footprint (which no *legal* action can produce).
+  if (options_.full_check_every != 0 &&
+      ++actions_since_full_ >= options_.full_check_every) {
+    actions_since_full_ = 0;
+    ++full_checks_;
+    return check_model_invariants(sim, min_expected_tokens);
   }
   return CheckResult::pass();
 }

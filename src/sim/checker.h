@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -57,9 +58,79 @@ struct CheckResult {
 /// Model invariants that must hold in *any* reachable configuration:
 /// agent/staying-set consistency, token conservation (tokens never exceed
 /// the number of agents and never decrease — callers track the prior count),
-/// and queue sanity. Used by randomized tests after every step.
+/// and queue sanity. Used by randomized tests after every step. Reads queues
+/// and agents directly (no Snapshot materialization): O(n + k) time, O(k)
+/// scratch.
 [[nodiscard]] CheckResult check_model_invariants(const Simulator& sim,
                                                  std::size_t min_expected_tokens);
+
+/// Incremental form of check_model_invariants for per-action checking at
+/// fuzz scale (n ≫ 100): instead of re-walking every node and queue after
+/// every atomic action, it revalidates only the action's conservative node
+/// footprint (ExecutionState::last_action_nodes() — {node, next(node)},
+/// the same bound the mc:: sleep sets use) against shadow queue-membership
+/// counts it maintains, in O(dirty) per action. Token monotonicity stays a
+/// full check — total_tokens() is O(1).
+///
+/// Soundness: a *legal* atomic action can only change state at its
+/// footprint, so any invariant violation a single action introduces is
+/// visible there and the incremental verdict equals the full one
+/// (tests/test_checker_incremental.cpp fuzzes this equivalence). A sim bug
+/// that corrupts state *outside* the last action's footprint is the one
+/// class the per-action scan could miss; `full_check_every` schedules a
+/// periodic full re-walk as the safety net for exactly that.
+///
+/// Contract: reset() on the state you will step, then call
+/// check_after_action() after *every* atomic action (the shadow counts
+/// track one action at a time; skipped actions surface at the next periodic
+/// full check). Failure reasons use the same wording/prefixes as the full
+/// checker. The object is pooled like ExecutionState: reset() reuses all
+/// arena capacity.
+class IncrementalInvariantChecker {
+ public:
+  struct Options {
+    /// Run the full O(n + k) checker every this many actions (safety net);
+    /// 0 = never (pure incremental).
+    std::size_t full_check_every = 1024;
+  };
+
+  IncrementalInvariantChecker() noexcept = default;
+  explicit IncrementalInvariantChecker(Options options) noexcept
+      : options_(options) {}
+
+  /// Reconfigures a pooled checker before (re)binding it to a run; takes
+  /// effect at the next reset().
+  void set_options(Options options) noexcept { options_ = options; }
+
+  /// Binds the checker to `sim`'s *current* configuration: full-validates
+  /// it and snapshots the shadow queue-membership counts. Returns the full
+  /// check's verdict (a failing starting configuration is reported, not
+  /// silently adopted).
+  [[nodiscard]] CheckResult reset(const ExecutionState& sim,
+                                  std::size_t min_expected_tokens = 0);
+
+  /// Validates the configuration after the one atomic action executed since
+  /// the previous call (or reset()).
+  [[nodiscard]] CheckResult check_after_action(const ExecutionState& sim,
+                                               std::size_t min_expected_tokens);
+
+  /// Full checks executed so far via the safety net (reset() excluded).
+  [[nodiscard]] std::size_t full_checks() const noexcept {
+    return full_checks_;
+  }
+
+ private:
+  void rebuild_shadow(const ExecutionState& sim);
+  void touch(AgentId id);
+
+  Options options_{};
+  std::vector<std::uint32_t> in_queue_count_;      // per agent: #queues holding it
+  std::vector<std::vector<AgentId>> queue_shadow_; // per node: last-seen contents
+  std::vector<AgentId> touched_;                   // scratch: agents to revalidate
+  std::vector<std::uint8_t> touched_mark_;         // scratch: dedup for touched_
+  std::size_t actions_since_full_ = 0;
+  std::size_t full_checks_ = 0;
+};
 
 /// Rendezvous oracle for the baseline contrast: all staying agents at one
 /// node.

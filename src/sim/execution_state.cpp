@@ -38,7 +38,10 @@ void ExecutionState::reset(const Instance& instance) {
   log_.clear();
   metrics_.reset(k);
   action_counter_ = 0;
+  total_tokens_ = 0;
   acting_agent_ = kNoAgentActing;
+  last_action_node_count_ = 0;
+  last_acting_agent_ = kNoAgentActing;
 
   tokens_.assign(n, 0);
   queue_arrival_ts_.assign(n, 0);
@@ -130,12 +133,6 @@ bool ExecutionState::all_suspended() const noexcept {
   return std::all_of(agents_.begin(), agents_.end(), [](const AgentCell& c) {
     return c.status == AgentStatus::Suspended;
   });
-}
-
-std::size_t ExecutionState::total_tokens() const noexcept {
-  std::size_t total = 0;
-  for (const std::size_t count : tokens_) total += count;
-  return total;
 }
 
 std::vector<NodeId> ExecutionState::staying_nodes() const {
@@ -246,6 +243,12 @@ std::uint64_t ExecutionState::config_digest() const {
 void ExecutionState::execute_action(AgentId id) {
   AgentCell& c = agents_[id];
   ++action_counter_;
+  // Footprint bookkeeping for incremental oracles: this action can only
+  // touch the node it executes at (c.node — the arrival node when in
+  // transit, the staying node otherwise) and, if it moves, the successor.
+  last_acting_agent_ = id;
+  last_action_nodes_[0] = c.node;
+  last_action_node_count_ = 1;
   // Hoisted so the (default-off) logging path costs one predictable branch
   // per record site instead of materializing Event aggregates per action.
   const bool logging = log_.enabled();
@@ -304,6 +307,10 @@ void ExecutionState::execute_action(AgentId id) {
       c.status = AgentStatus::InTransit;
       c.node = dest;
       queues_[dest].push_back(id);
+      if (dest != last_action_nodes_[0]) {
+        last_action_nodes_[1] = dest;
+        last_action_node_count_ = 2;
+      }
       m.count_move();
       break;
     }
@@ -430,6 +437,7 @@ std::size_t ExecutionState::others_staying_at_agent(AgentId id) const {
 void ExecutionState::agent_release_token(AgentId id) {
   const AgentCell& c = cell(id);
   ++tokens_[c.node];
+  ++total_tokens_;
   if (log_.enabled()) {
     log_.record({action_counter_, EventKind::TokenDrop, id, c.node, c.last_ts, 0});
   }

@@ -39,10 +39,12 @@
 
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "sim/agent.h"
@@ -88,6 +90,9 @@ struct Snapshot {
 
 class ExecutionState {
  public:
+  /// Sentinel for "no agent" (see last_acting_agent()).
+  static constexpr AgentId kNoAgentActing = static_cast<AgentId>(-1);
+
   /// An empty state: reset() it onto an Instance before use. This is the
   /// pooled form — construct once per worker, reset per run.
   ExecutionState() = default;
@@ -142,7 +147,12 @@ class ExecutionState {
   /// Number of tokens at `node` (T in the configuration). In this paper's
   /// algorithms it is 0 or 1, but the substrate supports arbitrary counts.
   [[nodiscard]] std::size_t tokens(NodeId node) const { return tokens_.at(node); }
-  [[nodiscard]] std::size_t total_tokens() const noexcept;
+  /// Maintained incrementally (tokens are indelible, so a counter suffices):
+  /// O(1), which is what lets per-action oracles check token monotonicity at
+  /// n = 10^6 without re-summing the ring.
+  [[nodiscard]] std::size_t total_tokens() const noexcept {
+    return total_tokens_;
+  }
   [[nodiscard]] const std::vector<std::size_t>& token_counts() const noexcept {
     return tokens_;
   }
@@ -167,6 +177,32 @@ class ExecutionState {
 
   [[nodiscard]] std::size_t queue_length(NodeId node) const {
     return queues_.at(node).size();
+  }
+
+  /// Direct read access to q_node (FIFO order). Checkers iterate this
+  /// instead of materializing a Snapshot — per-action oracles must not pay
+  /// an O(n + k) allocation to look at two queues.
+  [[nodiscard]] const LinkQueue& link_queue(NodeId node) const {
+    return queues_.at(node);
+  }
+
+  /// The conservative node footprint of the most recently executed atomic
+  /// action: the node the agent acted at, plus — when it moved — the
+  /// successor it departed to. Every component of the configuration an
+  /// action can change (queue membership, staying sets, tokens, the acting
+  /// agent's status, co-located mailboxes) lives at one of these nodes; this
+  /// is the same {node, next(node)} bound the mc:: sleep sets rely on, and
+  /// it is what makes O(dirty) incremental invariant checking sound.
+  /// Empty until the first action after a reset.
+  [[nodiscard]] std::span<const NodeId> last_action_nodes() const noexcept {
+    return {last_action_nodes_.data(), last_action_node_count_};
+  }
+
+  /// The agent that executed the most recent action (the only agent whose
+  /// status/queue membership that action can have changed).
+  /// kNoAgentActing until the first action after a reset.
+  [[nodiscard]] AgentId last_acting_agent() const noexcept {
+    return last_acting_agent_;
   }
 
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
@@ -246,9 +282,12 @@ class ExecutionState {
   Metrics metrics_;
   EventLog log_;
   std::size_t action_counter_ = 0;
+  std::size_t total_tokens_ = 0;                   // invariant: sum of tokens_
   AgentId acting_agent_ = kNoAgentActing;
+  std::array<NodeId, 2> last_action_nodes_{};      // footprint of last action
+  std::size_t last_action_node_count_ = 0;
+  AgentId last_acting_agent_ = kNoAgentActing;
 
-  static constexpr AgentId kNoAgentActing = static_cast<AgentId>(-1);
   static constexpr std::size_t kNotEnabled = static_cast<std::size_t>(-1);
 };
 

@@ -1,13 +1,21 @@
 // Tests for the exp/campaign engine: deterministic grid expansion, the
 // worker-count-invariance contract (same grid + seed ⇒ byte-identical
-// aggregated results at 1 vs 8 workers), and failure propagation into the
-// campaign summary.
+// aggregated results at 1 vs 8 workers), failure propagation into the
+// campaign summary, and the ScenarioResult hot-struct contract (success
+// path carries no cold allocations — pinned with a counting allocator,
+// the same technique bench_huge_instance uses).
 
 #include "exp/campaign.h"
 
 #include <gtest/gtest.h>
 
 #include <string>
+
+// Defines the global counting operator new for this test binary (one TU
+// only); measurement windows snapshot udring::allocation_count() around
+// single-threaded campaign runs. Compiled out under sanitizers, whose own
+// operator new must stay in charge — the pinned test skips there.
+#include "util/counting_allocator.h"
 
 namespace udring::exp {
 namespace {
@@ -172,12 +180,13 @@ TEST(Campaign, FinalPositionsRecordedOnRequest) {
   grid.seeds = 1;
   const CampaignResult without = run_campaign(grid, {.workers = 1});
   ASSERT_EQ(without.results.size(), 1u);
-  EXPECT_TRUE(without.results[0].final_positions.empty());
+  EXPECT_TRUE(without.results[0].final_positions().empty());
+  EXPECT_EQ(without.results[0].cold, nullptr);  // success path stays cold-free
 
   const CampaignResult with = run_campaign(
       grid, {.workers = 1, .record_final_positions = true});
   ASSERT_EQ(with.results.size(), 1u);
-  EXPECT_EQ(with.results[0].final_positions.size(), 4u);
+  EXPECT_EQ(with.results[0].final_positions().size(), 4u);
 }
 
 TEST(Campaign, MeasureCellMatchesExplicitCampaign) {
@@ -207,6 +216,56 @@ TEST(Campaign, MeasureCellThrowsOnInfeasibleCell) {
   EXPECT_THROW((void)measure_cell(core::Algorithm::KnownKFull,
                                   ConfigFamily::Packed, 16, 10, 1, 1),
                std::invalid_argument);
+}
+
+TEST(Campaign, ScenarioResultHotStructStaysSmall) {
+  // The trim contract: five measures + one cold pointer. Growing this
+  // struct grows every materialized sweep by scenarios × delta bytes.
+  static_assert(sizeof(ScenarioResult) <= 6 * sizeof(void*),
+                "ScenarioResult hot struct grew; move new fields to Cold");
+  ScenarioResult ok;
+  ok.success = true;
+  EXPECT_EQ(ok.cold, nullptr);
+  EXPECT_TRUE(ok.failure().empty());
+  EXPECT_TRUE(ok.final_positions().empty());
+}
+
+TEST(Campaign, SuccessPathAllocationsAreBoundedSteadyState) {
+#if !UDRING_COUNTING_ALLOCATOR
+  GTEST_SKIP() << "counting allocator disabled under sanitizers";
+#else
+  // Warm a single-worker streaming campaign, then measure an identical
+  // repeat: the steady-state allowance is the O(k) per-run objects (agent
+  // programs + coroutine frames + homes draws) plus O(cells + samples)
+  // aggregation state. ScenarioResult cold data must contribute nothing on
+  // the all-success path — reintroducing a per-scenario string or positions
+  // vector busts the bound immediately (2 extra allocs/scenario against a
+  // measured ~1 of slack).
+  CampaignGrid grid;
+  grid.algorithms = {core::Algorithm::KnownKFull};
+  grid.schedulers = {sim::SchedulerKind::RoundRobin};
+  grid.node_counts = {24};
+  grid.agent_counts = {4};
+  grid.seeds = 16;
+  const CampaignOptions options{.workers = 1};
+
+  const CampaignResult warmup = run_campaign_streaming(grid, options);
+  ASSERT_TRUE(warmup.all_ok()) << warmup.summary();
+
+  const std::size_t before = udring::allocation_count();
+  const CampaignResult measured = run_campaign_streaming(grid, options);
+  const std::size_t allocs = udring::allocation_count() - before;
+  ASSERT_TRUE(measured.all_ok());
+
+  const std::size_t scenarios = measured.scenario_count;
+  ASSERT_EQ(scenarios, 16u);
+  // Per-run allowance mirrors bench_huge_instance's 16 × k; the constant
+  // covers the worker pool, the cell map and the result scaffolding.
+  const std::size_t allowance = scenarios * (16 * 4) + 256;
+  EXPECT_LE(allocs, allowance)
+      << "steady-state campaign allocations regressed: " << allocs
+      << " allocs for " << scenarios << " scenarios";
+#endif
 }
 
 TEST(Campaign, CellLookupMissReturnsNull) {

@@ -1,0 +1,187 @@
+// Tests for the streaming aggregation path of the campaign engine: the
+// streaming fold must be THE SAME computation as the materialized one —
+// identical digest(), cells, failure samples and summary on any shared grid
+// at any worker count — while holding O(cells + workers) state, and the
+// memory budget must skip whole cells deterministically (reported, and
+// independent of the worker count so the digest contract survives a binding
+// budget).
+
+#include "exp/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace udring::exp {
+namespace {
+
+CampaignGrid shared_grid() {
+  CampaignGrid grid;
+  grid.algorithms = {core::Algorithm::KnownKFull, core::Algorithm::UnknownRelaxed};
+  grid.families = {ConfigFamily::RandomAny};
+  grid.schedulers = {sim::SchedulerKind::RoundRobin, sim::SchedulerKind::Random};
+  grid.node_counts = {16, 24, 32};
+  grid.agent_counts = {2, 4};
+  grid.seeds = 4;
+  grid.base_seed = 7;
+  return grid;
+}
+
+/// Summaries differ only in the reported worker count; erase it to compare.
+std::string strip_workers(std::string text, std::size_t workers) {
+  const std::string needle = "workers: " + std::to_string(workers);
+  const auto at = text.find(needle);
+  EXPECT_NE(at, std::string::npos);
+  if (at != std::string::npos) text.erase(at, needle.size());
+  return text;
+}
+
+TEST(StreamingCampaign, MatchesMaterializedAtWorkerCounts) {
+  const CampaignGrid grid = shared_grid();
+  const CampaignResult reference = run_campaign(grid, {.workers = 1});
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{0}}) {  // 0 = hardware
+    const CampaignResult streamed =
+        run_campaign_streaming(grid, {.workers = workers});
+    EXPECT_EQ(streamed.digest(), reference.digest()) << "workers=" << workers;
+    EXPECT_EQ(streamed.scenario_count, reference.scenario_count);
+    EXPECT_EQ(streamed.scenario_hash, reference.scenario_hash);
+    EXPECT_EQ(strip_workers(streamed.summary(), streamed.workers_used),
+              strip_workers(reference.summary(), 1))
+        << "workers=" << workers;
+    ASSERT_EQ(streamed.cells.size(), reference.cells.size());
+    auto expected = reference.cells.begin();
+    for (const auto& [key, stats] : streamed.cells) {
+      EXPECT_EQ(key, expected->first);
+      EXPECT_EQ(stats.runs, expected->second.runs);
+      EXPECT_EQ(stats.successes, expected->second.successes);
+      EXPECT_EQ(stats.moves_sum, expected->second.moves_sum);
+      EXPECT_EQ(stats.makespan_sum, expected->second.makespan_sum);
+      EXPECT_EQ(stats.memory_bits_sum, expected->second.memory_bits_sum);
+      EXPECT_EQ(stats.actions_sum, expected->second.actions_sum);
+      ++expected;
+    }
+  }
+}
+
+TEST(StreamingCampaign, HoldsNoPerScenarioState) {
+  const CampaignResult streamed = run_campaign_streaming(shared_grid());
+  EXPECT_TRUE(streamed.streamed);
+  EXPECT_TRUE(streamed.scenarios.empty());
+  EXPECT_TRUE(streamed.results.empty());
+  EXPECT_GT(streamed.scenario_count, 0u);
+}
+
+TEST(StreamingCampaign, FailureSamplesIdenticalAcrossPathsAndWorkers) {
+  // An action budget of 1 fails every scenario: both paths must report the
+  // same lowest-index samples globally and per cell, at any worker count.
+  CampaignGrid grid = shared_grid();
+  grid.sim_options.max_actions = 1;
+  CampaignOptions options;
+  options.max_recorded_failures = 5;
+  options.max_failures_per_cell = 2;
+
+  options.workers = 1;
+  const CampaignResult materialized = run_campaign(grid, options);
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    options.workers = workers;
+    const CampaignResult streamed = run_campaign_streaming(grid, options);
+    EXPECT_EQ(streamed.failures, materialized.failures);
+    EXPECT_EQ(streamed.failure_samples, materialized.failure_samples);
+    ASSERT_EQ(streamed.cells.size(), materialized.cells.size());
+    for (const auto& [key, stats] : streamed.cells) {
+      const CellStats* expected = materialized.cell(key);
+      ASSERT_NE(expected, nullptr);
+      EXPECT_LE(stats.failure_samples.size(), options.max_failures_per_cell);
+      EXPECT_EQ(stats.failure_samples, expected->failure_samples);
+    }
+  }
+  EXPECT_EQ(materialized.failure_samples.size(), 5u);
+}
+
+TEST(StreamingCampaign, ExpansionHelpersAgreeWithExpand) {
+  for (CampaignGrid grid :
+       {shared_grid(), [] {
+          // Infeasible combinations must be skipped identically.
+          CampaignGrid g;
+          g.algorithms = {core::Algorithm::KnownKFull};
+          g.families = {ConfigFamily::Packed, ConfigFamily::Periodic};
+          g.node_counts = {16, 24};
+          g.agent_counts = {2, 4, 5, 6, 20};
+          g.symmetries = {1, 2, 3};
+          g.seeds = 3;
+          return g;
+        }()}) {
+    const std::vector<Scenario> scenarios = expand(grid);
+    const std::vector<CellKey> cells = expand_cells(grid);
+    ASSERT_EQ(expansion_size(grid), scenarios.size());
+    ASSERT_EQ(cells.size() * grid.seeds, scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const Scenario at = scenario_at(cells, grid.seeds, i);
+      EXPECT_EQ(at.index, scenarios[i].index);
+      EXPECT_EQ(at.algorithm, scenarios[i].algorithm);
+      EXPECT_EQ(at.family, scenarios[i].family);
+      EXPECT_EQ(at.scheduler, scenarios[i].scheduler);
+      EXPECT_EQ(at.node_count, scenarios[i].node_count);
+      EXPECT_EQ(at.agent_count, scenarios[i].agent_count);
+      EXPECT_EQ(at.symmetry, scenarios[i].symmetry);
+      EXPECT_EQ(at.repetition, scenarios[i].repetition);
+    }
+  }
+}
+
+TEST(StreamingCampaign, MemoryBudgetSkipsTrailingCellsDeterministically) {
+  CampaignGrid grid = shared_grid();  // 2 algos × 2 scheds × 3 n × 2 k = 24 cells
+  const std::vector<CellKey> cells = expand_cells(grid);
+  ASSERT_EQ(cells.size(), 24u);
+
+  CampaignOptions options;
+  // Budget for exactly 5 cells.
+  options.memory_budget_bytes = 5 * streaming_cell_footprint_bytes(options);
+  options.workers = 1;
+  const CampaignResult budgeted = run_campaign_streaming(grid, options);
+  EXPECT_EQ(budgeted.cells_skipped, cells.size() - 5);
+  EXPECT_EQ(budgeted.scenarios_skipped, (cells.size() - 5) * grid.seeds);
+  EXPECT_EQ(budgeted.scenario_count, 5 * grid.seeds);
+  EXPECT_EQ(budgeted.cells.size(), 5u);
+  // Admitted cells are exactly the expansion-order prefix.
+  for (std::size_t c = 0; c < 5; ++c) {
+    EXPECT_NE(budgeted.cell(cells[c]), nullptr) << "cell " << c;
+  }
+  EXPECT_FALSE(budgeted.skipped_cell_samples.empty());
+  EXPECT_EQ(budgeted.skipped_cell_samples.front(), cells[5]);
+  EXPECT_NE(budgeted.summary().find("SKIPPED"), std::string::npos);
+
+  // The skip decision depends only on (grid, options) — never the worker
+  // count — so the digest contract holds even when the budget binds.
+  options.workers = 4;
+  EXPECT_EQ(run_campaign_streaming(grid, options).digest(), budgeted.digest());
+
+  // Unbudgeted runs report nothing skipped.
+  const CampaignResult full = run_campaign_streaming(grid, {.workers = 1});
+  EXPECT_EQ(full.cells_skipped, 0u);
+  EXPECT_EQ(full.summary().find("SKIPPED"), std::string::npos);
+}
+
+TEST(StreamingCampaign, MeasureCellUnchangedByStreamingPath) {
+  // measure_cell now rides the streaming path; its averages must still match
+  // an explicit materialized campaign of the same cell.
+  const Averages direct = measure_cell(core::Algorithm::KnownKFull,
+                                       ConfigFamily::RandomAny, 32, 4, 1, 5);
+  CampaignGrid grid;
+  grid.algorithms = {core::Algorithm::KnownKFull};
+  grid.node_counts = {32};
+  grid.agent_counts = {4};
+  grid.seeds = 5;
+  const Averages materialized = run_campaign(grid).averages(
+      CellKey{core::Algorithm::KnownKFull, ConfigFamily::RandomAny,
+              sim::SchedulerKind::Synchronous, 32, 4, 1});
+  EXPECT_EQ(direct.runs, materialized.runs);
+  EXPECT_EQ(direct.moves, materialized.moves);
+  EXPECT_EQ(direct.makespan, materialized.makespan);
+  EXPECT_EQ(direct.memory_bits, materialized.memory_bits);
+  EXPECT_EQ(direct.success_rate, materialized.success_rate);
+}
+
+}  // namespace
+}  // namespace udring::exp

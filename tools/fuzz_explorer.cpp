@@ -96,6 +96,7 @@ int record_mode(const std::string& path, core::Algorithm algorithm,
 int fuzz_mode(const explore::FuzzOptions& options, const std::string& out_dir) {
   const explore::FuzzReport report = explore::run_fuzz(options);
   std::cout << "fuzz: algorithm=" << core::to_string(options.algorithm)
+            << " oracle=" << explore::to_string(options.oracle)
             << " iterations=" << report.iterations
             << " actions=" << report.total_actions
             << " failures=" << report.failures << " digest=" << report.digest
@@ -179,6 +180,16 @@ int main(int argc, char** argv) {
     options.min_agents = cli.get_size("min-agents", 2, "minimum agent count");
     options.max_agents = cli.get_size("max-agents", 6, "maximum agent count");
     options.workers = cli.get_size("workers", 0, "worker threads (0 = all cores)");
+    const std::string oracle_name =
+        cli.get("oracle",
+                "per-action invariant oracle: full (re-walk every node each "
+                "action) | incremental (O(dirty) footprint revalidation + "
+                "periodic full re-walk; use for --min-nodes >> 100)",
+                "full")
+            .value_or("full");
+    options.oracle_full_check_every = cli.get_size(
+        "oracle-full-every", 1024,
+        "incremental oracle: full re-walk every N actions (0 = never)");
     options.max_recorded_failures =
         cli.get_size("max-failures", 8, "failing traces to keep and shrink");
     options.fault_non_fifo = cli.get_flag(
@@ -213,6 +224,7 @@ int main(int argc, char** argv) {
 
     options.algorithm = explore::algorithm_from_name(algorithm_name);
     options.topology = explore::fuzz_topology_from_name(topology_name);
+    options.oracle = explore::oracle_mode_from_name(oracle_name);
     if (!record_path.empty()) {
       return record_mode(record_path, options.algorithm, options.topology, n, k,
                          explore::explore_scheduler_from_name(
