@@ -1,0 +1,52 @@
+#include "core/disperse_ring.h"
+
+#include <algorithm>
+
+#include "core/memory_meter.h"
+
+namespace udring::core {
+
+sim::Behavior DisperseAgent::run(sim::AgentContext& ctx) {
+  ctx.set_phase(kExplore);
+  ctx.release_token();
+
+  for (std::size_t j = 0; j < k_; ++j) {
+    std::size_t dis = 0;
+    do {
+      co_await ctx.move();
+      ++dis;
+    } while (ctx.tokens_here() == 0);
+    d_.push_back(dis);
+  }
+  n_ = sum(d_);
+
+  // Settle r nodes past the nearest forward base (rank-0) home; distinct
+  // ranks off period-spaced bases give pairwise-distinct targets (see the
+  // header argument).
+  ctx.set_phase(kSettle);
+  const std::size_t rank = min_rotation(d_);
+  std::size_t dis_settle = rank;
+  for (std::size_t i = 0; i < rank; ++i) dis_settle += d_[i];
+  for (std::size_t i = 0; i < dis_settle; ++i) {
+    co_await ctx.move();
+  }
+  co_return;
+}
+
+std::size_t DisperseAgent::memory_bits() const {
+  const std::uint64_t max_d =
+      d_.empty() ? 1 : *std::max_element(d_.begin(), d_.end());
+  return MemoryMeter{}
+      .counter(k_)
+      .array(d_.size(), std::max<std::uint64_t>(max_d, n_))
+      .counter(n_)
+      .bits();
+}
+
+std::uint64_t DisperseAgent::state_hash() const {
+  std::uint64_t h = hash_sequence(0x4d15bULL, d_);  // "DISP"-ish tag
+  h = hash_sequence(h, {n_});
+  return h;
+}
+
+}  // namespace udring::core

@@ -1,0 +1,94 @@
+// udring/core/problem.h
+//
+// First-class problem selection: which coordination goal a run is verified
+// against, decoupled from which algorithm produced the run.
+//
+// A ProblemSpec names the problem kind plus its parameters (today: the
+// gathering group size g). Every driver layer (RunSpec, the fuzzer's
+// FuzzOptions/RecordRequest, mc::CheckRequest, exp::CampaignGrid) carries a
+// ProblemSpec and turns it into a sim::GoalOracle via make_goal_oracle();
+// the default Problem::Auto resolves to the algorithm's natural problem, so
+// all pre-redesign call sites keep their exact behavior.
+//
+// The three problems:
+//   deploy   — uniform deployment (the source paper; Definitions 1/2)
+//   gather   — g-partial gathering (Shibata et al.'s companion line):
+//              all agents halt and every occupied node hosts >= g of
+//              them; g = 0 means total gathering (rendezvous)
+//   disperse — dispersion (Pattanayak et al.): all agents halt with
+//              exactly one settled agent per occupied node
+
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sim/checker.h"
+
+namespace udring::core {
+
+enum class Algorithm;
+
+enum class Problem : std::uint8_t {
+  Auto,      ///< resolve to the algorithm's natural problem (the default)
+  Deploy,    ///< uniform deployment on the ring
+  Gather,    ///< g-partial gathering (g = 0: total gathering / rendezvous)
+  Disperse,  ///< dispersion: one settled agent per occupied node
+};
+
+[[nodiscard]] std::string_view to_string(Problem problem) noexcept;
+
+/// Parses "auto" | "deploy" | "gather" | "disperse"; throws
+/// std::invalid_argument otherwise (CLI and trace parsing).
+[[nodiscard]] Problem problem_from_name(std::string_view name);
+
+/// The problem a run is judged against. Aggregate; extend only at the end —
+/// drivers aggregate-initialize it positionally.
+struct ProblemSpec {
+  Problem kind = Problem::Auto;
+  /// Gathering group size g. 0 = total gathering (every agent at one node,
+  /// the rendezvous goal). Ignored by Deploy/Disperse — resolve_problem
+  /// normalizes it to 0 there so specs compare cleanly.
+  std::size_t gather_g = 2;
+
+  auto operator<=>(const ProblemSpec&) const = default;
+};
+
+/// Human-readable form for tables and describe() lines: "deploy",
+/// "gather(g=2)", "gather", "disperse", "auto".
+[[nodiscard]] std::string to_string(const ProblemSpec& spec);
+
+/// The problem an algorithm natively solves (what Auto resolves to).
+[[nodiscard]] Problem natural_problem(Algorithm algorithm) noexcept;
+
+/// Resolves Auto to natural_problem(algorithm) and normalizes parameters:
+/// gather_g is forced to 0 for non-Gather kinds, and Auto-resolved
+/// Rendezvous gathers totally (g = 0) while Auto-resolved GatherRing keeps
+/// the spec's g (default 2). Never returns Auto.
+[[nodiscard]] ProblemSpec resolve_problem(Algorithm algorithm,
+                                          const ProblemSpec& requested) noexcept;
+
+/// Implemented by agent programs that can prove their instance unsolvable
+/// (periodic initial configurations, Theorem 2-style impossibility). The
+/// gather-family oracles treat "every agent detected unsolvability and
+/// halted" as success and a split verdict as failure — mirroring the
+/// original rendezvous oracle.
+class UnsolvabilityAware {
+ public:
+  virtual ~UnsolvabilityAware() = default;
+  [[nodiscard]] virtual bool detected_unsolvable() const noexcept = 0;
+};
+
+/// The one way drivers obtain an oracle: resolves `requested` against the
+/// algorithm and builds the goal oracle for the resulting problem —
+/// UniformDeploymentOracle (Definition 1, or Definition 2 for
+/// UnknownRelaxed), an unsolvability-aware gathering oracle, or
+/// DispersionOracle. The oracle is immutable and shareable across threads.
+[[nodiscard]] std::unique_ptr<sim::GoalOracle> make_goal_oracle(
+    Algorithm algorithm, const ProblemSpec& requested = {});
+
+}  // namespace udring::core

@@ -27,11 +27,13 @@
 #include <vector>
 
 #include "core/distance_sequence.h"
+#include "core/problem.h"
 #include "sim/agent.h"
 
 namespace udring::core {
 
-class RendezvousAgent final : public sim::AgentProgram {
+class RendezvousAgent final : public sim::AgentProgram,
+                              public UnsolvabilityAware {
  public:
   enum Phase : std::size_t { kExplore = 0, kGather = 1 };
 
@@ -46,7 +48,9 @@ class RendezvousAgent final : public sim::AgentProgram {
   }
 
   /// True if the agent proved the instance unsolvable (periodic view).
-  [[nodiscard]] bool detected_unsolvable() const noexcept { return unsolvable_; }
+  [[nodiscard]] bool detected_unsolvable() const noexcept override {
+    return unsolvable_;
+  }
 
  private:
   std::size_t k_;

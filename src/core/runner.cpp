@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/disperse_ring.h"
+#include "core/gather_ring.h"
 #include "core/known_k_full.h"
 #include "core/known_k_logmem.h"
 #include "core/rendezvous.h"
@@ -19,12 +21,15 @@ std::string_view to_string(Algorithm algorithm) noexcept {
     case Algorithm::KnownKLogMemStrict: return "known-k-logmem-strict";
     case Algorithm::UnknownRelaxed: return "unknown-relaxed";
     case Algorithm::Rendezvous: return "rendezvous";
+    case Algorithm::GatherRing: return "gather-ring";
+    case Algorithm::DisperseRing: return "disperse-ring";
   }
   return "?";
 }
 
 sim::ProgramFactory make_program_factory(Algorithm algorithm, std::size_t k,
-                                         std::size_t n) {
+                                         std::size_t n,
+                                         const ProblemSpec& problem) {
   switch (algorithm) {
     case Algorithm::KnownKFull:
       return [k](sim::AgentId) { return std::make_unique<KnownKFullAgent>(k); };
@@ -41,6 +46,17 @@ sim::ProgramFactory make_program_factory(Algorithm algorithm, std::size_t k,
       return [](sim::AgentId) { return std::make_unique<UnknownRelaxedAgent>(); };
     case Algorithm::Rendezvous:
       return [k](sim::AgentId) { return std::make_unique<RendezvousAgent>(k); };
+    case Algorithm::GatherRing: {
+      // g = 0 means total gathering; the agent realizes it as g = k, which
+      // degenerates to exactly the rendezvous protocol.
+      const std::size_t resolved_g = resolve_problem(algorithm, problem).gather_g;
+      const std::size_t g = resolved_g == 0 ? k : resolved_g;
+      return [k, g](sim::AgentId) {
+        return std::make_unique<PartialGatherAgent>(k, g);
+      };
+    }
+    case Algorithm::DisperseRing:
+      return [k](sim::AgentId) { return std::make_unique<DisperseAgent>(k); };
   }
   throw std::invalid_argument("make_program_factory: unknown algorithm");
 }
@@ -64,9 +80,10 @@ sim::Instance make_instance(Algorithm algorithm, const RunSpec& spec) {
       spec.topology.empty() ? sim::Topology::ring(spec.node_count)
                             : spec.topology;
   const std::size_t n = topology.size();
-  return sim::Instance(std::move(topology), spec.homes,
-                       make_program_factory(algorithm, spec.homes.size(), n),
-                       spec.sim_options);
+  return sim::Instance(
+      std::move(topology), spec.homes,
+      make_program_factory(algorithm, spec.homes.size(), n, spec.problem),
+      spec.sim_options);
 }
 
 std::unique_ptr<sim::Simulator> make_simulator(Algorithm algorithm,
@@ -75,46 +92,28 @@ std::unique_ptr<sim::Simulator> make_simulator(Algorithm algorithm,
       std::make_shared<const sim::Instance>(make_instance(algorithm, spec)));
 }
 
+sim::CheckResult evaluate_goal(Algorithm algorithm, const ProblemSpec& problem,
+                               const sim::Simulator& sim) {
+  return make_goal_oracle(algorithm, problem)->check_goal(sim);
+}
+
 sim::CheckResult evaluate_goal(Algorithm algorithm, const sim::Simulator& sim) {
-  switch (algorithm) {
-    case Algorithm::KnownKFull:
-    case Algorithm::KnownNFull:
-    case Algorithm::KnownKLogMem:
-    case Algorithm::KnownKLogMemStrict:
-      return sim::check_uniform_deployment_with_termination(sim);
-    case Algorithm::UnknownRelaxed:
-      return sim::check_uniform_deployment_without_termination(sim);
-    case Algorithm::Rendezvous: {
-      // Gathered, or the instance proven unsolvable by every agent.
-      bool all_unsolvable = true;
-      bool any_unsolvable = false;
-      for (sim::AgentId id = 0; id < sim.agent_count(); ++id) {
-        const auto& agent =
-            dynamic_cast<const RendezvousAgent&>(sim.program(id));
-        all_unsolvable = all_unsolvable && agent.detected_unsolvable();
-        any_unsolvable = any_unsolvable || agent.detected_unsolvable();
-      }
-      if (all_unsolvable) return sim::CheckResult::pass();
-      if (any_unsolvable) {
-        return sim::CheckResult::fail(
-            "agents disagree on solvability of the rendezvous instance");
-      }
-      return sim::check_gathered(sim);
-    }
-  }
-  throw std::invalid_argument("evaluate_goal: unknown algorithm");
+  return evaluate_goal(algorithm, ProblemSpec{}, sim);
 }
 
 namespace {
 
 /// Shared epilogue of the one-shot and pooled paths: oracle + measures.
-RunReport finish_report(Algorithm algorithm, const sim::ExecutionState& state,
+RunReport finish_report(const sim::GoalOracle& oracle,
+                        const ProblemSpec& resolved,
+                        const sim::ExecutionState& state,
                         const sim::Scheduler& scheduler,
                         const sim::RunResult& result) {
   RunReport report;
   report.result = result;
+  report.problem = resolved;
   if (result.quiescent()) {
-    const sim::CheckResult goal = evaluate_goal(algorithm, state);
+    const sim::CheckResult goal = oracle.check_goal(state);
     report.success = goal.ok;
     report.failure = goal.reason;
   } else {
@@ -145,7 +144,9 @@ RunReport run_algorithm(Algorithm algorithm, const RunSpec& spec) {
   auto scheduler =
       sim::make_scheduler(spec.scheduler, spec.seed, spec.homes.size());
   const sim::RunResult result = state.run(*scheduler);
-  return finish_report(algorithm, state, *scheduler, result);
+  const auto oracle = make_goal_oracle(algorithm, spec.problem);
+  return finish_report(*oracle, resolve_problem(algorithm, spec.problem),
+                       state, *scheduler, result);
 }
 
 sim::Scheduler& RunContext::scheduler(sim::SchedulerKind kind,
@@ -163,6 +164,16 @@ sim::Scheduler& RunContext::scheduler(sim::SchedulerKind kind,
   return *slot;
 }
 
+const sim::GoalOracle& RunContext::oracle(Algorithm algorithm,
+                                          const ProblemSpec& problem) {
+  if (!oracle_ || oracle_algorithm_ != algorithm || oracle_problem_ != problem) {
+    oracle_ = make_goal_oracle(algorithm, problem);
+    oracle_algorithm_ = algorithm;
+    oracle_problem_ = problem;
+  }
+  return *oracle_;
+}
+
 RunReport RunContext::run(Algorithm algorithm, const RunSpec& spec) {
   // The Instance lives in the context so state_ remains inspectable after
   // this returns (and the arena pointer never dangles between runs).
@@ -171,7 +182,9 @@ RunReport RunContext::run(Algorithm algorithm, const RunSpec& spec) {
   sim::Scheduler& sched =
       scheduler(spec.scheduler, spec.seed, spec.homes.size());
   const sim::RunResult result = state_.run(sched);
-  return finish_report(algorithm, state_, sched, result);
+  return finish_report(oracle(algorithm, spec.problem),
+                       resolve_problem(algorithm, spec.problem), state_, sched,
+                       result);
 }
 
 std::vector<RunReport> run_many(Algorithm algorithm,

@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/problem.h"
 #include "sim/checker.h"
 #include "sim/scheduler.h"
 #include "sim/simulator.h"
@@ -40,15 +41,19 @@ enum class Algorithm {
   KnownKLogMemStrict, ///< Algorithms 2+3, literal pseudocode (FIFO-dependent)
   UnknownRelaxed,     ///< Algorithms 4+5+6 (§4.2)
   Rendezvous,         ///< baseline (contrast experiments)
+  GatherRing,         ///< g-partial gathering (companion problem family)
+  DisperseRing,       ///< asynchronous dispersion (companion problem family)
 };
 
 [[nodiscard]] std::string_view to_string(Algorithm algorithm) noexcept;
 
 /// Factory for `k` agents of the given algorithm on an n-ring. `n` is needed
-/// only by the KnownNFull variant (0 is fine for all others).
-[[nodiscard]] sim::ProgramFactory make_program_factory(Algorithm algorithm,
-                                                       std::size_t k,
-                                                       std::size_t n = 0);
+/// only by the KnownNFull variant (0 is fine for all others); `problem`
+/// supplies problem parameters to parameterized families (GatherRing reads
+/// the resolved gathering group size g).
+[[nodiscard]] sim::ProgramFactory make_program_factory(
+    Algorithm algorithm, std::size_t k, std::size_t n = 0,
+    const ProblemSpec& problem = {});
 
 struct RunSpec {
   std::size_t node_count = 0;
@@ -61,12 +66,17 @@ struct RunSpec {
   sim::SchedulerKind scheduler = sim::SchedulerKind::RoundRobin;
   std::uint64_t seed = 1;
   sim::SimOptions sim_options;
+  /// Which goal the run is judged against (and, for parameterized
+  /// algorithm families, the problem parameters). Auto = the algorithm's
+  /// natural problem — the pre-ProblemSpec behavior.
+  ProblemSpec problem;
 };
 
 struct RunReport {
   sim::RunResult result;
-  bool success = false;       ///< oracle for this algorithm's goal passed
+  bool success = false;       ///< goal oracle for the resolved problem passed
   std::string failure;        ///< oracle failure reason (when !success)
+  ProblemSpec problem;        ///< the *resolved* problem the oracle verified
   std::size_t total_moves = 0;
   std::uint64_t makespan = 0;            ///< causal ideal-time
   std::uint64_t scheduler_rounds = 0;    ///< lockstep rounds (synchronous only)
@@ -85,9 +95,11 @@ struct RunReport {
                                           const RunSpec& spec);
 
 /// Runs `algorithm` on the configuration described by `spec` and evaluates
-/// the matching oracle: Definition 1 for the known-k algorithms,
-/// Definition 2 for the relaxed algorithm, gathering for rendezvous (where
-/// a correctly detected unsolvable instance also counts as success).
+/// the goal oracle of spec.problem (Auto = the algorithm's natural
+/// problem: Definition 1 for the known-k algorithms, Definition 2 for the
+/// relaxed algorithm, gathering for rendezvous/gather-ring — where a
+/// correctly detected unsolvable instance also counts as success —
+/// dispersion for disperse-ring).
 [[nodiscard]] RunReport run_algorithm(Algorithm algorithm, const RunSpec& spec);
 
 /// Lower-level variant when the caller needs the simulator afterwards:
@@ -95,7 +107,15 @@ struct RunReport {
 [[nodiscard]] std::unique_ptr<sim::Simulator> make_simulator(Algorithm algorithm,
                                                              const RunSpec& spec);
 
-/// Evaluates the algorithm's oracle against a finished simulator.
+/// Evaluates the goal oracle of `problem` (resolved against `algorithm`)
+/// on a finished simulator. One-shot convenience over make_goal_oracle;
+/// drivers that judge many runs should build the oracle once instead.
+[[nodiscard]] sim::CheckResult evaluate_goal(Algorithm algorithm,
+                                             const ProblemSpec& problem,
+                                             const sim::Simulator& sim);
+
+/// Evaluates the algorithm's *natural* goal against a finished simulator
+/// (equivalent to passing ProblemSpec{} above).
 [[nodiscard]] sim::CheckResult evaluate_goal(Algorithm algorithm,
                                              const sim::Simulator& sim);
 
@@ -125,6 +145,12 @@ class RunContext {
                                           std::uint64_t seed,
                                           std::size_t agent_count);
 
+  /// The cached goal oracle for (algorithm, problem); rebuilt only when the
+  /// pair changes, so a campaign sweeping one cell re-judges thousands of
+  /// runs with zero oracle allocations.
+  [[nodiscard]] const sim::GoalOracle& oracle(Algorithm algorithm,
+                                              const ProblemSpec& problem);
+
  private:
   sim::ExecutionState state_;
   /// The Instance of the current/last run — kept alive so state_ stays
@@ -132,6 +158,9 @@ class RunContext {
   std::optional<sim::Instance> instance_;
   std::array<std::unique_ptr<sim::Scheduler>, sim::kSchedulerKindCount>
       schedulers_;
+  std::unique_ptr<sim::GoalOracle> oracle_;
+  Algorithm oracle_algorithm_ = Algorithm::KnownKFull;
+  ProblemSpec oracle_problem_;
 };
 
 /// Runs every spec through `algorithm` across a worker pool (0 = hardware

@@ -100,6 +100,7 @@ ScenarioResult run_one(const Scenario& scenario, const CampaignGrid& grid,
     spec.seed = rng();  // scheduler randomness, independent of the homes draw
     spec.scheduler = scenario.scheduler;
     spec.sim_options = grid.sim_options;
+    spec.problem = scenario.problem;
     const core::RunReport report = ctx.run(scenario.algorithm, spec);
     out.success = report.success;
     if (!report.success) out.ensure_cold().failure = report.failure;
@@ -123,6 +124,11 @@ ScenarioResult run_one(const Scenario& scenario, const CampaignGrid& grid,
        << sim::to_string(s.scheduler) << " n=" << s.node_count
        << " k=" << s.agent_count << " l=" << s.symmetry
        << " rep=" << s.repetition;
+  // Appended only for an explicit problem so historical descriptions (and
+  // the failure-sample strings built from them) stay byte-identical.
+  if (s.problem.kind != core::Problem::Auto) {
+    text << " problem=" << core::to_string(s.problem);
+  }
   return text.str();
 }
 
@@ -223,17 +229,19 @@ std::vector<CellKey> expand_cells(const CampaignGrid& grid) {
   }
   std::vector<CellKey> cells;
   for (const core::Algorithm algorithm : grid.algorithms) {
-    for (const ConfigFamily family : grid.families) {
-      for (const sim::SchedulerKind scheduler : grid.schedulers) {
-        for (const auto& [n, k] : points) {
-          bool first_symmetry = true;
-          for (const std::size_t l : grid.symmetries) {
-            const std::size_t effective_l = uses_symmetry(family) ? l : 1;
-            if (!uses_symmetry(family) && !first_symmetry) continue;
-            first_symmetry = false;
-            if (!feasible(family, n, k, effective_l)) continue;
-            cells.push_back(
-                CellKey{algorithm, family, scheduler, n, k, effective_l});
+    for (const core::ProblemSpec& problem : grid.problems) {
+      for (const ConfigFamily family : grid.families) {
+        for (const sim::SchedulerKind scheduler : grid.schedulers) {
+          for (const auto& [n, k] : points) {
+            bool first_symmetry = true;
+            for (const std::size_t l : grid.symmetries) {
+              const std::size_t effective_l = uses_symmetry(family) ? l : 1;
+              if (!uses_symmetry(family) && !first_symmetry) continue;
+              first_symmetry = false;
+              if (!feasible(family, n, k, effective_l)) continue;
+              cells.push_back(CellKey{algorithm, family, scheduler, n, k,
+                                      effective_l, problem});
+            }
           }
         }
       }
@@ -258,6 +266,7 @@ Scenario scenario_at(const std::vector<CellKey>& cells, std::size_t seeds,
   s.agent_count = cell.agent_count;
   s.symmetry = cell.symmetry;
   s.repetition = index % seeds;
+  s.problem = cell.problem;
   return s;
 }
 
@@ -315,6 +324,12 @@ std::uint64_t CampaignResult::digest() const {
     fold64(state, key.node_count);
     fold64(state, key.agent_count);
     fold64(state, key.symmetry);
+    // Folded only for an explicit problem: the default Auto axis reproduces
+    // the pre-problem digest bytes (BENCH_campaign.json et al. stay pinned).
+    if (key.problem.kind != core::Problem::Auto) {
+      fold64(state, static_cast<std::uint64_t>(key.problem.kind));
+      fold64(state, key.problem.gather_g);
+    }
     fold64(state, stats.runs);
     fold64(state, stats.successes);
     fold64(state, stats.moves_sum);
@@ -329,18 +344,29 @@ std::uint64_t CampaignResult::digest() const {
 }
 
 Table CampaignResult::summary_table() const {
-  Table table({"algorithm", "family", "scheduler", "n", "k", "l", "runs",
-               "ok", "moves", "time", "mem bits"});
+  // The "problem" column appears only when some cell carries an explicit
+  // problem, so all-Auto campaigns render their historical layout.
+  bool show_problem = false;
+  for (const auto& [key, stats] : cells) {
+    if (key.problem.kind != core::Problem::Auto) show_problem = true;
+  }
+  std::vector<std::string> headers = {"algorithm", "family", "scheduler", "n",
+                                      "k", "l", "runs", "ok", "moves", "time",
+                                      "mem bits"};
+  if (show_problem) headers.insert(headers.begin() + 1, "problem");
+  Table table(std::move(headers));
   for (const auto& [key, stats] : cells) {
     const Averages avg = stats.averages();
-    table.add_row({std::string(core::to_string(key.algorithm)),
-                   std::string(to_string(key.family)),
-                   std::string(sim::to_string(key.scheduler)),
-                   Table::num(key.node_count), Table::num(key.agent_count),
-                   Table::num(key.symmetry), Table::num(stats.runs),
-                   Table::num(avg.success_rate * 100.0, 1) + "%",
-                   Table::num(avg.moves, 1), Table::num(avg.makespan, 1),
-                   Table::num(avg.memory_bits, 1)});
+    std::vector<std::string> row = {
+        std::string(core::to_string(key.algorithm)),
+        std::string(to_string(key.family)),
+        std::string(sim::to_string(key.scheduler)), Table::num(key.node_count),
+        Table::num(key.agent_count), Table::num(key.symmetry),
+        Table::num(stats.runs), Table::num(avg.success_rate * 100.0, 1) + "%",
+        Table::num(avg.moves, 1), Table::num(avg.makespan, 1),
+        Table::num(avg.memory_bits, 1)};
+    if (show_problem) row.insert(row.begin() + 1, core::to_string(key.problem));
+    table.add_row(std::move(row));
   }
   return table;
 }
@@ -359,6 +385,9 @@ std::string CampaignResult::summary() const {
            << to_string(key.family) << ' ' << sim::to_string(key.scheduler)
            << " n=" << key.node_count << " k=" << key.agent_count
            << " l=" << key.symmetry;
+      if (key.problem.kind != core::Problem::Auto) {
+        text << " problem=" << core::to_string(key.problem);
+      }
     }
     text << '\n';
   }
@@ -407,7 +436,7 @@ CampaignResult run_campaign(const CampaignGrid& grid,
     result.scenario_hash += hash_scenario(i, r);
     CellStats& stats = result.cells[CellKey{s.algorithm, s.family, s.scheduler,
                                             s.node_count, s.agent_count,
-                                            s.symmetry}];
+                                            s.symmetry, s.problem}];
     fold_into_cell(stats, r);
     if (!r.success) {
       ++result.failures;

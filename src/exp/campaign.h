@@ -89,6 +89,9 @@ struct Scenario {
   std::size_t agent_count = 0;  ///< k
   std::size_t symmetry = 1;     ///< l (Periodic family; 1 elsewhere)
   std::uint64_t repetition = 0; ///< seed repetition within the cell
+  /// Goal the run is judged against (core::make_goal_oracle); Auto = the
+  /// algorithm's natural problem.
+  core::ProblemSpec problem;
 };
 
 /// Declarative scenario grid: the cross product of all vectors, repeated
@@ -101,6 +104,13 @@ struct Scenario {
 /// which takes precedence when non-empty.
 struct CampaignGrid {
   std::vector<core::Algorithm> algorithms;
+  /// Problem axis: each algorithm is judged against each listed goal
+  /// (core::ProblemSpec; the default single Auto entry = every algorithm's
+  /// natural problem, which reproduces the historical expansion exactly).
+  /// Like the instance coordinates, the problem does NOT enter the scenario
+  /// substream key, so all problem cells of an (n, k, l, rep) point see the
+  /// same drawn configuration — cross-problem comparisons are paired.
+  std::vector<core::ProblemSpec> problems = {{}};
   std::vector<ConfigFamily> families = {ConfigFamily::RandomAny};
   std::vector<sim::SchedulerKind> schedulers = {sim::SchedulerKind::Synchronous};
   std::vector<std::size_t> node_counts;
@@ -112,9 +122,9 @@ struct CampaignGrid {
   sim::SimOptions sim_options;    ///< forwarded to every Simulator
 };
 
-/// The grid's deterministic expansion (loop order: algorithm, family,
-/// scheduler, n, k, l, repetition), with infeasible combinations skipped.
-/// Scenario i of the returned vector has index == i.
+/// The grid's deterministic expansion (loop order: algorithm, problem,
+/// family, scheduler, n, k, l, repetition), with infeasible combinations
+/// skipped. Scenario i of the returned vector has index == i.
 [[nodiscard]] std::vector<Scenario> expand(const CampaignGrid& grid);
 
 /// Aggregation key: one cell of the reported table (seed repetitions of the
@@ -128,6 +138,10 @@ struct CellKey {
   std::size_t node_count;
   std::size_t agent_count;
   std::size_t symmetry;
+  /// The grid's problem axis. Kept LAST with a default initializer: CellKey
+  /// predates the field and is positionally aggregate-initialized at many
+  /// call sites — extend this struct only at the end.
+  core::ProblemSpec problem = {};
 
   auto operator<=>(const CellKey&) const = default;
 };

@@ -74,21 +74,22 @@ DrawnInstance draw_instance(FuzzTopology topology, std::size_t n, std::size_t k,
 namespace {
 
 /// Steps `sim` to completion under `scheduler` with per-action invariant
-/// checking. Shared by the fuzzing and replay paths so both stop at the
-/// same action with the same verdict — that is what makes a failing trace's
-/// digest reproducible. `oracle` picks the per-action checker: Full
-/// re-walks everything each action; Incremental revalidates the action's
-/// footprint in O(dirty) (equivalent verdicts — the checks are passive, so
-/// the executed schedule and the event-log digest are mode-independent).
+/// checking through `oracle` (which also judges the goal at quiescence).
+/// Shared by the fuzzing and replay paths so both stop at the same action
+/// with the same verdict — that is what makes a failing trace's digest
+/// reproducible. `mode` picks the per-action checker: Full re-walks
+/// everything each action; Incremental revalidates the action's footprint
+/// in O(dirty) (equivalent verdicts — the checks are passive, so the
+/// executed schedule and the event-log digest are mode-independent).
 ReplayOutcome drive_checked(sim::ExecutionState& sim, sim::Scheduler& scheduler,
-                            core::Algorithm algorithm,
-                            OracleMode oracle = OracleMode::Full,
+                            const sim::GoalOracle& oracle,
+                            OracleMode mode = OracleMode::Full,
                             std::size_t full_check_every = 1024) {
   ReplayOutcome out;
   scheduler.attach(sim);
   scheduler.reset(sim.agent_count());
   std::size_t min_tokens = sim.total_tokens();
-  const bool incremental = oracle == OracleMode::Incremental;
+  const bool incremental = mode == OracleMode::Incremental;
   // One pooled checker per worker thread (run_fuzz workers are threads, so
   // this is exactly the per-worker-arena shape the pooled ExecutionState
   // uses): reset() rebinds it per run reusing the shadow buffers, instead
@@ -107,9 +108,8 @@ ReplayOutcome drive_checked(sim::ExecutionState& sim, sim::Scheduler& scheduler,
     }
   }
   while (sim.step(scheduler)) {
-    const sim::CheckResult invariants =
-        incremental ? checker.check_after_action(sim, min_tokens)
-                    : sim::check_model_invariants(sim, min_tokens);
+    const sim::CheckResult invariants = oracle.check_action(
+        sim, min_tokens, incremental ? &checker : nullptr);
     min_tokens = sim.total_tokens();
     if (!invariants) {
       out.failed = true;
@@ -123,7 +123,7 @@ ReplayOutcome drive_checked(sim::ExecutionState& sim, sim::Scheduler& scheduler,
     }
   }
   if (!out.failed && sim.quiescent()) {
-    const sim::CheckResult goal = core::evaluate_goal(algorithm, sim);
+    const sim::CheckResult goal = oracle.check_goal(sim);
     if (!goal) {
       out.failed = true;
       out.reason = "goal: " + goal.reason;
@@ -139,6 +139,7 @@ ReplayOutcome drive_checked(sim::ExecutionState& sim, sim::Scheduler& scheduler,
   spec.node_count = request.node_count;
   spec.homes = request.homes;
   spec.topology = request.topology;
+  spec.problem = request.problem;
   spec.sim_options.record_events = true;
   spec.sim_options.max_actions = request.max_actions;
   spec.sim_options.fault_non_fifo_links = request.fault_non_fifo;
@@ -158,6 +159,7 @@ ScheduleTrace record_trace(const RecordRequest& request,
   trace.topology = request.topology.empty()
                        ? "ring"
                        : std::string(request.topology.name());
+  trace.problem = request.problem;
   trace.generator = std::string(to_string(request.kind));
   trace.seed = request.seed;
   trace.fault_non_fifo = request.fault_non_fifo;
@@ -170,8 +172,10 @@ ScheduleTrace record_trace(const RecordRequest& request,
   state.reset(instance);
   RecordingScheduler recorder(
       make_explore_scheduler(request.kind, request.seed, trace.homes.size()));
+  const auto goal_oracle =
+      core::make_goal_oracle(request.algorithm, request.problem);
   const ReplayOutcome outcome =
-      drive_checked(state, recorder, request.algorithm, request.oracle,
+      drive_checked(state, recorder, *goal_oracle, request.oracle,
                     request.oracle_full_check_every);
   trace.choices = recorder.choices();
   trace.expected_digest = outcome.digest;
@@ -204,6 +208,7 @@ ReplayOutcome replay_trace(const ScheduleTrace& trace, std::size_t max_actions,
   // provenance — replays on the plain ring of its node_count.
   RecordRequest request;
   request.algorithm = trace.algorithm;
+  request.problem = trace.problem;
   request.node_count = trace.node_count;
   request.homes = trace.homes;
   request.fault_non_fifo = trace.fault_non_fifo;
@@ -216,7 +221,9 @@ ReplayOutcome replay_trace(const ScheduleTrace& trace, std::size_t max_actions,
   sim::ExecutionState& state = reuse != nullptr ? *reuse : local;
   state.reset(instance);
   ReplayScheduler replayer(trace.choices);
-  return drive_checked(state, replayer, trace.algorithm, oracle,
+  const auto goal_oracle =
+      core::make_goal_oracle(trace.algorithm, trace.problem);
+  return drive_checked(state, replayer, *goal_oracle, oracle,
                        full_check_every);
 }
 
@@ -239,6 +246,7 @@ FuzzIteration fuzz_iteration(const FuzzOptions& options,
 
   RecordRequest request;
   request.algorithm = options.algorithm;
+  request.problem = options.problem;
   request.fault_non_fifo = options.fault_non_fifo;
   request.fault_min_phase = options.fault_min_phase;
   request.max_actions = options.max_actions;

@@ -83,6 +83,9 @@ struct DrawnInstance {
 
 struct FuzzOptions {
   core::Algorithm algorithm = core::Algorithm::KnownKFull;
+  /// Goal the runs are judged against (core::make_goal_oracle); Auto = the
+  /// algorithm's natural problem. Carried into every recorded trace.
+  core::ProblemSpec problem;
   exp::ConfigFamily family = exp::ConfigFamily::RandomAny;
   /// Topology family instances are drawn on (see FuzzTopology). For Tree
   /// and Graph the node range below sizes the *underlying* network; the
@@ -185,6 +188,9 @@ struct FuzzIteration {
 /// are virtual positions, node_count must equal topology.size()).
 struct RecordRequest {
   core::Algorithm algorithm = core::Algorithm::KnownKFull;
+  /// Goal oracle selection (Auto = the algorithm's natural problem);
+  /// serialized into the trace so replays rebuild the same oracle.
+  core::ProblemSpec problem;
   std::size_t node_count = 0;
   std::vector<std::size_t> homes;
   sim::Topology topology;

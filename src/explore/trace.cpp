@@ -39,6 +39,7 @@ const std::vector<core::Algorithm>& all_algorithms() {
       core::Algorithm::KnownKFull,    core::Algorithm::KnownNFull,
       core::Algorithm::KnownKLogMem,  core::Algorithm::KnownKLogMemStrict,
       core::Algorithm::UnknownRelaxed, core::Algorithm::Rendezvous,
+      core::Algorithm::GatherRing,    core::Algorithm::DisperseRing,
   };
   return algorithms;
 }
@@ -60,6 +61,12 @@ std::string ScheduleTrace::to_text() const {
   for (const std::size_t home : homes) out << ' ' << home;
   out << '\n';
   if (!topology.empty() && topology != "ring") out << "topology " << topology << '\n';
+  if (problem.kind != core::Problem::Auto) {
+    out << "problem " << core::to_string(problem.kind) << '\n';
+    if (problem.kind == core::Problem::Gather) {
+      out << "gather-g " << problem.gather_g << '\n';
+    }
+  }
   if (!generator.empty()) out << "generator " << generator << '\n';
   out << "seed " << seed << '\n';
   if (fault_non_fifo) out << "fault-non-fifo 1\n";
@@ -115,6 +122,15 @@ ScheduleTrace ScheduleTrace::parse(std::string_view text) {
       expect_list_consumed(fields, key);
     } else if (key == "topology") {
       fields >> trace.topology;
+    } else if (key == "problem") {
+      std::string name;
+      fields >> name;
+      trace.problem.kind = core::problem_from_name(name);
+      // A bare non-gather "problem" line carries no parameter; normalize g
+      // the way resolve_problem does so parse(to_text(x)) == x.
+      if (trace.problem.kind != core::Problem::Gather) trace.problem.gather_g = 0;
+    } else if (key == "gather-g") {
+      trace.problem.gather_g = static_cast<std::size_t>(parse_u64(fields, key));
     } else if (key == "generator") {
       fields >> trace.generator;
     } else if (key == "seed") {

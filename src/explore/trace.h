@@ -39,6 +39,13 @@ struct ScheduleTrace {
   /// virtual ring size, so every trace replays stand-alone on the plain
   /// ring of node_count regardless of where its instance came from.
   std::string topology = "ring";
+  /// Which goal the execution was judged against (and, for gather, the
+  /// group size g). Unlike `topology` this is *not* merely provenance:
+  /// replay rebuilds the goal oracle from it, so a recorded gather/disperse
+  /// failure replays against the same oracle. Auto (the default) is the
+  /// algorithm's natural problem and is omitted from the text form — the
+  /// pre-problem corpus parses and re-serializes byte-identically.
+  core::ProblemSpec problem;
   std::string generator;              ///< scheduler that produced it (informational)
   std::uint64_t seed = 0;             ///< generator seed (informational)
   bool fault_non_fifo = false;        ///< replay with the non-FIFO fault injected

@@ -36,6 +36,7 @@ using VisitedMap = std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>
   spec.node_count = request.node_count;
   spec.homes = request.homes;
   spec.topology = request.topology;
+  spec.problem = request.problem;
   spec.sim_options.record_events = false;  // history is not state; stay lean
   spec.sim_options.max_actions = request.max_actions;
   spec.sim_options.fault_non_fifo_links = request.fault_non_fifo;
@@ -47,11 +48,11 @@ using VisitedMap = std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>
 /// ExecutionState. Not thread-safe; shards own independent Explorers.
 class Explorer {
  public:
-  Explorer(const sim::Instance& instance, const CheckRequest& request,
+  Explorer(const sim::Instance& instance, const sim::GoalOracle& oracle,
            const McOptions& options, sim::ExecutionState& state,
            std::size_t budget, VisitedMap visited_seed)
       : instance_(instance),
-        request_(request),
+        oracle_(oracle),
         options_(options),
         cur_(state),
         budget_(budget),
@@ -241,16 +242,14 @@ class Explorer {
   /// dedup hit, or budget stop. Mirrors the fuzzer's drive_checked verdicts
   /// exactly, so a counterexample replays to the same failure.
   [[nodiscard]] bool classify(std::uint64_t sleep, std::size_t prev_tokens) {
-    const sim::CheckResult invariants =
-        sim::check_model_invariants(cur_, prev_tokens);
+    const sim::CheckResult invariants = oracle_.check_action(cur_, prev_tokens);
     if (!invariants) {
       violation = {path_, "invariant: " + invariants.reason};
       return false;
     }
     if (cur_.quiescent()) {
       ++stats.schedules;
-      const sim::CheckResult goal =
-          core::evaluate_goal(request_.algorithm, cur_);
+      const sim::CheckResult goal = oracle_.check_goal(cur_);
       if (!goal) violation = {path_, "goal: " + goal.reason};
       return false;
     }
@@ -284,7 +283,7 @@ class Explorer {
   }
 
   const sim::Instance& instance_;
-  const CheckRequest& request_;
+  const sim::GoalOracle& oracle_;
   const McOptions& options_;
   sim::ExecutionState& cur_;
   std::size_t budget_ = kUnlimited;
@@ -309,6 +308,7 @@ class Explorer {
   trace.topology = request.topology.empty()
                        ? "ring"
                        : std::string(request.topology.name());
+  trace.problem = request.problem;
   trace.generator = "model-check";
   trace.fault_non_fifo = request.fault_non_fifo;
   trace.fault_min_phase = request.fault_min_phase;
@@ -366,6 +366,11 @@ ModelCheckReport check(const CheckRequest& request, const McOptions& options) {
   if (opts.frontier_target == 0) opts.frontier_target = 1;
 
   const sim::Instance instance = build_instance(request);
+  // One immutable oracle for the whole walk, shared by the root explorer
+  // and every worker shard (check_goal/check_action are const and
+  // stateless).
+  const std::unique_ptr<sim::GoalOracle> oracle =
+      core::make_goal_oracle(request.algorithm, request.problem);
   const std::size_t budget =
       opts.budget_actions == 0 ? kUnlimited : opts.budget_actions;
 
@@ -373,7 +378,7 @@ ModelCheckReport check(const CheckRequest& request, const McOptions& options) {
 
   // ---- frontier phase (serial, deterministic) -------------------------------
   core::RunContext root_context;
-  Explorer root(instance, request, opts, root_context.state(), budget, {});
+  Explorer root(instance, *oracle, opts, root_context.state(), budget, {});
   std::vector<ShardNode> level = {{{}, 0}};
   bool resolved_in_bfs = false;
   if (opts.frontier_target > 1) {
@@ -432,7 +437,7 @@ ModelCheckReport check(const CheckRequest& request, const McOptions& options) {
     const VisitedMap& seed = root.visited();
     parallel_for_workers(
         shards.size(), workers, [&](std::size_t worker, std::size_t i) {
-          Explorer shard(instance, request, opts, contexts[worker]->state(),
+          Explorer shard(instance, *oracle, opts, contexts[worker]->state(),
                          shard_budget[i], seed);
           shard.dfs(shards[i].prefix, shards[i].sleep);
           outcomes[i] = {shard.stats, shard.budget_stop,
@@ -488,10 +493,12 @@ GridReport check_grid(const exp::CampaignGrid& grid, const McOptions& options) {
     cell.agent_count = s.agent_count;
     cell.symmetry = s.symmetry;
     cell.repetition = s.repetition;
+    cell.problem = s.problem;
     cell.homes = exp::scenario_homes(collapsed, s);
 
     CheckRequest request;
     request.algorithm = s.algorithm;
+    request.problem = s.problem;
     request.node_count = s.node_count;
     request.homes = cell.homes;
     request.fault_non_fifo = grid.sim_options.fault_non_fifo_links;
@@ -519,6 +526,12 @@ std::uint64_t GridReport::digest() const {
     fold64(state, cell.agent_count);
     fold64(state, cell.symmetry);
     fold64(state, cell.repetition);
+    // Folded only for explicit problems: an all-Auto grid's digest is
+    // byte-identical to the pre-ProblemSpec engine (pinned baselines).
+    if (cell.problem.kind != core::Problem::Auto) {
+      fold64(state, static_cast<std::uint64_t>(cell.problem.kind));
+      fold64(state, cell.problem.gather_g);
+    }
     fold64(state, cell.report.digest());
   }
   fold64(state, violations);
@@ -527,21 +540,32 @@ std::uint64_t GridReport::digest() const {
 }
 
 Table GridReport::summary_table() const {
-  Table table({"algorithm", "family", "n", "k", "l", "rep", "schedules",
-               "states", "deduped", "sleep-pruned", "actions", "verdict"});
+  // The "problem" column appears only when some cell names an explicit
+  // problem, so all-Auto grids render their historical layout.
+  const bool show_problem =
+      std::any_of(cells.begin(), cells.end(), [](const GridCell& cell) {
+        return cell.problem.kind != core::Problem::Auto;
+      });
+  std::vector<std::string> headers = {"algorithm", "family", "n", "k", "l",
+                                      "rep", "schedules", "states", "deduped",
+                                      "sleep-pruned", "actions", "verdict"};
+  if (show_problem) headers.insert(headers.begin() + 1, "problem");
+  Table table(std::move(headers));
   for (const GridCell& cell : cells) {
     const McStats& s = cell.report.stats;
-    table.add_row({std::string(core::to_string(cell.algorithm)),
-                   std::string(exp::to_string(cell.family)),
-                   Table::num(cell.node_count), Table::num(cell.agent_count),
-                   Table::num(cell.symmetry),
-                   Table::num(static_cast<std::size_t>(cell.repetition)),
-                   Table::num(s.schedules), Table::num(s.states_expanded),
-                   Table::num(s.states_deduped), Table::num(s.sleep_pruned),
-                   Table::num(s.total_actions),
-                   cell.report.complete && cell.report.ok
-                       ? "verified over all schedules"
-                       : (cell.report.ok ? "budget" : "VIOLATION")});
+    std::vector<std::string> row = {
+        std::string(core::to_string(cell.algorithm)),
+        std::string(exp::to_string(cell.family)), Table::num(cell.node_count),
+        Table::num(cell.agent_count), Table::num(cell.symmetry),
+        Table::num(static_cast<std::size_t>(cell.repetition)),
+        Table::num(s.schedules), Table::num(s.states_expanded),
+        Table::num(s.states_deduped), Table::num(s.sleep_pruned),
+        Table::num(s.total_actions),
+        cell.report.complete && cell.report.ok
+            ? "verified over all schedules"
+            : (cell.report.ok ? "budget" : "VIOLATION")};
+    if (show_problem) row.insert(row.begin() + 1, core::to_string(cell.problem));
+    table.add_row(std::move(row));
   }
   return table;
 }

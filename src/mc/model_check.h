@@ -73,6 +73,10 @@ namespace udring::mc {
 /// them). `topology` empty = the plain ring of node_count.
 struct CheckRequest {
   core::Algorithm algorithm = core::Algorithm::KnownKFull;
+  /// Goal the instance is verified against (core::make_goal_oracle);
+  /// Auto = the algorithm's natural problem. Carried into counterexample
+  /// traces so they replay against the same oracle.
+  core::ProblemSpec problem;
   std::size_t node_count = 0;
   std::vector<std::size_t> homes;
   sim::Topology topology;
@@ -157,6 +161,9 @@ struct GridCell {
   std::uint64_t repetition = 0;
   std::vector<std::size_t> homes;  ///< the instance actually checked
   ModelCheckReport report;
+  /// Goal the cell was verified against (the grid's problem axis). Kept
+  /// last: GridCell predates the field and may be aggregate-initialized.
+  core::ProblemSpec problem;
 };
 
 struct GridReport {

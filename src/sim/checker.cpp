@@ -84,13 +84,15 @@ CheckResult check_all_status(const Simulator& sim, AgentStatus wanted) {
 
 }  // namespace
 
-CheckResult check_uniform_deployment_with_termination(const Simulator& sim) {
-  if (auto r = check_all_status(sim, AgentStatus::Halted); !r) return r;
-  if (auto r = check_queues_empty(sim); !r) return r;
-  return check_positions_uniform(sim.staying_nodes(), sim.node_count());
-}
-
-CheckResult check_uniform_deployment_without_termination(const Simulator& sim) {
+CheckResult UniformDeploymentOracle::check_goal(const Simulator& sim) const {
+  if (require_termination_) {
+    // Definition 1: halted agents, drained links, uniform positions.
+    if (auto r = check_all_status(sim, AgentStatus::Halted); !r) return r;
+    if (auto r = check_queues_empty(sim); !r) return r;
+    return check_positions_uniform(sim.staying_nodes(), sim.node_count());
+  }
+  // Definition 2: suspended agents, drained links and mailboxes, uniform
+  // positions.
   if (auto r = check_all_status(sim, AgentStatus::Suspended); !r) return r;
   if (auto r = check_queues_empty(sim); !r) return r;
   const Snapshot snap = sim.snapshot();
@@ -103,6 +105,14 @@ CheckResult check_uniform_deployment_without_termination(const Simulator& sim) {
     }
   }
   return check_positions_uniform(sim.staying_nodes(), sim.node_count());
+}
+
+CheckResult check_uniform_deployment_with_termination(const Simulator& sim) {
+  return UniformDeploymentOracle(true).check_goal(sim);
+}
+
+CheckResult check_uniform_deployment_without_termination(const Simulator& sim) {
+  return UniformDeploymentOracle(false).check_goal(sim);
 }
 
 namespace {
@@ -285,6 +295,53 @@ CheckResult check_gathered(const Simulator& sim) {
     return CheckResult::fail(why.str());
   }
   return CheckResult::pass();
+}
+
+CheckResult check_partial_gathering(const Simulator& sim, std::size_t g) {
+  if (auto r = check_all_status(sim, AgentStatus::Halted); !r) return r;
+  if (auto r = check_queues_empty(sim); !r) return r;
+  if (g <= 1) return CheckResult::pass();
+  std::vector<NodeId> nodes = sim.staying_nodes();
+  std::sort(nodes.begin(), nodes.end());
+  for (std::size_t i = 0; i < nodes.size();) {
+    std::size_t j = i;
+    while (j < nodes.size() && nodes[j] == nodes[i]) ++j;
+    if (j - i < g) {
+      std::ostringstream why;
+      why << "node " << nodes[i] << " hosts " << (j - i)
+          << " agent(s); g-partial gathering requires at least " << g;
+      return CheckResult::fail(why.str());
+    }
+    i = j;
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_dispersed(const Simulator& sim) {
+  if (auto r = check_all_status(sim, AgentStatus::Halted); !r) return r;
+  if (auto r = check_queues_empty(sim); !r) return r;
+  std::vector<NodeId> nodes = sim.staying_nodes();
+  std::sort(nodes.begin(), nodes.end());
+  for (std::size_t i = 0; i < nodes.size();) {
+    std::size_t j = i;
+    while (j < nodes.size() && nodes[j] == nodes[i]) ++j;
+    if (j - i > 1) {
+      std::ostringstream why;
+      why << "node " << nodes[i] << " hosts " << (j - i)
+          << " settled agents; dispersion requires exactly one";
+      return CheckResult::fail(why.str());
+    }
+    i = j;
+  }
+  return CheckResult::pass();
+}
+
+CheckResult GoalOracle::check_action(
+    const Simulator& sim, std::size_t min_expected_tokens,
+    IncrementalInvariantChecker* incremental) const {
+  return incremental != nullptr
+             ? incremental->check_after_action(sim, min_expected_tokens)
+             : check_model_invariants(sim, min_expected_tokens);
 }
 
 }  // namespace udring::sim

@@ -1,18 +1,26 @@
 // udring/sim/checker.h
 //
-// Machine-checked oracles for the uniform deployment problem
-// (Definitions 1 and 2 of the paper).
+// Machine-checked oracles for agent-coordination goals on the simulator:
+// uniform deployment (Definitions 1 and 2 of the paper), g-partial
+// gathering, dispersion, and total gathering (rendezvous), plus the
+// reachable-configuration model invariants.
 //
-// The checker is deliberately *independent* of the core algorithm library:
-// it recomputes gaps and target arithmetic from first principles so that a
-// bug shared between an algorithm and its checker cannot hide. It consumes
-// only observable simulator state (positions, statuses, queues, mailboxes).
+// The checkers are deliberately *independent* of the core algorithm
+// library: they recompute gaps and target arithmetic from first principles
+// so that a bug shared between an algorithm and its checker cannot hide.
+// They consume only observable simulator state (positions, statuses,
+// queues, mailboxes).
+//
+// Drivers (runner, fuzzer, model checker, campaigns) do not call the goal
+// predicates directly; they go through the GoalOracle interface below so
+// one verification stack serves every problem.
 
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -46,12 +54,19 @@ struct CheckResult {
 
 /// Definition 1: every agent is in the halt state, all link queues are
 /// empty, and the staying positions form a uniform deployment.
+///
+/// DEPRECATED: thin wrapper over UniformDeploymentOracle(true), kept so
+/// pre-ProblemSpec callers and tests compile unchanged. New code should
+/// obtain an oracle via core::make_goal_oracle and call check_goal().
 [[nodiscard]] CheckResult check_uniform_deployment_with_termination(
     const Simulator& sim);
 
 /// Definition 2: every agent is in the suspended state, all mailboxes and
 /// link queues are empty, and the staying positions form a uniform
 /// deployment.
+///
+/// DEPRECATED: thin wrapper over UniformDeploymentOracle(false); see
+/// check_uniform_deployment_with_termination.
 [[nodiscard]] CheckResult check_uniform_deployment_without_termination(
     const Simulator& sim);
 
@@ -135,5 +150,101 @@ class IncrementalInvariantChecker {
 /// Rendezvous oracle for the baseline contrast: all staying agents at one
 /// node.
 [[nodiscard]] CheckResult check_gathered(const Simulator& sim);
+
+/// g-partial gathering: every agent halted, every link queue empty, and
+/// every occupied node hosts at least g co-located agents. g <= 1 reduces
+/// to plain termination. This is the pure configuration predicate; it knows
+/// nothing about algorithm-detected unsolvability (core::make_goal_oracle
+/// layers that on top for unsolvability-aware algorithms).
+[[nodiscard]] CheckResult check_partial_gathering(const Simulator& sim,
+                                                  std::size_t g);
+
+/// Dispersion: every agent halted, every link queue empty, and every
+/// occupied node hosts exactly one settled agent (all final positions
+/// distinct).
+[[nodiscard]] CheckResult check_dispersed(const Simulator& sim);
+
+/// The problem-agnostic verification interface every driver (core runner,
+/// fuzzer, model checker, campaign engine) routes through.
+///
+/// An oracle bundles the two judgements a schedule-space search needs:
+///
+///   * check_goal   — is this quiescent configuration a correct outcome?
+///   * check_action — did the last atomic action preserve the reachable-
+///                    configuration model invariants? The default forwards
+///                    to check_model_invariants (or, when the caller passes
+///                    its pooled IncrementalInvariantChecker, to its
+///                    O(dirty) per-action form); problem-specific oracles
+///                    may override it to add per-action safety conditions.
+///
+/// Oracles are immutable after construction and safe to share across the
+/// model checker's worker shards. Concrete oracles for the three problem
+/// kinds live below (deployment, partial gathering, dispersion);
+/// unsolvability-aware wrappers that must inspect agent programs live in
+/// core::make_goal_oracle, which is how drivers obtain the right oracle for
+/// an (algorithm, ProblemSpec) pair.
+class GoalOracle {
+ public:
+  virtual ~GoalOracle() = default;
+
+  /// Stable identifier for reports and failure messages.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Judges a quiescent configuration against the problem's goal.
+  [[nodiscard]] virtual CheckResult check_goal(const Simulator& sim) const = 0;
+
+  /// Per-action invariant hook; called by drivers after every atomic
+  /// action. `incremental` is the caller's pooled checker (nullptr = run
+  /// the full O(n + k) sweep).
+  [[nodiscard]] virtual CheckResult check_action(
+      const Simulator& sim, std::size_t min_expected_tokens,
+      IncrementalInvariantChecker* incremental = nullptr) const;
+};
+
+/// Uniform deployment (the paper's problem). `require_termination` selects
+/// Definition 1 (halted) over Definition 2 (suspended, empty mailboxes).
+class UniformDeploymentOracle final : public GoalOracle {
+ public:
+  explicit UniformDeploymentOracle(bool require_termination = true) noexcept
+      : require_termination_(require_termination) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return require_termination_ ? "uniform-deployment"
+                                : "uniform-deployment-relaxed";
+  }
+  [[nodiscard]] CheckResult check_goal(const Simulator& sim) const override;
+
+ private:
+  bool require_termination_;
+};
+
+/// g-partial gathering as a pure configuration predicate (no
+/// unsolvability escape hatch — see check_partial_gathering).
+class PartialGatheringOracle final : public GoalOracle {
+ public:
+  explicit PartialGatheringOracle(std::size_t g) noexcept : g_(g) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "g-partial-gathering";
+  }
+  [[nodiscard]] CheckResult check_goal(const Simulator& sim) const override {
+    return check_partial_gathering(sim, g_);
+  }
+  [[nodiscard]] std::size_t g() const noexcept { return g_; }
+
+ private:
+  std::size_t g_;
+};
+
+/// Dispersion: exactly one settled agent per occupied node.
+class DispersionOracle final : public GoalOracle {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "dispersion";
+  }
+  [[nodiscard]] CheckResult check_goal(const Simulator& sim) const override {
+    return check_dispersed(sim);
+  }
+};
 
 }  // namespace udring::sim

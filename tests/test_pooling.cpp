@@ -51,7 +51,8 @@ class PooledRunSweep : public ::testing::TestWithParam<sim::SchedulerKind> {};
 
 TEST_P(PooledRunSweep, BackToBackPooledRunsMatchFreshRuns) {
   for (const core::Algorithm algorithm :
-       {core::Algorithm::KnownKFull, core::Algorithm::UnknownRelaxed}) {
+       {core::Algorithm::KnownKFull, core::Algorithm::UnknownRelaxed,
+        core::Algorithm::GatherRing, core::Algorithm::DisperseRing}) {
     const core::RunSpec first = make_spec(18, 5, GetParam(), 11);
     const core::RunSpec second = make_spec(24, 4, GetParam(), 12);
 

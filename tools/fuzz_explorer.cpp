@@ -65,12 +65,14 @@ int replay_mode(const std::string& path) {
 }
 
 int record_mode(const std::string& path, core::Algorithm algorithm,
-                explore::FuzzTopology topology, std::size_t n, std::size_t k,
+                core::ProblemSpec problem, explore::FuzzTopology topology,
+                std::size_t n, std::size_t k,
                 explore::ExploreSchedulerKind kind, std::uint64_t seed,
                 bool fault, std::size_t fault_min_phase) {
   Rng rng(seed);
   explore::RecordRequest request;
   request.algorithm = algorithm;
+  request.problem = problem;
   request.kind = kind;
   request.seed = seed;
   request.fault_non_fifo = fault;
@@ -142,6 +144,16 @@ int main(int argc, char** argv) {
     const std::string algorithm_name =
         cli.get("algorithm", "algorithm under test", "known-k-full")
             .value_or("known-k-full");
+    const std::string problem_name =
+        cli.get("problem",
+                "goal oracle the runs are judged against: "
+                "auto|deploy|gather|disperse (auto = the algorithm's natural "
+                "problem)",
+                "auto")
+            .value_or("auto");
+    const std::size_t gather_g =
+        cli.get_size("gather-g", 2,
+                     "group size g for --problem=gather (0 = total gathering)");
     const std::string sched_name =
         cli.get("sched",
                 "scheduler for --record; fuzz pool restriction otherwise "
@@ -223,10 +235,17 @@ int main(int argc, char** argv) {
     if (!replay_path.empty()) return replay_mode(replay_path);
 
     options.algorithm = explore::algorithm_from_name(algorithm_name);
+    options.problem.kind = core::problem_from_name(problem_name);
+    if (options.problem.kind == core::Problem::Gather) {
+      options.problem.gather_g = gather_g;
+    } else if (options.problem.kind != core::Problem::Auto) {
+      options.problem.gather_g = 0;  // the parameter belongs to gather only
+    }
     options.topology = explore::fuzz_topology_from_name(topology_name);
     options.oracle = explore::oracle_mode_from_name(oracle_name);
     if (!record_path.empty()) {
-      return record_mode(record_path, options.algorithm, options.topology, n, k,
+      return record_mode(record_path, options.algorithm, options.problem,
+                         options.topology, n, k,
                          explore::explore_scheduler_from_name(
                              sched_name.empty() ? "round-robin" : sched_name),
                          options.base_seed, options.fault_non_fifo,

@@ -69,6 +69,16 @@ int main(int argc, char** argv) {
     const std::string algo_name =
         cli.get("algo", "algorithm under verification", "known-k-full")
             .value_or("known-k-full");
+    const std::string problem_name =
+        cli.get("problem",
+                "goal oracle the instance is verified against: "
+                "auto|deploy|gather|disperse (auto = the algorithm's natural "
+                "problem)",
+                "auto")
+            .value_or("auto");
+    const std::size_t gather_g =
+        cli.get_size("gather-g", 2,
+                     "group size g for --problem=gather (0 = total gathering)");
     const std::string topology_name =
         cli.get("topology",
                 "instance topology: ring|tree|graph (tree/graph check the "
@@ -126,6 +136,13 @@ int main(int argc, char** argv) {
     options.workers = workers;
 
     const core::Algorithm algorithm = explore::algorithm_from_name(algo_name);
+    core::ProblemSpec problem;
+    problem.kind = core::problem_from_name(problem_name);
+    if (problem.kind == core::Problem::Gather) {
+      problem.gather_g = gather_g;
+    } else if (problem.kind != core::Problem::Auto) {
+      problem.gather_g = 0;  // the parameter belongs to gather only
+    }
     const explore::FuzzTopology topology =
         explore::fuzz_topology_from_name(topology_name);
 
@@ -143,6 +160,7 @@ int main(int argc, char** argv) {
       }
       exp::CampaignGrid grid;
       grid.algorithms = {algorithm};
+      grid.problems = {problem};
       grid.node_counts = {n};
       grid.agent_counts = {k};
       grid.seeds = seeds;
@@ -169,6 +187,7 @@ int main(int argc, char** argv) {
     Rng rng(seed);
     mc::CheckRequest request;
     request.algorithm = algorithm;
+    request.problem = problem;
     request.fault_non_fifo = fault;
     request.fault_min_phase = fault_min_phase;
     request.max_actions = max_actions;
@@ -194,8 +213,11 @@ int main(int argc, char** argv) {
     std::cout << "model-check " << core::to_string(algorithm) << " n="
               << request.node_count << " k=" << request.homes.size()
               << " topology="
-              << (request.topology.empty() ? "ring" : request.topology.name())
-              << (fault ? " +non-fifo-fault" : "") << '\n';
+              << (request.topology.empty() ? "ring" : request.topology.name());
+    if (problem.kind != core::Problem::Auto) {
+      std::cout << " problem=" << core::to_string(problem);
+    }
+    std::cout << (fault ? " +non-fifo-fault" : "") << '\n';
     const mc::ModelCheckReport report = mc::check(request, options);
     print_report(report);
     if (!report.ok) {
