@@ -42,7 +42,7 @@ void print_report() {
       const auto& agent0 = dynamic_cast<const core::UnknownRelaxedAgent&>(
           simulator->program(0));
       const bool uniform =
-          sim::check_uniform_deployment_without_termination(*simulator).ok;
+          sim::UniformDeploymentOracle(false).check_goal(*simulator).ok;
       table.add_row(
           {worked.name, Table::num(worked.n), Table::num(worked.homes.size()),
            Table::num(core::config_symmetry_degree(worked.homes, worked.n)),

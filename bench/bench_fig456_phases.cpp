@@ -73,7 +73,7 @@ void print_report() {
         sim::RoundRobinScheduler scheduler;
         (void)simulator->run(scheduler);
         uniform = uniform &&
-                  sim::check_uniform_deployment_with_termination(*simulator).ok;
+                  sim::UniformDeploymentOracle(true).check_goal(*simulator).ok;
         std::size_t count = 0;
         for (sim::AgentId id = 0; id < row.k; ++id) {
           const auto& agent = dynamic_cast<const core::KnownKLogMemAgent&>(

@@ -74,7 +74,7 @@ void print_report() {
     std::size_t rounds = 0;
     while (lockstep_round(reference)) ++rounds;
     const bool r_ok =
-        sim::check_uniform_deployment_with_termination(reference).ok;
+        sim::UniformDeploymentOracle(true).check_goal(reference).ok;
 
     const std::size_t q = (rounds + base.n) / base.n;
     const auto instance = gen::impossibility_ring(base.homes, base.n, q);
@@ -106,7 +106,7 @@ void print_report() {
     sim::Simulator verdict(instance.node_count, instance.homes, factory);
     sim::RoundRobinScheduler scheduler;
     (void)verdict.run(scheduler);
-    const bool rp_ok = sim::check_uniform_deployment_with_termination(verdict).ok;
+    const bool rp_ok = sim::UniformDeploymentOracle(true).check_goal(verdict).ok;
 
     sim::SimOptions options;
     options.max_actions = 128 * instance.node_count * instance.homes.size();
@@ -118,7 +118,7 @@ void print_report() {
     sim::RoundRobinScheduler relaxed_scheduler;
     (void)relaxed.run(relaxed_scheduler);
     const bool relaxed_ok =
-        sim::check_uniform_deployment_without_termination(relaxed).ok;
+        sim::UniformDeploymentOracle(false).check_goal(relaxed).ok;
 
     table.add_row({Table::num(base.n), Table::num(base.homes.size()),
                    Table::num(rounds), Table::num(q),

@@ -59,7 +59,7 @@ void print_report() {
         converged = converged && agent.estimated_n() == n;
       }
       const bool uniform =
-          sim::check_uniform_deployment_without_termination(*simulator).ok;
+          sim::UniformDeploymentOracle(false).check_goal(*simulator).ok;
       table.add_row({Table::num(m), Table::num(n), Table::num(2 * m + 1),
                      Table::num(trapped), Table::num(exact),
                      Table::num(corrections), converged ? "yes" : "NO",

@@ -1,13 +1,16 @@
 // bench_mc_throughput — the exhaustive model checker's own artifact.
 //
 // Reports, for a small verification grid, the walk throughput
-// (schedules/s and actions/s), the pruning economics (dedup hit-rate and
-// sleep-set cut fraction), and the serial vs frontier-sharded trade:
-// sharding buys parallel wall-clock but pays for it in cross-shard dedup
-// loss (each shard's visited map is private — that privacy is what makes
-// the verdict worker-count-invariant), so the break-even is worth measuring
-// rather than assuming. The google-benchmark timings land in the
-// BENCH_mc.json CI artifact like bench_campaign_engine's.
+// (schedules/s and actions/s), the pruning economics (dedup hit-rate,
+// sleep-set and DPOR cut counts), and the serial vs frontier-sharded
+// trade: private-visited sharding buys parallel wall-clock but pays for
+// it in cross-shard dedup loss, while the lock-free shared visited set
+// recovers the dedup at the cost of claim-order nondeterminism in WHO
+// expands a state (never in the counts — they are functions of the
+// claimed closure). The DPOR + symmetry layers are what push the
+// exhaustive grid to n=24 (2x the pre-DPOR maximum of n=12). The
+// google-benchmark timings land in the BENCH_mc.json CI artifact like
+// bench_campaign_engine's.
 //
 // Set UDRING_MC_SMOKE=1 for the tiny CI grid.
 
@@ -34,8 +37,12 @@ std::vector<BenchCell> bench_cells() {
   }
   return {{core::Algorithm::KnownKFull, 10, 3},
           {core::Algorithm::KnownKFull, 12, 4},
+          // 2x the pre-DPOR maximum n: exhaustive only because DPOR and
+          // the symmetry quotient cut the interleaving tree.
+          {core::Algorithm::KnownKFull, 24, 4},
           {core::Algorithm::KnownKLogMem, 8, 3},
-          {core::Algorithm::KnownKLogMem, 10, 4}};
+          {core::Algorithm::KnownKLogMem, 10, 4},
+          {core::Algorithm::KnownKLogMem, 20, 4}};
 }
 
 mc::CheckRequest cell_request(const BenchCell& cell) {
@@ -64,7 +71,7 @@ void print_report() {
 
   print_section(std::cout, "Serial walk (full cross-subtree dedup)");
   Table serial_table({"algorithm", "n", "k", "wall ms", "states/s", "actions/s",
-                      "dedup hit-rate", "sleep cut", "verdict"});
+                      "dedup hit-rate", "sleep cut", "dpor cut", "verdict"});
   std::vector<mc::ModelCheckReport> serial_reports;
   std::vector<double> serial_ms_by_cell;
   for (const BenchCell& cell : bench_cells()) {
@@ -80,7 +87,8 @@ void print_report() {
          rate(static_cast<double>(s.total_actions), ms),
          Table::num(seen > 0 ? static_cast<double>(s.states_deduped) / seen : 0,
                     3),
-         Table::num(static_cast<double>(s.sleep_pruned), 0), report.verdict});
+         Table::num(static_cast<double>(s.sleep_pruned), 0),
+         Table::num(static_cast<double>(s.dpor_pruned), 0), report.verdict});
     serial_reports.push_back(std::move(report));
   }
   std::cout << serial_table;
@@ -110,23 +118,61 @@ void print_report() {
   }
   std::cout << sharded_table;
 
-  std::cout << "\nSharding is worker-count-invariant by construction (per-shard\n"
-               "visited maps, index-order folding); its dedup hit-rate drops\n"
-               "because equal states in different shards are both expanded.\n"
-               "Use frontier=1 when the state DAG is dense, sharding when the\n"
-               "walk is replay-bound or pruning is off.\n";
+  print_section(std::cout,
+                "Shared-visited sharded walk (lock-free cross-shard dedup)");
+  Table shared_table({"algorithm", "n", "k", "wall ms", "shards", "states/s",
+                      "dedup hit-rate", "verdict match"});
+  i = 0;
+  for (const BenchCell& cell : bench_cells()) {
+    mc::McOptions options;
+    options.frontier_target = 8;
+    options.workers = 0;  // all cores
+    options.shared_visited = true;
+    mc::ModelCheckReport report;
+    const double ms = run_timed(cell_request(cell), options, report);
+    const mc::McStats& s = report.stats;
+    const double seen = static_cast<double>(s.states_expanded + s.states_deduped);
+    shared_table.add_row(
+        {std::string(core::to_string(cell.algorithm)), Table::num(cell.n),
+         Table::num(cell.k), Table::num(ms, 2), Table::num(s.shards),
+         rate(static_cast<double>(s.states_expanded), ms),
+         Table::num(seen > 0 ? static_cast<double>(s.states_deduped) / seen : 0,
+                    3),
+         report.verdict == serial_reports[i].verdict ? "yes" : "NO"});
+    ++i;
+  }
+  std::cout << shared_table;
+
+  std::cout << "\nSharding is worker-count-invariant by construction: private\n"
+               "visited maps pay cross-shard dedup loss (equal states in\n"
+               "different shards are both expanded); the lock-free shared set\n"
+               "recovers the dedup — claim-first insertion makes the counts a\n"
+               "function of the claimed closure, so they too are identical at\n"
+               "any worker count. Use frontier=1 when the state DAG is dense,\n"
+               "sharding when the walk is replay-bound or pruning is off.\n";
 }
 
 void register_timings() {
   struct TimingCase {
     const char* name;
-    bool dedup, sleep;
+    std::size_t n, k;
+    bool dedup, sleep, dpor, shared;
     std::size_t frontier, workers;
   };
+  // The three n=8 names predate DPOR and must keep existing (bench_compare
+  // matches rows by name); their timings shift because the default walk now
+  // carries backtrack sets. no-pruning turns DPOR off along with the rest.
   static constexpr TimingCase kCases[] = {
-      {"mc/known-k-full/n=8/k=3/serial", true, true, 1, 1},
-      {"mc/known-k-full/n=8/k=3/sharded-w8", true, true, 8, 8},
-      {"mc/known-k-full/n=8/k=3/no-pruning", false, false, 1, 1},
+      {"mc/known-k-full/n=8/k=3/serial", 8, 3, true, true, true, false, 1, 1},
+      {"mc/known-k-full/n=8/k=3/sharded-w8", 8, 3, true, true, true, false, 8,
+       8},
+      {"mc/known-k-full/n=8/k=3/no-pruning", 8, 3, false, false, false, false,
+       1, 1},
+      {"mc/known-k-full/n=8/k=3/no-dpor", 8, 3, true, true, false, false, 1, 1},
+      {"mc/known-k-full/n=8/k=3/shared-visited-w8", 8, 3, true, true, true,
+       true, 8, 8},
+      // Exhaustive at 2x the pre-DPOR maximum n — the row this PR exists for.
+      {"mc/known-k-full/n=24/k=4/serial", 24, 4, true, true, true, false, 1, 1},
   };
   for (const TimingCase& c : kCases) {
     benchmark::RegisterBenchmark(
@@ -134,11 +180,13 @@ void register_timings() {
         [c](benchmark::State& state) {
           mc::CheckRequest request;
           request.algorithm = core::Algorithm::KnownKFull;
-          request.node_count = 8;
-          request.homes = gen::uniform_homes(8, 3);
+          request.node_count = c.n;
+          request.homes = gen::uniform_homes(c.n, c.k);
           mc::McOptions options;
           options.dedup_states = c.dedup;
           options.sleep_sets = c.sleep;
+          options.dpor = c.dpor;
+          options.shared_visited = c.shared;
           options.frontier_target = c.frontier;
           options.workers = c.workers;
           // The unpruned tree at n=8,k=3 is large; bound it so the timing

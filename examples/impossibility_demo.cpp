@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   sim::SynchronousScheduler small_scheduler;
   (void)small.run(small_scheduler);
   std::cout << viz::render(small) << "\n" << viz::gap_summary(small) << "\n";
-  const auto small_check = sim::check_uniform_deployment_with_termination(small);
+  const auto small_check = sim::UniformDeploymentOracle(true).check_goal(small);
   std::cout << "uniform with termination: " << (small_check.ok ? "YES" : "NO")
             << "\n\n";
 
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   std::cout << "All " << instance.homes.size() << " agents halted: "
             << (large.all_halted() ? "YES" : "NO")
             << " — each believes it detected termination.\n";
-  const auto large_check = sim::check_uniform_deployment_with_termination(large);
+  const auto large_check = sim::UniformDeploymentOracle(true).check_goal(large);
   std::cout << "uniform with termination: " << (large_check.ok ? "YES" : "NO")
             << "\n  reason: " << large_check.reason << "\n\n";
 

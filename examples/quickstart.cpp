@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
             << viz::render(*simulator) << "\n"
             << viz::gap_summary(*simulator) << "\n\n";
 
-  const auto check = sim::check_uniform_deployment_with_termination(*simulator);
+  const auto check = sim::UniformDeploymentOracle(true).check_goal(*simulator);
   std::cout << "atomic actions: " << result.actions
             << "\ntotal moves:    " << simulator->metrics().total_moves()
             << "\nideal time:     " << simulator->metrics().makespan()

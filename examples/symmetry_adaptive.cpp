@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     auto simulator = core::make_simulator(core::Algorithm::UnknownRelaxed, spec);
     auto scheduler = sim::make_scheduler(spec.scheduler, seed, k);
     (void)simulator->run(*scheduler);
-    const auto check = sim::check_uniform_deployment_without_termination(*simulator);
+    const auto check = sim::UniformDeploymentOracle(false).check_goal(*simulator);
     if (!check.ok) {
       std::cerr << "l=" << l << " failed: " << check.reason << "\n";
       return EXIT_FAILURE;

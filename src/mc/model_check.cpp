@@ -1,6 +1,8 @@
 #include "mc/model_check.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <limits>
 #include <memory>
 #include <sstream>
@@ -10,26 +12,41 @@
 
 #include "explore/fuzz.h"
 #include "explore/replay.h"
+#include "mc/symmetry.h"
 #include "sim/checker.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/visited_set.h"
 
 namespace udring::mc {
 
 namespace {
 
 constexpr std::size_t kUnlimited = std::numeric_limits<std::size_t>::max();
+/// Bitmask width shared by sleep sets, DPOR backtrack sets and summaries.
+constexpr std::size_t kMaskAgents = 64;
+
+using AgentMask = std::uint64_t;
 
 /// A choice-tree node handed from the BFS frontier phase to a DFS shard:
 /// the schedule prefix that reaches it plus the sleep set it inherited.
 struct ShardNode {
-  std::vector<std::uint32_t> prefix;
-  std::uint64_t sleep = 0;
+  std::vector<branch_index_t> prefix;
+  AgentMask sleep = 0;
 };
 
-/// Visited-state store: config digest -> sleep masks the state was expanded
-/// with. The subset rule (see model_check.h) needs all incomparable masks.
-using VisitedMap = std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>;
+/// Visited-state store for the (default) per-shard tree walk. Sleep masks
+/// feed the subset rule; the subtree summary (agents acted / nodes touched
+/// below the state, complete once the state's frame pops) is what lets DPOR
+/// stay sound across dedup cuts — see model_check.h. When symmetry is on,
+/// masks and sub_agents are stored in canonical rank space.
+struct VisitedEntry {
+  std::vector<AgentMask> masks;
+  AgentMask sub_agents = 0;
+  std::uint64_t sub_nodes = 0;
+  bool summary_recorded = false;
+};
+using VisitedMap = std::unordered_map<std::uint64_t, VisitedEntry>;
 
 [[nodiscard]] sim::Instance build_instance(const CheckRequest& request) {
   core::RunSpec spec;
@@ -45,69 +62,53 @@ using VisitedMap = std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>
 }
 
 /// One stateless DFS (or BFS-expansion) engine over one pooled
-/// ExecutionState. Not thread-safe; shards own independent Explorers.
+/// ExecutionState. Not thread-safe; shards own independent Explorers. In
+/// shared_visited mode the explorers additionally share the claim set, the
+/// global action counter and the stop flag — all the cross-thread state
+/// there is.
 class Explorer {
  public:
   Explorer(const sim::Instance& instance, const sim::GoalOracle& oracle,
            const McOptions& options, sim::ExecutionState& state,
-           std::size_t budget, VisitedMap visited_seed)
+           std::size_t budget, VisitedMap visited_seed,
+           LockFreeVisitedSet* shared_visited = nullptr,
+           std::atomic<std::size_t>* shared_actions = nullptr,
+           std::atomic<bool>* stop_flag = nullptr)
       : instance_(instance),
         oracle_(oracle),
         options_(options),
         cur_(state),
         budget_(budget),
-        visited_(std::move(visited_seed)) {}
+        visited_(std::move(visited_seed)),
+        shared_(shared_visited),
+        shared_actions_(shared_actions),
+        stop_flag_(stop_flag) {}
 
   McStats stats;
   bool budget_stop = false;
   /// First violation in this explorer's deterministic walk order.
-  std::optional<std::pair<std::vector<std::uint32_t>, std::string>> violation;
+  std::optional<std::pair<std::vector<branch_index_t>, std::string>> violation;
 
   [[nodiscard]] const VisitedMap& visited() const noexcept { return visited_; }
 
   /// Walks the whole subtree rooted at `prefix` (with inherited sleep set)
   /// by iterative DFS. The prefix node must be an open interior node (the
   /// tree root, or a node the BFS phase classified as open).
-  void dfs(const std::vector<std::uint32_t>& prefix, std::uint64_t root_sleep) {
-    struct Frame {
-      std::vector<sim::AgentId> agents;  ///< sorted enabled set at this node
-      std::uint32_t next_branch = 0;
-      std::uint64_t sleep = 0;
-      sim::AgentId entered_agent = 0;  ///< edge into this node (parent's pick)
-    };
-    const auto make_frame = [this](std::uint64_t sleep, sim::AgentId entered) {
-      sort_enabled();
-      ++stats.states_expanded;
-      return Frame{sorted_, 0, sleep, entered};
-    };
-
+  void dfs(const std::vector<branch_index_t>& prefix, AgentMask root_sleep) {
     path_ = prefix;
     reposition();
     std::vector<Frame> stack;
-    stack.push_back(make_frame(root_sleep, 0));
+    stack.push_back(make_frame(root_sleep, 0, 0, 0, root_dedup_key()));
+    if (options_.dpor) dpor_push_update(stack);
 
-    while (!stack.empty() && !violation && !budget_stop) {
+    while (!stack.empty() && !violation && !budget_stop && !should_stop()) {
       Frame& f = stack.back();
-      if (f.next_branch >= f.agents.size()) {
-        // Node fully explored: return to the parent and put the edge agent
-        // to sleep for the parent's remaining branches.
-        const sim::AgentId entered = f.entered_agent;
-        stack.pop_back();
-        if (!stack.empty()) {
-          path_.pop_back();
-          at_tip_ = false;
-          if (options_.sleep_sets) stack.back().sleep |= bit(entered);
-        }
+      const int b = pick_branch(f);
+      if (b < 0) {
+        pop_frame(stack);
         continue;
       }
-      const std::uint32_t b = f.next_branch++;
-      // The frame caches the node's sorted enabled set, so sleep-pruning a
-      // branch costs nothing — in particular no prefix replay.
-      const sim::AgentId agent = f.agents[b];
-      if (options_.sleep_sets && (f.sleep & bit(agent)) != 0) {
-        ++stats.sleep_pruned;
-        continue;
-      }
+      const sim::AgentId agent = f.agents[static_cast<std::size_t>(b)];
       if (!at_tip_) {
         reposition();
         sort_enabled();
@@ -116,37 +117,60 @@ class Explorer {
               "mc: enabled set changed on backtrack replay (determinism bug)");
         }
       }
-      const std::uint64_t child_sleep = inherit_sleep(f.agents, f.sleep, agent);
+      const AgentMask child_sleep = inherit_sleep(f.agents, f.sleep, agent);
       const std::size_t prev_tokens = cur_.total_tokens();
-      path_.push_back(b);
+      // Footprint of the edge about to be taken, captured pre-step: the
+      // action can only touch the agent's node and its successor.
+      const sim::NodeId n1 = cur_.agent_node(agent);
+      const sim::NodeId n2 = cur_.topology().next(n1);
+      path_.push_back(static_cast<branch_index_t>(b));
       step(agent);
-      if (classify(child_sleep, prev_tokens)) {
-        stack.push_back(make_frame(child_sleep, agent));
+      DedupHit hit;
+      const NodeClass cls = classify(child_sleep, prev_tokens, &hit);
+      if (cls == NodeClass::Open) {
+        stack.push_back(make_frame(child_sleep, agent, n1, n2, hit.key));
+        if (options_.dpor) dpor_push_update(stack);
       } else {
         path_.pop_back();
         at_tip_ = false;
-        if (options_.sleep_sets) f.sleep |= bit(agent);
+        Frame& parent = stack.back();  // f may dangle after push; re-take
+        if (options_.sleep_sets) parent.sleep |= bit(agent);
+        if (options_.dpor) {
+          // The edge (and, on a dedup hit, the whole skipped subtree) is
+          // behaviour under this frame: fold it into the running summary
+          // and re-arm any ancestor whose edge races with it.
+          parent.sub_agents |= bit(agent) | hit.sub_agents;
+          parent.sub_nodes |= node_bit(n1) | node_bit(n2) | hit.sub_nodes;
+          if (cls == NodeClass::DedupLeaf) {
+            dpor_dedup_update(stack, hit.sub_agents | bit(agent),
+                              hit.sub_nodes | node_bit(n1) | node_bit(n2),
+                              hit.summary_valid);
+          }
+        }
       }
     }
   }
 
   /// Expands every node of `level` one step, appending surviving open
-  /// children to `next` (the BFS frontier phase). Stops early on violation
-  /// or budget exhaustion.
+  /// children to `next` (the BFS frontier phase; no DPOR — the phase fully
+  /// expands all non-sleeping branches, which is what lets shard-local
+  /// backtrack sets stay shard-local). Stops early on violation or budget
+  /// exhaustion.
   void expand_level(const std::vector<ShardNode>& level,
                     std::vector<ShardNode>& next) {
     for (const ShardNode& node : level) {
-      if (violation || budget_stop) return;
+      if (violation || budget_stop || should_stop()) return;
       path_ = node.prefix;
       reposition();
       sort_enabled();
       // Stepping invalidates the tip, and each sibling repositions; copy the
       // branch agents up front.
       const std::vector<sim::AgentId> agents = sorted_;
-      std::uint64_t sleep = node.sleep;
+      AgentMask sleep = node.sleep;
       ++stats.states_expanded;
-      for (std::uint32_t b = 0; b < agents.size(); ++b) {
-        if (violation || budget_stop) return;
+      const auto branch_count = static_cast<branch_index_t>(agents.size());
+      for (branch_index_t b = 0; b < branch_count; ++b) {
+        if (violation || budget_stop || should_stop()) return;
         const sim::AgentId agent = agents[b];
         if (options_.sleep_sets && (sleep & bit(agent)) != 0) {
           ++stats.sleep_pruned;
@@ -156,11 +180,12 @@ class Explorer {
           path_ = node.prefix;
           reposition();
         }
-        const std::uint64_t child_sleep = inherit_sleep(agents, sleep, agent);
+        const AgentMask child_sleep = inherit_sleep(agents, sleep, agent);
         const std::size_t prev_tokens = cur_.total_tokens();
         path_.push_back(b);
         step(agent);
-        if (classify(child_sleep, prev_tokens)) {
+        DedupHit hit;
+        if (classify(child_sleep, prev_tokens, &hit) == NodeClass::Open) {
           next.push_back({path_, child_sleep});
         }
         path_.pop_back();
@@ -171,8 +196,191 @@ class Explorer {
   }
 
  private:
-  [[nodiscard]] static std::uint64_t bit(sim::AgentId agent) noexcept {
-    return std::uint64_t{1} << agent;
+  struct Frame {
+    std::vector<sim::AgentId> agents;  ///< sorted enabled set at this node
+    AgentMask enabled_mask = 0;
+    AgentMask sleep = 0;
+    AgentMask done = 0;       ///< branches explored (or sleep-handled)
+    AgentMask backtrack = 0;  ///< DPOR: branches scheduled for exploration
+    AgentMask sub_agents = 0;    ///< DPOR summary: agents acted below
+    std::uint64_t sub_nodes = 0; ///< DPOR summary: nodes touched below
+    std::uint64_t dedup_key = 0; ///< visited key (summary write-back)
+    /// id -> canonical rank at this node (symmetry + DPOR write-back only).
+    std::vector<std::uint32_t> rank;
+    branch_index_t next_branch = 0;  ///< sequential fallback (> 64 agents)
+    sim::AgentId entered_agent = 0;  ///< edge into this node (parent's pick)
+    sim::NodeId entered_n1 = 0;      ///< that edge's footprint
+    sim::NodeId entered_n2 = 0;
+  };
+
+  enum class NodeClass { Open, Leaf, DedupLeaf };
+
+  /// What classify() learned at a node, for the DFS to thread into frames:
+  /// the visited key of an open node, or the stored subtree summary
+  /// (translated back to concrete agent ids) of a dedup hit.
+  struct DedupHit {
+    std::uint64_t key = 0;
+    AgentMask sub_agents = 0;
+    std::uint64_t sub_nodes = 0;
+    bool summary_valid = false;
+  };
+
+  [[nodiscard]] static AgentMask bit(sim::AgentId agent) noexcept {
+    return AgentMask{1} << agent;
+  }
+  [[nodiscard]] static std::uint64_t node_bit(sim::NodeId node) noexcept {
+    return std::uint64_t{1} << node;
+  }
+  [[nodiscard]] bool masks_usable() const noexcept {
+    return cur_.agent_count() <= kMaskAgents;
+  }
+  [[nodiscard]] bool should_stop() const noexcept {
+    return stop_flag_ != nullptr && stop_flag_->load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Frame make_frame(AgentMask sleep, sim::AgentId entered,
+                                 sim::NodeId n1, sim::NodeId n2,
+                                 std::uint64_t dedup_key) {
+    sort_enabled();
+    ++stats.states_expanded;
+    Frame f;
+    f.agents = sorted_;
+    f.sleep = sleep;
+    f.entered_agent = entered;
+    f.entered_n1 = n1;
+    f.entered_n2 = n2;
+    f.dedup_key = dedup_key;
+    if (masks_usable()) {
+      for (const sim::AgentId a : f.agents) f.enabled_mask |= bit(a);
+    }
+    if (options_.dpor) {
+      // FG initialization: schedule one branch; every other branch runs
+      // only if some deeper race re-arms it (dpor_push_update /
+      // dpor_dedup_update).
+      const AgentMask awake = f.enabled_mask & ~f.sleep;
+      f.backtrack = awake == 0 ? 0 : awake & (~awake + 1);  // lowest bit
+      if (options_.symmetry && options_.dedup_states) {
+        f.rank = canon_.rank_table();  // for the pop-time summary write-back
+      }
+    } else {
+      f.backtrack = ~AgentMask{0};
+    }
+    return f;
+  }
+
+  /// Next branch of `f` to explore, or -1 when the frame is exhausted.
+  /// Bitmask-driven (lowest eligible agent id = sorted branch order, so the
+  /// walk order matches the historical sequential scan when DPOR is off);
+  /// falls back to a plain scan when the instance exceeds the mask width,
+  /// where sleep sets and DPOR are auto-disabled anyway.
+  [[nodiscard]] int pick_branch(Frame& f) {
+    if (!masks_usable()) {
+      if (f.next_branch >= f.agents.size()) return -1;
+      return static_cast<int>(f.next_branch++);
+    }
+    const AgentMask avail =
+        f.backtrack & f.enabled_mask & ~f.done & ~f.sleep;
+    if (avail == 0) return -1;
+    const auto agent =
+        static_cast<sim::AgentId>(std::countr_zero(avail));
+    f.done |= bit(agent);
+    const auto it = std::lower_bound(f.agents.begin(), f.agents.end(), agent);
+    return static_cast<int>(it - f.agents.begin());
+  }
+
+  /// Pops the exhausted top frame: accounts the branches DPOR / sleep sets
+  /// left unexplored, writes the subtree summary back to the visited entry,
+  /// and propagates both the sleep-set edge rule and the summary to the
+  /// parent.
+  void pop_frame(std::vector<Frame>& stack) {
+    Frame& f = stack.back();
+    if (masks_usable()) {
+      const AgentMask unexplored = f.enabled_mask & ~f.done;
+      stats.sleep_pruned += std::popcount(unexplored & f.sleep);
+      if (options_.dpor) {
+        stats.dpor_pruned += std::popcount(unexplored & ~f.sleep);
+      }
+    }
+    if (options_.dpor && options_.dedup_states && shared_ == nullptr) {
+      const auto it = visited_.find(f.dedup_key);
+      if (it != visited_.end()) {
+        it->second.sub_agents |= options_.symmetry
+                                     ? map_mask(f.sub_agents, f.rank)
+                                     : f.sub_agents;
+        it->second.sub_nodes |= f.sub_nodes;
+        it->second.summary_recorded = true;
+      }
+    }
+    const sim::AgentId entered = f.entered_agent;
+    const AgentMask sub_agents = f.sub_agents | bit(entered);
+    const std::uint64_t sub_nodes =
+        f.sub_nodes | node_bit(f.entered_n1) | node_bit(f.entered_n2);
+    stack.pop_back();
+    if (!stack.empty()) {
+      path_.pop_back();
+      at_tip_ = false;
+      Frame& parent = stack.back();
+      if (options_.sleep_sets) parent.sleep |= bit(entered);
+      if (options_.dpor) {
+        parent.sub_agents |= sub_agents;
+        parent.sub_nodes |= sub_nodes;
+      }
+    }
+  }
+
+  /// The FG race scan for the freshly pushed top frame: for every branch p
+  /// enabled there, find the DEEPEST stack edge dependent with p's next
+  /// action (same agent, or intersecting {node, next(node)} footprints) and
+  /// re-arm p at that edge's pre-state — the heart of dynamic POR. cur_
+  /// must be positioned at the new frame's state.
+  void dpor_push_update(std::vector<Frame>& stack) {
+    if (stack.size() < 2) return;
+    const Frame& top = stack.back();
+    for (const sim::AgentId p : top.agents) {
+      const sim::NodeId pn1 = cur_.agent_node(p);
+      const sim::NodeId pn2 = cur_.topology().next(pn1);
+      for (std::size_t i = stack.size() - 1; i >= 1; --i) {
+        const Frame& child = stack[i];  // edge stack[i-1] -> stack[i]
+        const bool dependent = child.entered_agent == p ||
+                               child.entered_n1 == pn1 ||
+                               child.entered_n1 == pn2 ||
+                               child.entered_n2 == pn1 ||
+                               child.entered_n2 == pn2;
+        if (!dependent) continue;
+        Frame& pre = stack[i - 1];
+        if ((pre.enabled_mask & bit(p)) != 0) {
+          pre.backtrack |= bit(p);
+        } else {
+          pre.backtrack = pre.enabled_mask;
+        }
+        break;
+      }
+    }
+  }
+
+  /// Stateful-DPOR repair on a dedup cut: the skipped subtree's transitions
+  /// (aggregated as agent / node masks) may race with edges on the current
+  /// stack, and those races can no longer seed backtrack points from below
+  /// — so fully re-arm every pre-state whose edge intersects the summary.
+  /// A hit without a recorded summary (should not occur; defensive) re-arms
+  /// everything.
+  void dpor_dedup_update(std::vector<Frame>& stack, AgentMask sub_agents,
+                         std::uint64_t sub_nodes, bool summary_valid) {
+    for (std::size_t i = stack.size(); i >= 1; --i) {
+      const Frame& child = stack[i - 1];
+      const bool races =
+          !summary_valid ||
+          (i >= 2 && (((sub_agents >> child.entered_agent) & 1) != 0 ||
+                      ((node_bit(child.entered_n1) | node_bit(child.entered_n2)) &
+                       sub_nodes) != 0));
+      if (races && i >= 2) {
+        Frame& pre = stack[i - 2];
+        pre.backtrack = pre.enabled_mask;
+      }
+      if (!summary_valid && i == 1) {
+        stack[0].backtrack = stack[0].enabled_mask;
+      }
+    }
   }
 
   /// Re-executes the current prefix from C_0 through a Strict-mode
@@ -195,6 +403,9 @@ class Explorer {
       }
       ++stats.replays;
       stats.total_actions += path_.size();
+      if (shared_actions_ != nullptr) {
+        shared_actions_->fetch_add(path_.size(), std::memory_order_relaxed);
+      }
     }
     at_tip_ = true;
   }
@@ -209,6 +420,9 @@ class Explorer {
       throw std::logic_error("mc: picked agent not enabled");
     }
     ++stats.total_actions;
+    if (shared_actions_ != nullptr) {
+      shared_actions_->fetch_add(1, std::memory_order_relaxed);
+    }
     stats.max_depth = std::max(stats.max_depth, path_.size());
   }
 
@@ -216,11 +430,11 @@ class Explorer {
   /// those whose pending action is independent of it (conservative
   /// footprint disjointness on {node, next(node)}). `enabled_agents` is the
   /// node's enabled set (sleep ⊆ enabled always holds — see model_check.h).
-  [[nodiscard]] std::uint64_t inherit_sleep(
-      const std::vector<sim::AgentId>& enabled_agents, std::uint64_t sleep,
+  [[nodiscard]] AgentMask inherit_sleep(
+      const std::vector<sim::AgentId>& enabled_agents, AgentMask sleep,
       sim::AgentId agent) const {
     if (!options_.sleep_sets || sleep == 0) return 0;
-    std::uint64_t child = 0;
+    AgentMask child = 0;
     for (const sim::AgentId z : enabled_agents) {
       if ((sleep & bit(z)) != 0 && independent(z, agent)) child |= bit(z);
     }
@@ -236,50 +450,118 @@ class Explorer {
     return an != bn && an != bn2 && an2 != bn && an2 != bn2;
   }
 
-  /// Classifies the configuration just stepped into. Returns true when the
-  /// node is open (interior: caller pushes a frame / emits a BFS child);
-  /// false for every leaf — quiescent schedule, violation, action limit,
-  /// dedup hit, or budget stop. Mirrors the fuzzer's drive_checked verdicts
+  /// Dedup key of the configuration cur_ currently sits at. With symmetry
+  /// on this also refreshes the canonicalizer's rank tables for mask
+  /// translation.
+  [[nodiscard]] std::uint64_t dedup_key_of_current() {
+    return options_.symmetry ? canon_.canonical_digest(cur_)
+                             : cur_.config_digest();
+  }
+
+  /// Key for a shard/tree root frame — only needed for the DPOR summary
+  /// write-back, so skip the digest work otherwise.
+  [[nodiscard]] std::uint64_t root_dedup_key() {
+    if (options_.dpor && options_.dedup_states && shared_ == nullptr) {
+      return dedup_key_of_current();
+    }
+    return 0;
+  }
+
+  [[nodiscard]] static AgentMask map_mask(
+      AgentMask mask, const std::vector<std::uint32_t>& rank) {
+    if (rank.empty()) return mask;  // identity (symmetry off)
+    AgentMask out = 0;
+    for (std::size_t id = 0; id < rank.size() && id < kMaskAgents; ++id) {
+      if ((mask >> id) & 1) out |= AgentMask{1} << rank[id];
+    }
+    return out;
+  }
+
+  /// Classifies the configuration just stepped into. Open means interior:
+  /// the caller pushes a frame / emits a BFS child. Everything else is a
+  /// leaf — quiescent schedule, violation, action limit, budget stop, or a
+  /// dedup hit (reported separately so DPOR can replay the skipped
+  /// subtree's summary). Mirrors the fuzzer's drive_checked verdicts
   /// exactly, so a counterexample replays to the same failure.
-  [[nodiscard]] bool classify(std::uint64_t sleep, std::size_t prev_tokens) {
+  [[nodiscard]] NodeClass classify(AgentMask sleep, std::size_t prev_tokens,
+                                   DedupHit* hit) {
     const sim::CheckResult invariants = oracle_.check_action(cur_, prev_tokens);
     if (!invariants) {
       violation = {path_, "invariant: " + invariants.reason};
-      return false;
+      signal_stop();
+      return NodeClass::Leaf;
     }
     if (cur_.quiescent()) {
       ++stats.schedules;
       const sim::CheckResult goal = oracle_.check_goal(cur_);
-      if (!goal) violation = {path_, "goal: " + goal.reason};
-      return false;
+      if (!goal) {
+        violation = {path_, "goal: " + goal.reason};
+        signal_stop();
+      }
+      return NodeClass::Leaf;
     }
     if (cur_.actions_executed() >= cur_.max_actions()) {
       ++stats.schedules;
       violation = {path_, "action limit reached (livelock or broken algorithm)"};
-      return false;
+      signal_stop();
+      return NodeClass::Leaf;
     }
-    if (budget_ != kUnlimited && stats.total_actions >= budget_) {
+    if (budget_ != kUnlimited && actions_spent() >= budget_) {
       budget_stop = true;
-      return false;
+      return NodeClass::Leaf;
     }
-    if (options_.dedup_states) {
-      std::vector<std::uint64_t>& masks = visited_[cur_.config_digest()];
-      for (const std::uint64_t mask : masks) {
-        if ((mask & sleep) == mask) {  // stored ⊆ current: already covered
+    if (!options_.dedup_states) return NodeClass::Open;
+
+    const std::uint64_t key = dedup_key_of_current();
+    hit->key = key;
+    if (shared_ != nullptr) {
+      switch (shared_->insert(key)) {
+        case LockFreeVisitedSet::Insert::Claimed:
+          return NodeClass::Open;
+        case LockFreeVisitedSet::Insert::Present:
           ++stats.states_deduped;
-          return false;
-        }
+          return NodeClass::DedupLeaf;
+        case LockFreeVisitedSet::Insert::Full:
+          budget_stop = true;  // undersized table: degrade, never lie
+          return NodeClass::Leaf;
       }
-      // The new mask dominates any stored superset (it will be explored
-      // with more branches awake); drop the dominated entries.
-      masks.erase(std::remove_if(masks.begin(), masks.end(),
-                                 [sleep](std::uint64_t mask) {
-                                   return (sleep & mask) == sleep;
-                                 }),
-                  masks.end());
-      masks.push_back(sleep);
     }
-    return true;
+    const AgentMask stored_sleep =
+        options_.symmetry ? canon_.to_canonical(sleep) : sleep;
+    VisitedEntry& entry = visited_[key];
+    for (const AgentMask mask : entry.masks) {
+      if ((mask & stored_sleep) == mask) {  // stored ⊆ current: covered
+        ++stats.states_deduped;
+        hit->sub_agents = options_.symmetry
+                              ? canon_.from_canonical(entry.sub_agents)
+                              : entry.sub_agents;
+        hit->sub_nodes = entry.sub_nodes;
+        hit->summary_valid = entry.summary_recorded;
+        return NodeClass::DedupLeaf;
+      }
+    }
+    // The new mask dominates any stored superset (it will be explored
+    // with more branches awake); drop the dominated entries.
+    entry.masks.erase(
+        std::remove_if(entry.masks.begin(), entry.masks.end(),
+                       [stored_sleep](AgentMask mask) {
+                         return (stored_sleep & mask) == stored_sleep;
+                       }),
+        entry.masks.end());
+    entry.masks.push_back(stored_sleep);
+    return NodeClass::Open;
+  }
+
+  [[nodiscard]] std::size_t actions_spent() const noexcept {
+    return shared_actions_ != nullptr
+               ? shared_actions_->load(std::memory_order_relaxed)
+               : stats.total_actions;
+  }
+
+  void signal_stop() noexcept {
+    if (stop_flag_ != nullptr) {
+      stop_flag_->store(true, std::memory_order_relaxed);
+    }
   }
 
   const sim::Instance& instance_;
@@ -288,7 +570,11 @@ class Explorer {
   sim::ExecutionState& cur_;
   std::size_t budget_ = kUnlimited;
   VisitedMap visited_;
-  std::vector<std::uint32_t> path_;
+  LockFreeVisitedSet* shared_ = nullptr;
+  std::atomic<std::size_t>* shared_actions_ = nullptr;
+  std::atomic<bool>* stop_flag_ = nullptr;
+  SymmetryCanonicalizer canon_;
+  std::vector<branch_index_t> path_;
   std::vector<sim::AgentId> sorted_;  // scratch, reused across nodes
   bool at_tip_ = false;
 };
@@ -298,7 +584,7 @@ class Explorer {
 /// drive-checked semantics), so the artifact is self-verifying like every
 /// recorded/shrunk trace.
 [[nodiscard]] explore::ScheduleTrace materialize_counterexample(
-    const CheckRequest& request, const std::vector<std::uint32_t>& choices,
+    const CheckRequest& request, const std::vector<branch_index_t>& choices,
     const std::string& reason) {
   explore::ScheduleTrace trace;
   trace.algorithm = request.algorithm;
@@ -325,6 +611,7 @@ void fold_stats(std::uint64_t& state, const McStats& stats) {
   fold64(state, stats.states_expanded);
   fold64(state, stats.states_deduped);
   fold64(state, stats.sleep_pruned);
+  fold64(state, stats.dpor_pruned);
   fold64(state, stats.replays);
   fold64(state, stats.total_actions);
   fold64(state, stats.max_depth);
@@ -336,6 +623,7 @@ void accumulate(McStats& into, const McStats& from) {
   into.states_expanded += from.states_expanded;
   into.states_deduped += from.states_deduped;
   into.sleep_pruned += from.sleep_pruned;
+  into.dpor_pruned += from.dpor_pruned;
   into.replays += from.replays;
   into.total_actions += from.total_actions;
   into.max_depth = std::max(into.max_depth, from.max_depth);
@@ -350,7 +638,7 @@ std::uint64_t ModelCheckReport::digest() const {
   fold_stats(state, stats);
   fold64(state, counterexample ? counterexample->choices.size() + 1 : 0);
   if (counterexample) {
-    for (const std::uint32_t choice : counterexample->choices) {
+    for (const branch_index_t choice : counterexample->choices) {
       fold64(state, choice);
     }
   }
@@ -361,8 +649,30 @@ ModelCheckReport check(const CheckRequest& request, const McOptions& options) {
   if (request.homes.empty()) {
     throw std::invalid_argument("mc::check: no agents (homes empty)");
   }
+  // Max-enabled-set guard: every enabled set is a subset of the agents, so
+  // bounding the agent count makes branch_index_t truncation structurally
+  // impossible everywhere downstream.
+  if (request.homes.size() >
+      static_cast<std::size_t>(std::numeric_limits<branch_index_t>::max())) {
+    throw std::invalid_argument(
+        "mc::check: agent count exceeds branch_index_t range");
+  }
   McOptions opts = options;
-  if (request.homes.size() > 64) opts.sleep_sets = false;  // mask width
+  if (request.homes.size() > kMaskAgents) {  // bitmask width
+    opts.sleep_sets = false;
+    opts.dpor = false;
+  }
+  const std::size_t node_count =
+      request.topology.empty() ? request.node_count : request.topology.size();
+  if (node_count > 64) opts.dpor = false;  // summary masks are node bitmasks
+  if (opts.shared_visited && opts.dedup_states) {
+    // The shared claim set turns the walk into a closure over the state
+    // DAG; path-dependent prunings are unsound against racing claims.
+    opts.sleep_sets = false;
+    opts.dpor = false;
+  } else {
+    opts.shared_visited = false;  // meaningless without dedup
+  }
   if (opts.frontier_target == 0) opts.frontier_target = 1;
 
   const sim::Instance instance = build_instance(request);
@@ -374,11 +684,26 @@ ModelCheckReport check(const CheckRequest& request, const McOptions& options) {
   const std::size_t budget =
       opts.budget_actions == 0 ? kUnlimited : opts.budget_actions;
 
+  std::unique_ptr<LockFreeVisitedSet> shared;
+  std::atomic<std::size_t> shared_actions{0};
+  std::atomic<bool> shared_stop{false};
+  if (opts.shared_visited) {
+    const std::size_t capacity = opts.shared_visited_capacity != 0
+                                     ? opts.shared_visited_capacity
+                                     : (std::size_t{1} << 22);
+    shared = std::make_unique<LockFreeVisitedSet>(capacity);
+  }
+  LockFreeVisitedSet* shared_ptr = shared.get();
+  std::atomic<std::size_t>* actions_ptr =
+      opts.shared_visited ? &shared_actions : nullptr;
+  std::atomic<bool>* stop_ptr = opts.shared_visited ? &shared_stop : nullptr;
+
   ModelCheckReport report;
 
   // ---- frontier phase (serial, deterministic) -------------------------------
   core::RunContext root_context;
-  Explorer root(instance, *oracle, opts, root_context.state(), budget, {});
+  Explorer root(instance, *oracle, opts, root_context.state(), budget, {},
+                shared_ptr, actions_ptr, stop_ptr);
   std::vector<ShardNode> level = {{{}, 0}};
   bool resolved_in_bfs = false;
   if (opts.frontier_target > 1) {
@@ -395,7 +720,7 @@ ModelCheckReport check(const CheckRequest& request, const McOptions& options) {
     }
   }
   report.stats = root.stats;
-  std::optional<std::pair<std::vector<std::uint32_t>, std::string>> violation =
+  std::optional<std::pair<std::vector<branch_index_t>, std::string>> violation =
       root.violation;
   bool budget_stop = root.budget_stop;
 
@@ -405,22 +730,29 @@ ModelCheckReport check(const CheckRequest& request, const McOptions& options) {
     report.stats.shards = shards.size();
     // Deterministic budget split: what the frontier phase left, divided
     // across shards (remainder to the first ones). Never depends on workers.
+    // In shared mode the budget is global instead — shards meter the one
+    // atomic action counter, and the exceeded/not verdict is a function of
+    // the closure's total work, not of the racing split.
     std::vector<std::size_t> shard_budget(shards.size(), kUnlimited);
     if (budget != kUnlimited) {
-      const std::size_t remaining =
-          budget > report.stats.total_actions
-              ? budget - report.stats.total_actions
-              : 0;
-      for (std::size_t i = 0; i < shards.size(); ++i) {
-        shard_budget[i] =
-            remaining / shards.size() + (i < remaining % shards.size() ? 1 : 0);
+      if (opts.shared_visited) {
+        std::fill(shard_budget.begin(), shard_budget.end(), budget);
+      } else {
+        const std::size_t remaining =
+            budget > report.stats.total_actions
+                ? budget - report.stats.total_actions
+                : 0;
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+          shard_budget[i] = remaining / shards.size() +
+                            (i < remaining % shards.size() ? 1 : 0);
+        }
       }
     }
 
     struct ShardOutcome {
       McStats stats;
       bool budget_stop = false;
-      std::optional<std::pair<std::vector<std::uint32_t>, std::string>>
+      std::optional<std::pair<std::vector<branch_index_t>, std::string>>
           violation;
     };
     std::vector<ShardOutcome> outcomes(shards.size());
@@ -434,11 +766,13 @@ ModelCheckReport check(const CheckRequest& request, const McOptions& options) {
     // the frontier already resolved are covered by some shard's subtree, so
     // re-encounters skip (soundness argument in the header). Per-shard maps
     // never cross worker boundaries — determinism like the campaign engine.
+    // In shared mode the maps are empty and the claim set carries it all.
     const VisitedMap& seed = root.visited();
     parallel_for_workers(
         shards.size(), workers, [&](std::size_t worker, std::size_t i) {
           Explorer shard(instance, *oracle, opts, contexts[worker]->state(),
-                         shard_budget[i], seed);
+                         shard_budget[i], seed, shared_ptr, actions_ptr,
+                         stop_ptr);
           shard.dfs(shards[i].prefix, shards[i].sleep);
           outcomes[i] = {shard.stats, shard.budget_stop,
                          std::move(shard.violation)};
@@ -452,6 +786,15 @@ ModelCheckReport check(const CheckRequest& request, const McOptions& options) {
 
   // ---- verdict --------------------------------------------------------------
   if (violation) {
+    if (opts.shared_visited) {
+      // Which shard reaches a violating state first is a race; the
+      // existence of one is not. Re-check without the shared set so the
+      // counterexample (and every count) comes from the deterministic tree
+      // walk — byte-identical at any worker count.
+      McOptions fallback = options;
+      fallback.shared_visited = false;
+      return check(request, fallback);
+    }
     report.ok = false;
     report.complete = false;
     report.verdict = "violation";
@@ -546,9 +889,10 @@ Table GridReport::summary_table() const {
       std::any_of(cells.begin(), cells.end(), [](const GridCell& cell) {
         return cell.problem.kind != core::Problem::Auto;
       });
-  std::vector<std::string> headers = {"algorithm", "family", "n", "k", "l",
-                                      "rep", "schedules", "states", "deduped",
-                                      "sleep-pruned", "actions", "verdict"};
+  std::vector<std::string> headers = {
+      "algorithm", "family",       "n",           "k",       "l",
+      "rep",       "schedules",    "states",      "deduped", "sleep-pruned",
+      "dpor-pruned", "actions",    "verdict"};
   if (show_problem) headers.insert(headers.begin() + 1, "problem");
   Table table(std::move(headers));
   for (const GridCell& cell : cells) {
@@ -560,7 +904,7 @@ Table GridReport::summary_table() const {
         Table::num(static_cast<std::size_t>(cell.repetition)),
         Table::num(s.schedules), Table::num(s.states_expanded),
         Table::num(s.states_deduped), Table::num(s.sleep_pruned),
-        Table::num(s.total_actions),
+        Table::num(s.dpor_pruned), Table::num(s.total_actions),
         cell.report.complete && cell.report.ok
             ? "verified over all schedules"
             : (cell.report.ok ? "budget" : "VIOLATION")};

@@ -22,8 +22,8 @@
 // out-of-range/exhausted pick as a determinism bug (std::logic_error), so
 // the checker cannot silently wander off the recorded branch.
 //
-// Two prunings, both verdict-preserving (pinned by test_mc.cpp's
-// pruned == unpruned grids):
+// Four prunings, all verdict-preserving (pinned by test_mc.cpp's
+// pruned == unpruned grids over every combination of the option flags):
 //  - Visited-state dedup on ExecutionState::config_digest(): a configuration
 //    reached again (necessarily at the same depth — the digest folds
 //    per-agent action counts) is not re-expanded. Combined with sleep sets
@@ -41,6 +41,27 @@
 //    footprints commute and cannot enable/disable each other, including
 //    under the non-FIFO fault (overtaking eligibility is a queue-membership
 //    property of those same nodes).
+//  - Dynamic partial-order reduction (Flanagan–Godefroid backtrack sets)
+//    over the same dependency relation: each DFS node starts with a single
+//    scheduled branch, and when a deeper transition is found to race with
+//    the edge out of an ancestor (same agent, or intersecting
+//    {node, next(node)} footprints), the racing agent is added to that
+//    ancestor's backtrack set — so only representatives of distinct
+//    Mazurkiewicz traces are explored, which preserves every reachable
+//    quiescent / action-limit configuration and hence the verdict. Because
+//    dedup can skip a subtree whose transitions would have seeded backtrack
+//    points, each visited entry carries a summary of the agents and nodes
+//    its explored subtree touched (the Yang et al. stateful-DPOR repair);
+//    a dedup hit replays that summary against the current stack and fully
+//    re-expands any ancestor whose edge races with it. Auto-disabled beyond
+//    64 agents or 64 nodes (the summaries are bitmasks).
+//  - Anonymous-agent symmetry: dedup keys are SymmetryCanonicalizer's
+//    canonical digests (src/mc/symmetry.h), quotienting configurations by
+//    agent-id permutations — sound because agents are anonymous and every
+//    oracle is id-symmetric. Sleep masks and DPOR summaries stored under a
+//    canonical key are translated to canonical rank space on the way in and
+//    back to concrete agent ids on the way out, so the subset rule never
+//    compares masks from two different labellings.
 //
 // Parallel mode is frontier-sharded: a serial BFS expands the tree until a
 // level has at least `frontier_target` open nodes, each frontier node (its
@@ -51,6 +72,27 @@
 // on the options — never on the worker count — and reports fold in shard
 // index order, so schedules/states/verdict and digest() are byte-identical
 // at any parallelism, the same contract as exp::run_campaign.
+//
+// `shared_visited` swaps the per-shard maps for one lock-free
+// LockFreeVisitedSet (util/visited_set.h) shared by the BFS phase and every
+// shard: the first arrival at a configuration claims it and expands it,
+// every later arrival from any shard skips it, which eliminates the
+// cross-shard re-exploration tax entirely and turns the walk into a
+// closure over the state DAG. Path-dependent prunings (sleep sets, DPOR)
+// are force-disabled in this mode — a state claimed under one path's sleep
+// set must still be expanded with every branch — and determinism survives
+// the racing claims because every reported number is a function of the
+// closure itself, not of who claimed what: each reachable state is
+// expanded exactly once by whichever shard wins it, each edge out of a
+// claimed state is explored exactly once, all paths to a state have equal
+// length (depth is a function of the state), and the report folds only
+// sums and maxima of those quantities. Verdicts and all counts therefore
+// stay byte-identical at any worker count for walks that complete; a
+// budget-stopped walk keeps a deterministic verdict but its partial
+// counters depend on where the global budget landed. A violating instance
+// is re-checked without the shared set (the deterministic tree walk) so
+// the counterexample trace is byte-identical too — the shared set
+// accelerates the common "verified" case.
 
 #pragma once
 
@@ -58,6 +100,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/runner.h"
@@ -67,6 +110,18 @@
 #include "util/table.h"
 
 namespace udring::mc {
+
+/// Index into a node's sorted enabled set — the element type of
+/// explore::ScheduleTrace::choices. One typedef shared by the DFS stack,
+/// the BFS expansion and the shard prefixes so branch arithmetic cannot
+/// silently narrow (they formerly mixed std::uint32_t and size_t);
+/// mc::check guards the agent count against its range up front, which
+/// bounds every enabled-set size.
+using branch_index_t = std::uint32_t;
+static_assert(
+    std::is_same_v<branch_index_t,
+                   decltype(explore::ScheduleTrace::choices)::value_type>,
+    "branch indices are trace choices; the types must not drift apart");
 
 /// One instance to verify over all schedules: the same coordinates a
 /// ScheduleTrace carries, minus the choices (the checker supplies all of
@@ -96,6 +151,27 @@ struct McOptions {
   /// the instance has more than 64 agents (the sleep mask is a bitmask —
   /// exhaustive checking far beyond that is hopeless anyway).
   bool sleep_sets = true;
+  /// (c) dynamic partial-order reduction (Flanagan–Godefroid backtrack
+  /// sets) over the same footprint dependency the sleep sets use, with
+  /// per-visited-state subtree summaries repairing the dedup interaction
+  /// (header comment). Auto-disabled beyond 64 agents or 64 nodes, and in
+  /// shared_visited mode (the reduction is path-dependent).
+  bool dpor = true;
+  /// (d) anonymous-agent symmetry reduction: dedup on the canonical digest
+  /// of src/mc/symmetry.h instead of the raw config digest, merging states
+  /// that differ only by an agent-id permutation. No effect when
+  /// dedup_states is off.
+  bool symmetry = true;
+  /// Replace the per-shard visited maps with one lock-free open-addressing
+  /// hash set (util/visited_set.h) shared across the BFS phase and every
+  /// frontier shard. Eliminates cross-shard re-exploration; forces
+  /// sleep_sets and dpor off; ignored when dedup_states is off. See the
+  /// header comment for the determinism contract.
+  bool shared_visited = false;
+  /// Slot count of the shared set (0 = auto, currently 2^22 ≈ 32 MiB).
+  /// Overflow degrades the verdict to "budget-exhausted", never corrupts
+  /// it.
+  std::size_t shared_visited_capacity = 0;
   /// Global budget on executed simulator actions, replays included
   /// (0 = unlimited). Split deterministically across shards, so exceeding
   /// it yields `complete = false` at any worker count identically.
@@ -115,6 +191,7 @@ struct McStats {
   std::size_t states_expanded = 0;  ///< choice-tree nodes expanded
   std::size_t states_deduped = 0;   ///< subtrees cut by the visited-state hash
   std::size_t sleep_pruned = 0;     ///< branches cut by sleep sets
+  std::size_t dpor_pruned = 0;      ///< branches cut by DPOR backtrack sets
   std::size_t replays = 0;          ///< strict prefix re-executions (backtracks)
   std::size_t total_actions = 0;    ///< simulator actions executed, replays included
   std::size_t max_depth = 0;        ///< deepest schedule prefix reached

@@ -1,0 +1,74 @@
+#include "mc/symmetry.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace udring::mc {
+
+std::uint64_t SymmetryCanonicalizer::canonical_digest(
+    const sim::ExecutionState& state) {
+  const std::size_t k = state.agent_count();
+  const std::size_t n = state.node_count();
+
+  keys_.resize(k);
+  queue_pos_.assign(k, std::numeric_limits<std::size_t>::max());
+  for (sim::AgentId id = 0; id < k; ++id) keys_[id] = state.agent_digest(id);
+  // Canonical queue scan: node order, FIFO order within a queue. An agent's
+  // position in this scan is relabelling-invariant, which is what makes it a
+  // legal tie-break between agents with equal attribute digests.
+  std::size_t pos = 0;
+  for (sim::NodeId node = 0; node < n; ++node) {
+    for (const sim::AgentId member : state.link_queue(node)) {
+      queue_pos_[member] = pos++;
+    }
+  }
+
+  order_.resize(k);
+  std::iota(order_.begin(), order_.end(), 0);
+  std::sort(order_.begin(), order_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              if (keys_[a] != keys_[b]) return keys_[a] < keys_[b];
+              return queue_pos_[a] < queue_pos_[b];
+            });
+  // Agents equal on both sort keys are not in any queue and have identical
+  // attribute digests; their relative rank order cannot affect the digest.
+  rank_of_.resize(k);
+  for (std::uint32_t rank = 0; rank < k; ++rank) rank_of_[order_[rank]] = rank;
+
+  std::uint64_t digest = 0xca4041ca1d16e570ULL;  // "canonical-digest" domain
+  fold64(digest, n);
+  fold64(digest, k);
+  for (const std::size_t count : state.token_counts()) fold64(digest, count);
+  for (std::uint32_t rank = 0; rank < k; ++rank) {
+    fold64(digest, keys_[order_[rank]]);
+  }
+  for (sim::NodeId node = 0; node < n; ++node) {
+    const auto& queue = state.link_queue(node);
+    fold64(digest, queue.size());
+    for (const sim::AgentId member : queue) fold64(digest, rank_of_[member]);
+  }
+  return digest;
+}
+
+std::uint64_t SymmetryCanonicalizer::to_canonical(
+    std::uint64_t mask) const noexcept {
+  std::uint64_t out = 0;
+  for (std::size_t id = 0; id < rank_of_.size() && id < 64; ++id) {
+    if ((mask >> id) & 1) out |= std::uint64_t{1} << rank_of_[id];
+  }
+  return out;
+}
+
+std::uint64_t SymmetryCanonicalizer::from_canonical(
+    std::uint64_t mask) const noexcept {
+  std::uint64_t out = 0;
+  for (std::size_t rank = 0; rank < order_.size() && rank < 64; ++rank) {
+    if ((mask >> rank) & 1) out |= std::uint64_t{1} << order_[rank];
+  }
+  return out;
+}
+
+}  // namespace udring::mc

@@ -1,0 +1,87 @@
+// udring/mc/symmetry.h
+//
+// Anonymous-agent symmetry reduction for the model checker.
+//
+// The agents in Shibata et al.'s model are anonymous: sim::AgentContext
+// exposes neither node nor agent identity to algorithm code, message
+// payloads carry no agent ids, and every goal oracle is a predicate on
+// positions and program states, not on which id holds them. Two
+// configurations that differ only by a permutation of agent ids — the same
+// multiset of per-agent states, the same token counts, the same link-queue
+// contents up to consistently renaming queue members — therefore generate
+// isomorphic behaviour trees and identical verdicts.
+//
+// SymmetryCanonicalizer quotients ExecutionState::config_digest() by exactly
+// those permutations. It computes a canonical rank for every agent by
+// sorting agents on their identity-free attribute digest
+// (ExecutionState::agent_digest: status, node, phase, action count,
+// state_hash, mailbox contents), breaking ties between equal-attribute
+// agents by their first occurrence in a canonical scan of the link queues
+// (node order, FIFO order within a queue). The canonical digest then folds
+// the sorted attribute digests plus every queue's contents spelled in ranks
+// instead of ids. The result is invariant under any agent relabelling, and
+// — up to ordinary 64-bit hash collisions, the same risk config_digest()
+// already accepts — two states share a canonical digest only when some
+// relabelling maps one onto the other:
+//
+//   * equal-rank agents have equal attribute digests, so mapping rank j of
+//     one state to rank j of the other preserves every per-agent field;
+//   * the queue folds use ranks, so that same mapping reproduces the queue
+//     contents; agents tied on both attributes and queue position are not
+//     in any queue and are fully interchangeable.
+//
+// Agents whose attributes differ (a permuted-homes pair, say, where the
+// agents have walked different distances and so hold different program
+// state or action counts) get distinct ranks and can never be merged —
+// tests/test_symmetry.cpp pins that non-merge alongside the quotient's
+// verdict-preservation.
+//
+// The rank tables for the LAST canonicalized state stay readable until the
+// next call, so mc's dedup can translate its agent-id bitmasks (sleep sets,
+// DPOR summaries) into rank space: masks stored under a canonical key must
+// be compared in a label-free basis, or a stored mask from one labelling
+// would be tested against a sleep set from another.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/execution_state.h"
+
+namespace udring::mc {
+
+class SymmetryCanonicalizer {
+ public:
+  /// Canonical digest of `state`'s configuration, invariant under agent-id
+  /// permutations. Scratch buffers are pooled across calls (one instance per
+  /// Explorer); results are byte-identical to a fresh canonicalizer's
+  /// (test_pooling.cpp pins this).
+  [[nodiscard]] std::uint64_t canonical_digest(const sim::ExecutionState& state);
+
+  /// Maps an agent-id bitmask into rank space for the state passed to the
+  /// most recent canonical_digest() call: bit `rank_of[id]` of the result is
+  /// set iff bit `id` of `mask` is. Ids >= 64 never occur in masks (mc
+  /// disables its bitmask prunings beyond 64 agents).
+  [[nodiscard]] std::uint64_t to_canonical(std::uint64_t mask) const noexcept;
+
+  /// Inverse of to_canonical for the same state: rank-space mask back to
+  /// agent ids.
+  [[nodiscard]] std::uint64_t from_canonical(std::uint64_t mask) const noexcept;
+
+  /// The id -> rank table of the most recent canonical_digest() call, by
+  /// value semantics of the caller's copy: mc's DFS snapshots it per frame
+  /// so pop-time summary write-back can translate masks after the scratch
+  /// tables have been overwritten by deeper states.
+  [[nodiscard]] const std::vector<std::uint32_t>& rank_table() const noexcept {
+    return rank_of_;
+  }
+
+ private:
+  std::vector<std::uint64_t> keys_;      // id -> agent_digest
+  std::vector<std::size_t> queue_pos_;   // id -> canonical queue-scan position
+  std::vector<std::uint32_t> order_;     // rank -> id
+  std::vector<std::uint32_t> rank_of_;   // id -> rank
+};
+
+}  // namespace udring::mc

@@ -238,6 +238,22 @@ std::uint64_t ExecutionState::config_digest() const {
   return state;
 }
 
+std::uint64_t ExecutionState::agent_digest(AgentId id) const {
+  // Same per-agent folds as config_digest() above (kept in lockstep: a field
+  // added there without a fold here would let the symmetry quotient merge
+  // states whose agents are NOT interchangeable), under a separate domain.
+  std::uint64_t state = 0xa6e27d16e5700000ULL;  // "agent-digest" domain
+  const AgentCell& c = agents_[id];
+  fold64(state, static_cast<std::uint64_t>(c.status));
+  fold64(state, c.node);
+  fold64(state, metrics_.agent(id).phase);
+  fold64(state, metrics_.agent(id).actions);
+  fold64(state, c.program->state_hash());
+  fold64(state, c.mailbox.size());
+  for (const Message& message : c.mailbox) fold_message(state, message);
+  return state;
+}
+
 // ---- action engine ----------------------------------------------------------
 
 void ExecutionState::execute_action(AgentId id) {

@@ -228,6 +228,16 @@ class ExecutionState {
   /// invisible), which src/mc's pruned-vs-unpruned equality tests exercise.
   [[nodiscard]] std::uint64_t config_digest() const;
 
+  /// Identity-free digest of one agent's contribution to the configuration:
+  /// exactly the per-agent fields config_digest() folds (status, node,
+  /// phase, action count, state_hash, undelivered mailbox contents), under
+  /// a distinct domain salt and without the agent's id. Agents are anonymous
+  /// in this model — AgentContext exposes neither node nor agent identity to
+  /// algorithm code — so two agents with equal agent_digest() are
+  /// behaviourally interchangeable up to link-queue membership. This is the
+  /// sort key of mc::SymmetryCanonicalizer's agent-permutation quotient.
+  [[nodiscard]] std::uint64_t agent_digest(AgentId id) const;
+
   [[nodiscard]] std::size_t actions_executed() const noexcept {
     return action_counter_;
   }

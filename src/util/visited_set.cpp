@@ -1,0 +1,66 @@
+#include "util/visited_set.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/rng.h"
+
+namespace udring {
+
+namespace {
+
+/// Stand-in for key 0 so the empty sentinel stays unambiguous.
+constexpr std::uint64_t kZeroKeySurrogate = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
+
+LockFreeVisitedSet::LockFreeVisitedSet(std::size_t min_capacity) {
+  const std::size_t capacity = std::bit_ceil(std::max<std::size_t>(min_capacity, 64));
+  slots_ = std::make_unique<std::atomic<std::uint64_t>[]>(capacity);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+  mask_ = capacity - 1;
+  // A probe run this long means heavy clustering near the fill limit; giving
+  // up keeps insert O(1) and only ever degrades toward Full, which callers
+  // must treat as "stop", never as "absent".
+  max_probe_ = std::min<std::size_t>(capacity, 256);
+  fill_limit_ = capacity - capacity / 8;
+}
+
+LockFreeVisitedSet::Insert LockFreeVisitedSet::insert(
+    std::uint64_t key) noexcept {
+  if (key == 0) key = kZeroKeySurrogate;
+  // splitmix64 advances its state argument in place; hash a copy, or the
+  // table would store key + golden-ratio instead of key (and the state that
+  // lands exactly on 0 would masquerade as the empty sentinel).
+  std::uint64_t hash_state = key;
+  std::size_t index = static_cast<std::size_t>(splitmix64(hash_state)) & mask_;
+  for (std::size_t probe = 0; probe < max_probe_; ++probe) {
+    std::atomic<std::uint64_t>& slot = slots_[index];
+    std::uint64_t seen = slot.load(std::memory_order_acquire);
+    if (seen == key) return Insert::Present;
+    if (seen == 0) {
+      // The fill limit gates CLAIMING only — keys already in the table must
+      // keep answering Present after the table refuses new ones.
+      if (size_.load(std::memory_order_relaxed) >= fill_limit_) {
+        return Insert::Full;
+      }
+      // Never skip an empty slot on a plain load: CAS it, and let a failed
+      // CAS tell us what landed there first (see the header's protocol).
+      std::uint64_t expected = 0;
+      if (slot.compare_exchange_strong(expected, key,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return Insert::Claimed;
+      }
+      if (expected == key) return Insert::Present;
+      // A different key raced into the slot; fall through and keep probing.
+    }
+    index = (index + 1) & mask_;
+  }
+  return Insert::Full;
+}
+
+}  // namespace udring

@@ -191,7 +191,7 @@ TEST(AlgoFullKnownN, MeasuresKAndDeploysUniformly) {
   auto simulator = make_simulator(Algorithm::KnownNFull, spec);
   sim::RoundRobinScheduler scheduler;
   (void)simulator->run(scheduler);
-  ASSERT_TRUE(sim::check_uniform_deployment_with_termination(*simulator).ok);
+  ASSERT_TRUE(sim::UniformDeploymentOracle(true).check_goal(*simulator).ok);
   for (sim::AgentId id = 0; id < 4; ++id) {
     const auto& agent =
         dynamic_cast<const KnownNFullAgent&>(simulator->program(id));

@@ -36,7 +36,7 @@ TEST(AlgoLogMem, SingleAgentBecomesSoleLeader) {
   auto simulator = make_simulator(Algorithm::KnownKLogMem, spec);
   sim::RoundRobinScheduler scheduler;
   (void)simulator->run(scheduler);
-  EXPECT_TRUE(sim::check_uniform_deployment_with_termination(*simulator).ok);
+  EXPECT_TRUE(sim::UniformDeploymentOracle(true).check_goal(*simulator).ok);
   const auto agents = agents_of(*simulator);
   EXPECT_EQ(agents[0]->role(), KnownKLogMemAgent::Role::Leader);
   EXPECT_EQ(agents[0]->measured_n(), 9u);
@@ -50,7 +50,7 @@ TEST(AlgoLogMem, Fig5ElectsThreeLeaders) {
   auto simulator = make_simulator(Algorithm::KnownKLogMem, spec);
   sim::RoundRobinScheduler scheduler;
   (void)simulator->run(scheduler);
-  ASSERT_TRUE(sim::check_uniform_deployment_with_termination(*simulator).ok);
+  ASSERT_TRUE(sim::UniformDeploymentOracle(true).check_goal(*simulator).ok);
 
   std::size_t leaders = 0;
   for (const auto* agent : agents_of(*simulator)) {
@@ -77,7 +77,7 @@ TEST(AlgoLogMem, BaseNodeConditionsHold) {
     auto simulator = make_simulator(Algorithm::KnownKLogMem, spec);
     sim::RoundRobinScheduler scheduler;
     (void)simulator->run(scheduler);
-    ASSERT_TRUE(sim::check_uniform_deployment_with_termination(*simulator).ok);
+    ASSERT_TRUE(sim::UniformDeploymentOracle(true).check_goal(*simulator).ok);
 
     std::vector<std::size_t> leader_homes;
     const auto agents = agents_of(*simulator);
@@ -203,7 +203,7 @@ TEST(AlgoLogMemStrict, SurvivesEveryPriorityPermutation) {
     sim::PriorityScheduler scheduler(perm);
     const sim::RunResult result = simulator->run(scheduler);
     ASSERT_TRUE(result.quiescent());
-    const auto check = sim::check_uniform_deployment_with_termination(*simulator);
+    const auto check = sim::UniformDeploymentOracle(true).check_goal(*simulator);
     ASSERT_TRUE(check.ok) << "perm " << ::testing::PrintToString(perm) << ": "
                           << check.reason;
     ++schedules;
@@ -218,7 +218,7 @@ TEST(AlgoLogMemStrict, SurvivesRandomAdversaries) {
     sim::RandomScheduler scheduler(seed);
     const sim::RunResult result = simulator->run(scheduler);
     ASSERT_TRUE(result.quiescent());
-    const auto check = sim::check_uniform_deployment_with_termination(*simulator);
+    const auto check = sim::UniformDeploymentOracle(true).check_goal(*simulator);
     ASSERT_TRUE(check.ok) << "seed " << seed << ": " << check.reason;
   }
 }
@@ -232,7 +232,7 @@ TEST(AlgoLogMemStrict, LaggingLeaderIsPushedHomeJustInTime) {
   sim::PriorityScheduler scheduler({0, 1, 2, 4, 5, 3});
   const sim::RunResult result = simulator->run(scheduler);
   ASSERT_TRUE(result.quiescent());
-  const auto check = sim::check_uniform_deployment_with_termination(*simulator);
+  const auto check = sim::UniformDeploymentOracle(true).check_goal(*simulator);
   ASSERT_TRUE(check.ok) << check.reason;
   // The starved leader still ends on a base node (0 or 6).
   const auto agents = agents_of(*simulator);
@@ -249,7 +249,7 @@ TEST(AlgoLogMemFixed, HardenedVariantSurvivesTheSameAdversaries) {
     sim::PriorityScheduler scheduler(perm);
     const sim::RunResult result = simulator->run(scheduler);
     ASSERT_TRUE(result.quiescent());
-    const auto check = sim::check_uniform_deployment_with_termination(*simulator);
+    const auto check = sim::UniformDeploymentOracle(true).check_goal(*simulator);
     ASSERT_TRUE(check.ok) << "perm " << ::testing::PrintToString(perm) << ": "
                           << check.reason;
   } while (std::next_permutation(perm.begin(), perm.end()));

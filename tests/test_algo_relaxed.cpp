@@ -82,7 +82,7 @@ TEST(AlgoRelaxed, Fig9TrappedAgentFirstEstimatesFour) {
   EXPECT_GE(trapped, 1u) << "the (1,3)⁴ window must trap at least one agent";
   EXPECT_GE(exact, 1u) << "Lemma 4: someone estimates n exactly";
 
-  const auto check = sim::check_uniform_deployment_without_termination(*simulator);
+  const auto check = sim::UniformDeploymentOracle(false).check_goal(*simulator);
   EXPECT_TRUE(check.ok) << check.reason;
 }
 
@@ -251,7 +251,7 @@ TEST(AlgoRelaxed, PackedConfigurationRegression) {
     const auto result = simulator->run(scheduler);
     ASSERT_TRUE(result.quiescent()) << "n=" << n;
     const auto check =
-        sim::check_uniform_deployment_without_termination(*simulator);
+        sim::UniformDeploymentOracle(false).check_goal(*simulator);
     ASSERT_TRUE(check.ok) << "n=" << n << ": " << check.reason;
     const auto agents = agents_of(*simulator);
     EXPECT_EQ(agents[0]->first_estimate_n(), 1u)
@@ -309,7 +309,7 @@ TEST_P(AlgoRelaxedPeriodic, PeriodicRingsDeployWithoutLearningN) {
   sim::RoundRobinScheduler scheduler;
   const auto result = simulator->run(scheduler);
   ASSERT_TRUE(result.quiescent()) << "n=" << n << " k=" << k << " l=" << l;
-  const auto check = sim::check_uniform_deployment_without_termination(*simulator);
+  const auto check = sim::UniformDeploymentOracle(false).check_goal(*simulator);
   ASSERT_TRUE(check.ok) << "n=" << n << " k=" << k << " l=" << l << ": "
                         << check.reason;
   for (const auto* agent : agents_of(*simulator)) {

@@ -70,7 +70,7 @@ TEST(DefinitionOne, RequiresHaltAndEmptyQueuesAndUniformity) {
   Simulator sim(8, {0, 4}, [](AgentId) { return std::make_unique<WalkerAgent>(8); });
   RoundRobinScheduler scheduler;
   (void)sim.run(scheduler);
-  EXPECT_TRUE(check_uniform_deployment_with_termination(sim).ok);
+  EXPECT_TRUE(UniformDeploymentOracle(true).check_goal(sim).ok);
 }
 
 TEST(DefinitionOne, RejectsWaitingAgents) {
@@ -80,7 +80,7 @@ TEST(DefinitionOne, RejectsWaitingAgents) {
   });
   RoundRobinScheduler scheduler;
   (void)sim.run(scheduler);
-  const auto check = check_uniform_deployment_with_termination(sim);
+  const auto check = UniformDeploymentOracle(true).check_goal(sim);
   EXPECT_FALSE(check.ok);
   EXPECT_NE(check.reason.find("waiting"), std::string::npos);
 }
@@ -89,7 +89,7 @@ TEST(DefinitionOne, RejectsNonUniformHalts) {
   Simulator sim(8, {0, 1}, [](AgentId) { return std::make_unique<WalkerAgent>(0); });
   RoundRobinScheduler scheduler;
   (void)sim.run(scheduler);
-  EXPECT_FALSE(check_uniform_deployment_with_termination(sim).ok)
+  EXPECT_FALSE(UniformDeploymentOracle(true).check_goal(sim).ok)
       << "gaps 1 and 7 are not a uniform deployment";
 }
 
@@ -97,7 +97,7 @@ TEST(DefinitionTwo, RequiresSuspendedAndUniform) {
   Simulator sim(8, {0, 4}, [](AgentId) { return std::make_unique<SuspenderAgent>(); });
   RoundRobinScheduler scheduler;
   (void)sim.run(scheduler);
-  EXPECT_TRUE(check_uniform_deployment_without_termination(sim).ok);
+  EXPECT_TRUE(UniformDeploymentOracle(false).check_goal(sim).ok);
 }
 
 TEST(DefinitionTwo, RejectsHaltedAgents) {
@@ -107,7 +107,7 @@ TEST(DefinitionTwo, RejectsHaltedAgents) {
   });
   RoundRobinScheduler scheduler;
   (void)sim.run(scheduler);
-  EXPECT_FALSE(check_uniform_deployment_without_termination(sim).ok);
+  EXPECT_FALSE(UniformDeploymentOracle(false).check_goal(sim).ok);
 }
 
 TEST(Gathered, DetectsGatheringAndSpread) {

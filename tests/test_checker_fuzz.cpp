@@ -155,7 +155,7 @@ TEST(Definition1Fuzz, NonHaltedAgentFailsWithStatusReason) {
                  : std::unique_ptr<AgentProgram>(std::make_unique<HaltAgent>());
     });
     ASSERT_TRUE(drain(sim).quiescent());
-    EXPECT_FAILS_WITH(check_uniform_deployment_with_termination(sim), "agent ");
+    EXPECT_FAILS_WITH(UniformDeploymentOracle(true).check_goal(sim), "agent ");
   }
 }
 
@@ -177,7 +177,7 @@ TEST(Definition1Fuzz, AgentStillOnALinkFailsWithStatusReason) {
   std::size_t queued = 0;
   for (NodeId node = 0; node < 8; ++node) queued += sim.queue_length(node);
   ASSERT_GT(queued, 0u) << "walker should be mid-link";
-  EXPECT_FAILS_WITH(check_uniform_deployment_with_termination(sim), "agent ");
+  EXPECT_FAILS_WITH(UniformDeploymentOracle(true).check_goal(sim), "agent ");
 }
 
 TEST(Definition2Fuzz, AllSuspendedOnDistinctNodesIsLegal) {
@@ -187,7 +187,7 @@ TEST(Definition2Fuzz, AllSuspendedOnDistinctNodesIsLegal) {
     return std::make_unique<SuspendAgent>(/*broadcast_first=*/id == 0);
   });
   ASSERT_TRUE(drain(sim).quiescent());
-  ASSERT_TRUE(check_uniform_deployment_without_termination(sim).ok);
+  ASSERT_TRUE(UniformDeploymentOracle(false).check_goal(sim).ok);
 }
 
 TEST(Definition2Fuzz, UndeliveredMailFailsWithMessageReason) {
@@ -221,7 +221,7 @@ TEST(Definition2Fuzz, UndeliveredMailFailsWithMessageReason) {
     ASSERT_TRUE(meet.step(scheduler));
   }
   ASSERT_TRUE(meet.all_suspended());
-  EXPECT_FAILS_WITH(check_uniform_deployment_without_termination(meet),
+  EXPECT_FAILS_WITH(UniformDeploymentOracle(false).check_goal(meet),
                     "agent ");
 }
 
@@ -250,7 +250,7 @@ TEST(EmbeddedTopologyFuzz, NonHaltedAgentFailsWithStatusReasonOnEulerTrees) {
                      : std::unique_ptr<AgentProgram>(std::make_unique<HaltAgent>());
         }));
     ASSERT_TRUE(drain(sim).quiescent());
-    EXPECT_FAILS_WITH(check_uniform_deployment_with_termination(sim), "agent ");
+    EXPECT_FAILS_WITH(UniformDeploymentOracle(true).check_goal(sim), "agent ");
   }
 }
 
@@ -274,7 +274,7 @@ TEST(EmbeddedTopologyFuzz, SharedNodeFailsWithSharedNodeReasonOnEulerianGraphs) 
           return std::make_unique<test::WalkerAgent>(id == 0 ? 0 : gap);
         }));
     ASSERT_TRUE(drain(sim).quiescent());
-    EXPECT_FAILS_WITH(check_uniform_deployment_with_termination(sim),
+    EXPECT_FAILS_WITH(UniformDeploymentOracle(true).check_goal(sim),
                       "two agents share node ");
   }
 }

@@ -48,7 +48,7 @@ TEST(Impossibility, StrawmanSucceedsOnTheBaseRing) {
   sim::SynchronousScheduler scheduler;
   const auto result = simulator.run(scheduler);
   ASSERT_TRUE(result.quiescent());
-  const auto check = sim::check_uniform_deployment_with_termination(simulator);
+  const auto check = sim::UniformDeploymentOracle(true).check_goal(simulator);
   EXPECT_TRUE(check.ok) << check.reason
                         << "\n(the strawman must look correct on R for the "
                            "construction to bite)";
@@ -103,7 +103,7 @@ TEST(Impossibility, StrawmanTerminatesPrematurelyOnTheLargeRing) {
   EXPECT_TRUE(large.all_halted());
   // ...but the deployment is wrong: agents of the repeated region halted at
   // spacing n/k = 4 where R' requires 2n/k = 8.
-  const auto check = sim::check_uniform_deployment_with_termination(large);
+  const auto check = sim::UniformDeploymentOracle(true).check_goal(large);
   EXPECT_FALSE(check.ok)
       << "Theorem 5: a terminating no-knowledge algorithm must fail on R'";
 
@@ -132,7 +132,7 @@ TEST(Impossibility, RelaxedAlgorithmHandlesTheSameLargeRing) {
   sim::SynchronousScheduler scheduler;
   const auto result = large.run(scheduler);
   ASSERT_TRUE(result.quiescent());
-  const auto check = sim::check_uniform_deployment_without_termination(large);
+  const auto check = sim::UniformDeploymentOracle(false).check_goal(large);
   EXPECT_TRUE(check.ok) << check.reason;
 }
 

@@ -15,7 +15,9 @@
 //     replaying through the existing explore::replay_trace path to the same
 //     failure and digest.
 //  3. Pruned == unpruned verdict equality on grids where full enumeration
-//     is feasible, for every pruning combination (dedup × sleep sets).
+//     is feasible, for every pruning combination (dedup × sleep sets × DPOR
+//     × symmetry), plus shared-visited-set runs whose verdicts and counts
+//     are byte-identical at any worker count.
 //
 // Plus the foundation the dedup pruning rests on: ExecutionState::
 // config_digest() must hash the configuration and not the history
@@ -55,6 +57,7 @@ void expect_same_report(const ModelCheckReport& a, const ModelCheckReport& b,
   EXPECT_EQ(a.stats.states_expanded, b.stats.states_expanded) << what;
   EXPECT_EQ(a.stats.states_deduped, b.stats.states_deduped) << what;
   EXPECT_EQ(a.stats.sleep_pruned, b.stats.sleep_pruned) << what;
+  EXPECT_EQ(a.stats.dpor_pruned, b.stats.dpor_pruned) << what;
   EXPECT_EQ(a.stats.replays, b.stats.replays) << what;
   EXPECT_EQ(a.stats.total_actions, b.stats.total_actions) << what;
   EXPECT_EQ(a.stats.max_depth, b.stats.max_depth) << what;
@@ -108,6 +111,7 @@ TEST(Exhaustive, KnownKFullSmallestInstanceFullEnumerationCount) {
   McOptions options;
   options.dedup_states = false;
   options.sleep_sets = false;
+  options.dpor = false;
   const ModelCheckReport report =
       check(ring_request(core::Algorithm::KnownKFull, 6, {0, 3}), options);
   EXPECT_TRUE(report.ok);
@@ -117,6 +121,7 @@ TEST(Exhaustive, KnownKFullSmallestInstanceFullEnumerationCount) {
   EXPECT_EQ(report.stats.states_expanded, 6989u);
   EXPECT_EQ(report.stats.states_deduped, 0u);
   EXPECT_EQ(report.stats.sleep_pruned, 0u);
+  EXPECT_EQ(report.stats.dpor_pruned, 0u);
 }
 
 class ExhaustiveAlgorithms
@@ -171,6 +176,16 @@ TEST_P(ExhaustiveAlgorithms, VerifiedAtIssueScaleWithPruning) {
   EXPECT_TRUE(report.complete);
   EXPECT_GT(report.stats.states_deduped, 0u);
   EXPECT_GT(report.stats.sleep_pruned, 0u);
+  EXPECT_GT(report.stats.dpor_pruned, 0u);
+
+  // DPOR must actually shrink the walk relative to sleep sets + dedup alone
+  // (the tentpole's point), not merely keep the verdict.
+  McOptions no_dpor;
+  no_dpor.dpor = false;
+  const ModelCheckReport baseline =
+      check(ring_request(GetParam(), n, gen::uniform_homes(n, 4)), no_dpor);
+  EXPECT_TRUE(baseline.ok);
+  EXPECT_LT(report.stats.states_expanded, baseline.stats.states_expanded);
 }
 
 INSTANTIATE_TEST_SUITE_P(SmallGrids, ExhaustiveAlgorithms,
@@ -235,15 +250,18 @@ TEST(FaultRediscovery, HardenedVariantSurvivesTheSameSearchBudget) {
 TEST(FaultRediscovery, VerdictIdenticalUnderEveryPruningCombination) {
   for (const bool dedup : {false, true}) {
     for (const bool sleep : {false, true}) {
-      McOptions options;
-      options.dedup_states = dedup;
-      options.sleep_sets = sleep;
-      const ModelCheckReport report =
-          check(stress_fault_request(core::Algorithm::KnownKLogMemStrict),
-                options);
-      EXPECT_FALSE(report.ok);
-      EXPECT_EQ(report.failure_reason, "goal: two agents share node 0")
-          << "dedup=" << dedup << " sleep=" << sleep;
+      for (const bool dpor : {false, true}) {
+        McOptions options;
+        options.dedup_states = dedup;
+        options.sleep_sets = sleep;
+        options.dpor = dpor;
+        const ModelCheckReport report =
+            check(stress_fault_request(core::Algorithm::KnownKLogMemStrict),
+                  options);
+        EXPECT_FALSE(report.ok);
+        EXPECT_EQ(report.failure_reason, "goal: two agents share node 0")
+            << "dedup=" << dedup << " sleep=" << sleep << " dpor=" << dpor;
+      }
     }
   }
 }
@@ -271,28 +289,103 @@ TEST(PruningSoundness, VerdictEqualOnFullyEnumerableGrid) {
     bool have_reference = false;
     for (const bool dedup : {false, true}) {
       for (const bool sleep : {false, true}) {
-        McOptions options;
-        options.dedup_states = dedup;
-        options.sleep_sets = sleep;
-        const ModelCheckReport report = check(request, options);
-        EXPECT_TRUE(report.complete)
-            << core::to_string(cell.algorithm) << " n=" << cell.n;
-        if (!have_reference) {
-          reference = report;
-          have_reference = true;
-          EXPECT_GT(report.stats.schedules, 0u);
+        for (const bool dpor : {false, true}) {
+          // Symmetry only acts through the dedup key; skip the redundant
+          // dedup=false duplicate to keep the grid's runtime in check.
+          for (const bool symmetry :
+               dedup ? std::vector<bool>{false, true}
+                     : std::vector<bool>{false}) {
+            McOptions options;
+            options.dedup_states = dedup;
+            options.sleep_sets = sleep;
+            options.dpor = dpor;
+            options.symmetry = symmetry;
+            const ModelCheckReport report = check(request, options);
+            EXPECT_TRUE(report.complete)
+                << core::to_string(cell.algorithm) << " n=" << cell.n;
+            if (!have_reference) {
+              reference = report;
+              have_reference = true;
+              EXPECT_GT(report.stats.schedules, 0u);
+            }
+            EXPECT_EQ(report.ok, reference.ok)
+                << core::to_string(cell.algorithm) << " n=" << cell.n
+                << " dedup=" << dedup << " sleep=" << sleep
+                << " dpor=" << dpor << " symmetry=" << symmetry;
+            EXPECT_EQ(report.verdict, reference.verdict);
+            // Pruning may only shrink the walk, never grow it.
+            EXPECT_LE(report.stats.schedules, reference.stats.schedules);
+            EXPECT_LE(report.stats.states_expanded,
+                      reference.stats.states_expanded);
+          }
         }
-        EXPECT_EQ(report.ok, reference.ok)
-            << core::to_string(cell.algorithm) << " n=" << cell.n
-            << " dedup=" << dedup << " sleep=" << sleep;
-        EXPECT_EQ(report.verdict, reference.verdict);
-        // Pruning may only shrink the walk, never grow it.
-        EXPECT_LE(report.stats.schedules, reference.stats.schedules);
-        EXPECT_LE(report.stats.states_expanded,
-                  reference.stats.states_expanded);
       }
     }
   }
+}
+
+// ---- shared visited set -----------------------------------------------------
+
+TEST(SharedVisited, VerdictAndCountsIdenticalAtAnyWorkerCount) {
+  // The closure-walk contract (model_check.h): with the lock-free shared
+  // visited set, every count is a function of the claimed closure, so the
+  // full report — not just the verdict — is byte-identical whether shards
+  // race on 1, 2 or 4 threads.
+  const CheckRequest request =
+      ring_request(core::Algorithm::KnownKFull, 8, {0, 3, 6});
+  McOptions options;
+  options.shared_visited = true;
+  options.frontier_target = 6;
+  options.workers = 1;
+  const ModelCheckReport serial = check(request, options);
+  EXPECT_TRUE(serial.ok) << serial.failure_reason;
+  EXPECT_TRUE(serial.complete);
+  EXPECT_GT(serial.stats.states_deduped, 0u);
+  for (const std::size_t workers : {2u, 4u}) {
+    McOptions racing = options;
+    racing.workers = workers;
+    expect_same_report(serial, check(request, racing),
+                       "worker count changed the shared-visited report");
+  }
+  // And the verdict agrees with the deterministic tree walk (counts differ:
+  // the closure visits each state once, the tree walk re-proves per sleep
+  // mask).
+  const ModelCheckReport tree = check(request);
+  EXPECT_EQ(serial.ok, tree.ok);
+  EXPECT_EQ(serial.verdict, tree.verdict);
+}
+
+TEST(SharedVisited, ViolationFallsBackToTheDeterministicWalk) {
+  // Which racing shard trips a violation first is nondeterministic, so
+  // check() re-runs without the shared set: the report — counterexample
+  // included — must be byte-identical to a plain check's.
+  McOptions options;
+  options.shared_visited = true;
+  options.frontier_target = 6;
+  options.workers = 4;
+  const ModelCheckReport shared =
+      check(stress_fault_request(core::Algorithm::KnownKLogMemStrict), options);
+  McOptions plain_options = options;  // fallback = same options, no shared set
+  plain_options.shared_visited = false;
+  const ModelCheckReport plain = check(
+      stress_fault_request(core::Algorithm::KnownKLogMemStrict), plain_options);
+  ASSERT_FALSE(shared.ok);
+  expect_same_report(plain, shared, "violation fallback must be exact");
+  ASSERT_TRUE(shared.counterexample.has_value());
+  EXPECT_EQ(shared.counterexample->choices, plain.counterexample->choices);
+}
+
+TEST(SharedVisited, UndersizedTableDegradesToBudgetExhaustion) {
+  // A full table may not silently drop states: the run must downgrade to
+  // "budget-exhausted" (incomplete, not wrong).
+  McOptions options;
+  options.shared_visited = true;
+  options.shared_visited_capacity = 64;  // far below this instance's closure
+  const ModelCheckReport report =
+      check(ring_request(core::Algorithm::KnownKFull, 8, {0, 3, 6}), options);
+  EXPECT_TRUE(report.ok);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.verdict, "budget-exhausted");
 }
 
 TEST(FaultRediscovery, CapSensitiveCounterexampleReplaysStandAlone) {

@@ -145,7 +145,7 @@ Outcome run_mutant(std::size_t n, std::vector<std::size_t> homes) {
   sim::RoundRobinScheduler scheduler;
   const auto result = simulator.run(scheduler);
   return {result.quiescent(),
-          sim::check_uniform_deployment_with_termination(simulator).ok};
+          sim::UniformDeploymentOracle(true).check_goal(simulator).ok};
 }
 
 constexpr std::size_t kN = 16;
@@ -192,7 +192,7 @@ TEST(OracleSensitivity, LivelockIsReportedAsActionLimit) {
   sim::RoundRobinScheduler scheduler;
   const auto result = simulator.run(scheduler);
   EXPECT_EQ(result.outcome, sim::RunResult::Outcome::ActionLimit);
-  EXPECT_FALSE(sim::check_uniform_deployment_with_termination(simulator).ok);
+  EXPECT_FALSE(sim::UniformDeploymentOracle(true).check_goal(simulator).ok);
 }
 
 TEST(OracleSensitivity, SuspendedIsNotHalted) {
@@ -216,8 +216,8 @@ TEST(OracleSensitivity, SuspendedIsNotHalted) {
   });
   sim::RoundRobinScheduler scheduler;
   (void)simulator.run(scheduler);
-  EXPECT_FALSE(sim::check_uniform_deployment_with_termination(simulator).ok);
-  EXPECT_TRUE(sim::check_uniform_deployment_without_termination(simulator).ok);
+  EXPECT_FALSE(sim::UniformDeploymentOracle(true).check_goal(simulator).ok);
+  EXPECT_TRUE(sim::UniformDeploymentOracle(false).check_goal(simulator).ok);
 }
 
 }  // namespace

@@ -60,7 +60,7 @@ TEST(Runner, GoalDistinguishesDefinitionOneFromTwo) {
   auto simulator = make_simulator(Algorithm::UnknownRelaxed, spec);
   sim::RoundRobinScheduler scheduler;
   (void)simulator->run(scheduler);
-  EXPECT_FALSE(sim::check_uniform_deployment_with_termination(*simulator).ok);
+  EXPECT_FALSE(sim::UniformDeploymentOracle(true).check_goal(*simulator).ok);
   EXPECT_TRUE(evaluate_goal(Algorithm::UnknownRelaxed, *simulator).ok);
 }
 

@@ -55,7 +55,7 @@ TEST(Stress, InvariantsEveryStepUnderEveryScheduler) {
       }
     }
     ASSERT_TRUE(
-        sim::check_uniform_deployment_without_termination(*simulator).ok)
+        sim::UniformDeploymentOracle(false).check_goal(*simulator).ok)
         << sim::to_string(kind);
   }
 }

@@ -1,0 +1,199 @@
+// The anonymous-agent symmetry quotient (src/mc/symmetry.h).
+//
+// Two layers of pins:
+//
+//  1. Unit level, on hand-built permuted states: a pair of configurations
+//     that differ ONLY by an agent-id permutation (the same instance with
+//     permuted homes, evolved by the permuted schedule) must share a
+//     canonical digest while their plain config digests differ — and a pair
+//     whose agents are genuinely distinguishable (permuted homes evolved
+//     ASYMMETRICALLY) must NOT merge. Plus the rank-space mask round-trip
+//     the model checker's dedup relies on.
+//
+//  2. mc level: quotienting the visited key may never change a verdict or
+//     grow the walk, across ring / Euler-tree / Eulerian-graph topologies
+//     and all three problem families (deploy, gather, disperse). For the
+//     deterministic ring algorithms agents are trajectory-distinguishable
+//     (per-agent action counts are part of the configuration), so the
+//     quotient's classes are typically singletons — the value of these pins
+//     is that turning symmetry ON costs nothing semantically: reports stay
+//     byte-identical to the un-quotiented walk wherever classes are
+//     singletons, and verdicts are preserved regardless.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "config/generators.h"
+#include "core/runner.h"
+#include "embed/topology.h"
+#include "mc/model_check.h"
+#include "mc/symmetry.h"
+#include "util/rng.h"
+
+namespace udring::mc {
+namespace {
+
+// ---- 1. canonicalization of permuted states ---------------------------------
+
+TEST(Canonicalizer, MergesIdPermutedConfigurations) {
+  // The same instance spelled with permuted homes: agent 0 and agent 1 swap
+  // identities, nothing else changes. config_digest folds per-agent fields
+  // in id order and must distinguish the spellings; the canonical digest
+  // must not.
+  core::RunSpec ab, ba;
+  ab.node_count = 8;
+  ab.homes = {0, 4};
+  ba.node_count = 8;
+  ba.homes = {4, 0};
+  const auto sim_ab = core::make_simulator(core::Algorithm::KnownKFull, ab);
+  const auto sim_ba = core::make_simulator(core::Algorithm::KnownKFull, ba);
+  SymmetryCanonicalizer canon_ab, canon_ba;
+  EXPECT_NE(sim_ab->config_digest(), sim_ba->config_digest());
+  EXPECT_EQ(canon_ab.canonical_digest(*sim_ab),
+            canon_ba.canonical_digest(*sim_ba));
+
+  // Evolve both by the permuted schedule: still a pure relabelling.
+  ASSERT_TRUE(sim_ab->step_agent(0));
+  ASSERT_TRUE(sim_ba->step_agent(1));
+  EXPECT_NE(sim_ab->config_digest(), sim_ba->config_digest());
+  EXPECT_EQ(canon_ab.canonical_digest(*sim_ab),
+            canon_ba.canonical_digest(*sim_ba));
+}
+
+TEST(Canonicalizer, DoesNotMergeDistinguishableAgents) {
+  // Same permuted-homes pair, but evolved ASYMMETRICALLY: advance agent 0
+  // in both (in the permuted spelling that is the OTHER agent of the pair).
+  // No relabelling maps one onto the other — the walked agent's action
+  // count and position pin it — so the quotient must keep them apart.
+  core::RunSpec ab, ba;
+  ab.node_count = 8;
+  ab.homes = {0, 4};
+  ba.node_count = 8;
+  ba.homes = {4, 0};
+  const auto sim_ab = core::make_simulator(core::Algorithm::KnownKFull, ab);
+  const auto sim_ba = core::make_simulator(core::Algorithm::KnownKFull, ba);
+  ASSERT_TRUE(sim_ab->step_agent(0));  // the agent homed at node 0
+  ASSERT_TRUE(sim_ba->step_agent(0));  // the agent homed at node 4
+  SymmetryCanonicalizer canon_ab, canon_ba;
+  EXPECT_NE(canon_ab.canonical_digest(*sim_ab),
+            canon_ba.canonical_digest(*sim_ba));
+}
+
+TEST(Canonicalizer, CanonicalDigestIsAFunctionOfTheState) {
+  // Same state, fresh vs reused canonicalizer: identical digest (the
+  // scratch pooling must be invisible), and repeated calls are stable.
+  core::RunSpec spec;
+  spec.node_count = 6;
+  spec.homes = {0, 3};
+  const auto sim = core::make_simulator(core::Algorithm::KnownKFull, spec);
+  SymmetryCanonicalizer pooled;
+  const std::uint64_t first = pooled.canonical_digest(*sim);
+  EXPECT_EQ(pooled.canonical_digest(*sim), first);
+  ASSERT_TRUE(sim->step_agent(1));
+  (void)pooled.canonical_digest(*sim);  // dirty the scratch tables
+  SymmetryCanonicalizer fresh;
+  EXPECT_EQ(fresh.canonical_digest(*sim), pooled.canonical_digest(*sim));
+}
+
+TEST(Canonicalizer, MaskRoundTripsThroughRankSpace) {
+  // to_canonical/from_canonical are the dedup store's change of basis for
+  // sleep masks and DPOR summaries; they must be exact inverses over the
+  // agent range of the last canonicalized state.
+  core::RunSpec spec;
+  spec.node_count = 9;
+  spec.homes = {0, 3, 6};
+  const auto sim = core::make_simulator(core::Algorithm::KnownKFull, spec);
+  ASSERT_TRUE(sim->step_agent(2));  // make the ranks a nontrivial permutation
+  SymmetryCanonicalizer canon;
+  (void)canon.canonical_digest(*sim);
+  for (const std::uint64_t mask : {0ull, 1ull, 0b101ull, 0b111ull, 0b110ull}) {
+    EXPECT_EQ(canon.from_canonical(canon.to_canonical(mask)), mask);
+    EXPECT_EQ(canon.to_canonical(canon.from_canonical(mask)), mask);
+  }
+}
+
+// ---- 2. quotient soundness inside mc::check ---------------------------------
+
+void expect_verdict_preserved(const CheckRequest& request, const char* what) {
+  McOptions with;
+  with.symmetry = true;
+  McOptions without;
+  without.symmetry = false;
+  const ModelCheckReport a = check(request, with);
+  const ModelCheckReport b = check(request, without);
+  EXPECT_EQ(a.ok, b.ok) << what;
+  EXPECT_EQ(a.complete, b.complete) << what;
+  EXPECT_EQ(a.verdict, b.verdict) << what;
+  EXPECT_EQ(a.failure_reason, b.failure_reason) << what;
+  // The quotient may only shrink the walk.
+  EXPECT_LE(a.stats.states_expanded, b.stats.states_expanded) << what;
+  EXPECT_LE(a.stats.schedules, b.stats.schedules) << what;
+}
+
+TEST(QuotientSoundness, VerdictPreservedAcrossProblemsOnTheRing) {
+  struct Case {
+    core::Algorithm algorithm;
+    core::ProblemSpec problem;
+    std::size_t n;
+    std::vector<std::size_t> homes;
+    const char* what;
+  };
+  const std::vector<Case> cases = {
+      {core::Algorithm::KnownKFull, {core::Problem::Deploy, 0}, 8, {0, 4},
+       "deploy ring"},
+      {core::Algorithm::KnownKLogMem, {}, 8, {0, 2}, "deploy logmem ring"},
+      {core::Algorithm::GatherRing, {core::Problem::Gather, 2}, 6, {0, 2, 4},
+       "gather ring"},
+      {core::Algorithm::Rendezvous, {core::Problem::Gather, 0}, 6, {0, 3},
+       "total gather ring"},
+      {core::Algorithm::DisperseRing, {core::Problem::Disperse, 0}, 6,
+       {0, 2, 3}, "disperse ring"},
+  };
+  for (const Case& c : cases) {
+    CheckRequest request;
+    request.algorithm = c.algorithm;
+    request.problem = c.problem;
+    request.node_count = c.n;
+    request.homes = c.homes;
+    expect_verdict_preserved(request, c.what);
+  }
+}
+
+TEST(QuotientSoundness, VerdictPreservedOnEulerTreeAndEulerianGraph) {
+  Rng rng(23);
+  for (const embed::RandomNetworkKind kind :
+       {embed::RandomNetworkKind::Tree, embed::RandomNetworkKind::Graph}) {
+    CheckRequest request;
+    request.algorithm = core::Algorithm::KnownKFull;
+    request.topology = embed::random_network_topology(kind, 5, rng);
+    request.node_count = request.topology.size();
+    request.homes = embed::draw_virtual_homes(request.topology, 2, rng);
+    expect_verdict_preserved(request,
+                             kind == embed::RandomNetworkKind::Tree
+                                 ? "deploy euler-tree"
+                                 : "deploy eulerian-graph");
+  }
+}
+
+TEST(QuotientSoundness, ViolationSurvivesTheQuotient) {
+  // The adversarial instance every mc suite pins: the strict-logmem
+  // double-booked-base-node fault under non-FIFO links. The quotient must
+  // not merge away the violating branch.
+  CheckRequest request;
+  request.algorithm = core::Algorithm::KnownKLogMemStrict;
+  request.node_count = gen::kLogmemStressNodes;
+  request.homes = gen::logmem_stress_homes();
+  request.fault_non_fifo = true;
+  request.fault_min_phase = 1;
+  McOptions with;
+  with.symmetry = true;
+  const ModelCheckReport report = check(request, with);
+  ASSERT_FALSE(report.ok);
+  EXPECT_EQ(report.failure_reason, "goal: two agents share node 0");
+  ASSERT_TRUE(report.counterexample.has_value());
+}
+
+}  // namespace
+}  // namespace udring::mc
