@@ -142,9 +142,7 @@ class Explorer {
           parent.sub_agents |= bit(agent) | hit.sub_agents;
           parent.sub_nodes |= node_bit(n1) | node_bit(n2) | hit.sub_nodes;
           if (cls == NodeClass::DedupLeaf) {
-            dpor_dedup_update(stack, hit.sub_agents | bit(agent),
-                              hit.sub_nodes | node_bit(n1) | node_bit(n2),
-                              hit.summary_valid);
+            dpor_dedup_update(stack, hit, agent, n1, n2);
           }
         }
       }
@@ -360,25 +358,46 @@ class Explorer {
 
   /// Stateful-DPOR repair on a dedup cut: the skipped subtree's transitions
   /// (aggregated as agent / node masks) may race with edges on the current
-  /// stack, and those races can no longer seed backtrack points from below
-  /// — so fully re-arm every pre-state whose edge intersects the summary.
-  /// A hit without a recorded summary (should not occur; defensive) re-arms
-  /// everything.
-  void dpor_dedup_update(std::vector<Frame>& stack, AgentMask sub_agents,
-                         std::uint64_t sub_nodes, bool summary_valid) {
-    for (std::size_t i = stack.size(); i >= 1; --i) {
+  /// stack — the cut edge included — and those races can no longer seed
+  /// backtrack points from below, so fully re-arm every pre-state whose edge
+  /// intersects the summary. The cut edge (cut_agent, cut_n1, cut_n2) is not
+  /// a stack frame, but its pre-state IS stack.back(): a subtree transition
+  /// racing with it would, in the unskipped walk, have re-armed exactly that
+  /// frame (the Yang et al. repair), so stack.back() is checked against the
+  /// RAW subtree summary while deeper frames see the summary plus the cut
+  /// edge's own footprint. A hit without a recorded summary (should not
+  /// occur; defensive) re-arms every frame, stack.back() included.
+  void dpor_dedup_update(std::vector<Frame>& stack, const DedupHit& hit,
+                         sim::AgentId cut_agent, sim::NodeId cut_n1,
+                         sim::NodeId cut_n2) {
+    Frame& top = stack.back();
+    const bool cut_races =
+        !hit.summary_valid || ((hit.sub_agents >> cut_agent) & 1) != 0 ||
+        ((node_bit(cut_n1) | node_bit(cut_n2)) & hit.sub_nodes) != 0;
+    if (cut_races) {
+      // FG rule at the cut edge's pre-state: every subtree transition's
+      // agent is in the summary mask, so when they are all enabled here,
+      // re-arming exactly those suffices; a missing summary or a disabled
+      // summary agent forces the full re-arm.
+      if (hit.summary_valid && (hit.sub_agents & ~top.enabled_mask) == 0) {
+        top.backtrack |= hit.sub_agents;
+      } else {
+        top.backtrack = top.enabled_mask;
+      }
+    }
+    const AgentMask sub_agents = hit.sub_agents | bit(cut_agent);
+    const std::uint64_t sub_nodes =
+        hit.sub_nodes | node_bit(cut_n1) | node_bit(cut_n2);
+    for (std::size_t i = stack.size(); i >= 2; --i) {
       const Frame& child = stack[i - 1];
       const bool races =
-          !summary_valid ||
-          (i >= 2 && (((sub_agents >> child.entered_agent) & 1) != 0 ||
-                      ((node_bit(child.entered_n1) | node_bit(child.entered_n2)) &
-                       sub_nodes) != 0));
-      if (races && i >= 2) {
+          !hit.summary_valid ||
+          ((sub_agents >> child.entered_agent) & 1) != 0 ||
+          ((node_bit(child.entered_n1) | node_bit(child.entered_n2)) &
+           sub_nodes) != 0;
+      if (races) {
         Frame& pre = stack[i - 2];
         pre.backtrack = pre.enabled_mask;
-      }
-      if (!summary_valid && i == 1) {
-        stack[0].backtrack = stack[0].enabled_mask;
       }
     }
   }

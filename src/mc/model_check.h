@@ -52,9 +52,11 @@
 //    dedup can skip a subtree whose transitions would have seeded backtrack
 //    points, each visited entry carries a summary of the agents and nodes
 //    its explored subtree touched (the Yang et al. stateful-DPOR repair);
-//    a dedup hit replays that summary against the current stack and fully
-//    re-expands any ancestor whose edge races with it. Auto-disabled beyond
-//    64 agents or 64 nodes (the summaries are bitmasks).
+//    a dedup hit replays that summary against every edge on the current
+//    stack — the cut edge itself included, whose pre-state is the top frame
+//    — and fully re-expands each pre-state whose edge races with it.
+//    Auto-disabled beyond 64 agents or 64 nodes (the summaries are
+//    bitmasks).
 //  - Anonymous-agent symmetry: dedup keys are SymmetryCanonicalizer's
 //    canonical digests (src/mc/symmetry.h), quotienting configurations by
 //    agent-id permutations — sound because agents are anonymous and every
@@ -89,7 +91,15 @@
 // sums and maxima of those quantities. Verdicts and all counts therefore
 // stay byte-identical at any worker count for walks that complete; a
 // budget-stopped walk keeps a deterministic verdict but its partial
-// counters depend on where the global budget landed. A violating instance
+// counters depend on where the global budget landed. One caveat bounds the
+// contract: when the closure's size approaches the shared table's fill
+// limit (~7/8 of capacity), whether some insert observes Full — via the
+// racy fill gate or a clustered probe run — depends on the racing claim
+// order, so the same instance may report "verified" in one run and
+// "budget-exhausted" in another at that boundary. The verdict is never
+// wrong, only unstably incomplete; size the table (shared_visited_capacity)
+// so the closure fits comfortably under the limit and the complete /
+// incomplete boundary is deterministic too. A violating instance
 // is re-checked without the shared set (the deterministic tree walk) so
 // the counterexample trace is byte-identical too — the shared set
 // accelerates the common "verified" case.
@@ -170,7 +180,9 @@ struct McOptions {
   bool shared_visited = false;
   /// Slot count of the shared set (0 = auto, currently 2^22 ≈ 32 MiB).
   /// Overflow degrades the verdict to "budget-exhausted", never corrupts
-  /// it.
+  /// it — but near the fill limit WHICH runs overflow is claim-order
+  /// dependent (header comment), so size generously for a deterministic
+  /// complete/incomplete boundary.
   std::size_t shared_visited_capacity = 0;
   /// Global budget on executed simulator actions, replays included
   /// (0 = unlimited). Split deterministically across shards, so exceeding

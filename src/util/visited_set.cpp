@@ -42,7 +42,10 @@ LockFreeVisitedSet::Insert LockFreeVisitedSet::insert(
     if (seen == key) return Insert::Present;
     if (seen == 0) {
       // The fill limit gates CLAIMING only — keys already in the table must
-      // keep answering Present after the table refuses new ones.
+      // keep answering Present after the table refuses new ones. The gate is
+      // check-then-CAS, so racing claimers can overshoot the limit by up to
+      // threads-1 keys; the header's headroom argument covers why that is
+      // harmless (and why the limit is documented as approximate).
       if (size_.load(std::memory_order_relaxed) >= fill_limit_) {
         return Insert::Full;
       }

@@ -45,6 +45,17 @@
 // (complete = false), so an undersized table degrades a verdict to
 // "budget-exhausted", never to a wrong "verified".
 //
+// The 7/8-of-capacity fill limit is approximate, not strict: the gate reads
+// size_ before the claiming CAS, so N threads racing at the boundary can all
+// pass it and claim up to N-1 keys past the limit. The overshoot is bounded
+// by the thread count, and the 1/8 headroom (plus the probe-run bound) keeps
+// the table below physical capacity regardless, so correctness — exactly one
+// Claimed per key, Present after Claimed — is unaffected. Consequently,
+// near the limit WHICH insert first observes Full (via the gate or a
+// clustered probe run) depends on the racing claim order; callers that need
+// a deterministic complete/incomplete boundary must size the table so the
+// key population fits comfortably under the limit (see mc/model_check.h).
+//
 // Key 0 is remapped to a fixed odd constant so 0 can serve as the empty
 // sentinel — one more 2^-64 collision on top of the digest's own, the same
 // accepted risk as every digest-keyed map in this codebase.
@@ -88,7 +99,8 @@ class LockFreeVisitedSet {
   std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
   std::size_t mask_ = 0;       // capacity - 1 (capacity is a power of two)
   std::size_t max_probe_ = 0;  // probe-run bound before reporting Full
-  std::size_t fill_limit_ = 0; // claimed-key ceiling (7/8 of capacity)
+  std::size_t fill_limit_ = 0; // claimed-key ceiling (~7/8 of capacity; racing
+                               // claims may overshoot by threads-1 — header)
   std::atomic<std::size_t> size_{0};
 };
 
