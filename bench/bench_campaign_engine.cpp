@@ -74,6 +74,34 @@ void print_report() {
             << " the materialized serial run ("
             << streamed.cells.size() << " cells, no per-scenario storage).\n";
 
+  // Lane-batched A/B: the SoA lane engine (sim::BatchArena) must reproduce
+  // the scalar digest at every lane setting — 1 is the historical scalar
+  // path, auto is what production campaigns run. A mismatch here is an
+  // engine bug, so the report exits nonzero (this is the CI batch smoke).
+  print_section(std::cout, "Lane batching (batch_lanes A/B, workers = 1)");
+  bool lanes_ok = true;
+  Table lane_table({"lanes", "wall ms", "scenarios/s", "digest match"});
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{4}, std::size_t{0}}) {
+    exp::CampaignOptions options;
+    options.workers = 1;
+    options.batch_lanes = lanes;
+    const auto start = std::chrono::steady_clock::now();
+    const exp::CampaignResult result = exp::run_campaign(grid, options);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(stop - start).count();
+    const bool match = result.digest() == serial.digest();
+    lanes_ok = lanes_ok && match;
+    lane_table.add_row({lanes == 0 ? "auto" : Table::num(lanes),
+                        Table::num(ms, 0),
+                        Table::num(1000.0 * static_cast<double>(scenario_count) / ms, 0),
+                        match ? "yes" : "NO"});
+  }
+  std::cout << lane_table;
+  if (!lanes_ok) {
+    std::cout << "ERROR: lane-batched digest diverged from the scalar engine.\n";
+    std::exit(2);
+  }
+
   std::cout << "\nfailures: " << serial.failures << " / " << scenario_count
             << "   digest: " << std::hex << serial.digest() << std::dec << '\n';
   if (!serial.all_ok()) {
@@ -108,6 +136,34 @@ void register_timings() {
             if (!result.all_ok()) state.SkipWithError("campaign failed");
           }
           state.counters["workers"] = static_cast<double>(workers);
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+  // Lane-scaling rows: the same acceptance cell swept over batch_lanes at
+  // one worker, so the artifact tracks the lane engine's own trajectory
+  // (lanes=1 is the scalar path; the workers= rows above run auto lanes).
+  for (const std::size_t lanes : {1u, 2u, 4u, 8u}) {
+    const std::string name =
+        "campaign/n=32..48/k=4,8/lanes=" + std::to_string(lanes);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [lanes](benchmark::State& state) {
+          exp::CampaignGrid grid;
+          grid.algorithms = {core::Algorithm::KnownKFull};
+          grid.schedulers = {sim::SchedulerKind::RoundRobin,
+                             sim::SchedulerKind::Random};
+          grid.node_counts = {32, 48};
+          grid.agent_counts = {4, 8};
+          grid.seeds = 4;
+          exp::CampaignOptions options;
+          options.workers = 1;
+          options.batch_lanes = lanes;
+          for (auto _ : state) {
+            const exp::CampaignResult result = exp::run_campaign(grid, options);
+            benchmark::DoNotOptimize(result.failures);
+            if (!result.all_ok()) state.SkipWithError("campaign failed");
+          }
+          state.counters["lanes"] = static_cast<double>(lanes);
         })
         ->Unit(benchmark::kMillisecond);
   }

@@ -11,9 +11,19 @@ tolerance. Benchmarks that only exist in the fresh run are reported but
 never fail the comparison (new benches land before their baseline does).
 
 Exit codes: 0 = within tolerance, 1 = regression or missing benchmark,
-2 = unreadable/malformed input. With --informational, regressions print
-GitHub warning annotations and the exit code stays 0 (missing benchmarks
-still fail: a silently dropped benchmark is a broken artifact, not noise).
+2 = unreadable/malformed input or a debug-built input. With --informational,
+regressions print GitHub warning annotations and the exit code stays 0
+(missing benchmarks still fail: a silently dropped benchmark is a broken
+artifact, not noise).
+
+Debug timings are rejected outright, on BOTH sides of the comparison: a
+baseline recorded from a debug build makes every future comparison
+meaningless, and a debug fresh run can only produce false regressions. The
+build type is read from the JSON context's "udring_build_type" key (written
+by the bench harness itself, see bench/support/bench_common.h) and falls
+back to google-benchmark's "library_build_type" for artifacts predating the
+key. This check ignores --informational — it is an artifact-validity error,
+not a timing excursion.
 
 The default tolerance is deliberately generous: the committed baselines and
 the CI runners are different machines, so this gate catches order-of-
@@ -32,6 +42,15 @@ def load(path):
             data = json.load(f)
     except (OSError, json.JSONDecodeError) as error:
         print(f"bench_compare: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+    context = data.get("context", {})
+    build_type = context.get("udring_build_type",
+                             context.get("library_build_type", "unknown"))
+    if str(build_type).lower() == "debug":
+        print(f"::error::bench_compare: {path} was recorded from a DEBUG "
+              f"build (context reports '{build_type}'); debug timings are "
+              f"not comparable — rebuild with CMAKE_BUILD_TYPE=Release and "
+              f"regenerate the JSON", file=sys.stderr)
         sys.exit(2)
     benchmarks = {}
     for bench in data.get("benchmarks", []):

@@ -17,8 +17,10 @@ sim::Behavior DisperseAgent::run(sim::AgentContext& ctx) {
       ++dis;
     } while (ctx.tokens_here() == 0);
     d_.push_back(dis);
+    memory_changed();
   }
   n_ = sum(d_);
+  memory_changed();
 
   // Settle r nodes past the nearest forward base (rank-0) home; distinct
   // ranks off period-spaced bases give pairwise-distinct targets (see the
@@ -33,7 +35,7 @@ sim::Behavior DisperseAgent::run(sim::AgentContext& ctx) {
   co_return;
 }
 
-std::size_t DisperseAgent::memory_bits() const {
+std::size_t DisperseAgent::compute_memory_bits() const {
   const std::uint64_t max_d =
       d_.empty() ? 1 : *std::max_element(d_.begin(), d_.end());
   return MemoryMeter{}

@@ -48,7 +48,7 @@ class DisperseAgent final : public sim::AgentProgram {
   [[nodiscard]] std::string_view name() const override {
     return "disperse-ring";
   }
-  [[nodiscard]] std::size_t memory_bits() const override;
+  [[nodiscard]] std::size_t compute_memory_bits() const override;
   [[nodiscard]] std::uint64_t state_hash() const override;
   [[nodiscard]] std::vector<std::string_view> phase_names() const override {
     return {"explore", "settle"};

@@ -17,14 +17,17 @@ sim::Behavior PartialGatherAgent::run(sim::AgentContext& ctx) {
       ++dis;
     } while (ctx.tokens_here() == 0);
     d_.push_back(dis);
+    memory_changed();
   }
   n_ = sum(d_);
+  memory_changed();
 
   const std::size_t p = period(d_);
   if (p < g_) {
     // Fewer rank classes than the group size: no node can collect g agents
     // (see the header's impossibility argument). Report and stop at home.
     unsolvable_ = true;
+    memory_changed();
     co_return;
   }
 
@@ -46,7 +49,7 @@ sim::Behavior PartialGatherAgent::run(sim::AgentContext& ctx) {
   co_return;
 }
 
-std::size_t PartialGatherAgent::memory_bits() const {
+std::size_t PartialGatherAgent::compute_memory_bits() const {
   const std::uint64_t max_d =
       d_.empty() ? 1 : *std::max_element(d_.begin(), d_.end());
   return MemoryMeter{}

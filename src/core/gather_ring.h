@@ -60,7 +60,7 @@ class PartialGatherAgent final : public sim::AgentProgram,
 
   sim::Behavior run(sim::AgentContext& ctx) override;
   [[nodiscard]] std::string_view name() const override { return "gather-ring"; }
-  [[nodiscard]] std::size_t memory_bits() const override;
+  [[nodiscard]] std::size_t compute_memory_bits() const override;
   [[nodiscard]] std::uint64_t state_hash() const override;
   [[nodiscard]] std::vector<std::string_view> phase_names() const override {
     return {"explore", "gather"};

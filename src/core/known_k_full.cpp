@@ -26,14 +26,17 @@ sim::Behavior KnownKFullAgent::run(sim::AgentContext& ctx) {
       ++dis;
     } while (ctx.tokens_here() == 0);
     d_.push_back(dis);
+    memory_changed();
   }
   n_ = sum(d_);
+  memory_changed();
 
   // --- deployment phase (lines 12–18) --------------------------------------
   ctx.set_phase(kDeployment);
   rank_ = min_rotation(d_);
   dis_base_ = 0;
   for (std::size_t i = 0; i < rank_; ++i) dis_base_ += d_[i];
+  memory_changed();
 
   // b = symmetry degree: on periodic configurations each period block elects
   // its own base node and rank_ < k/b indexes within the block.
@@ -46,7 +49,7 @@ sim::Behavior KnownKFullAgent::run(sim::AgentContext& ctx) {
   co_return;
 }
 
-std::size_t KnownKFullAgent::memory_bits() const {
+std::size_t KnownKFullAgent::compute_memory_bits() const {
   const std::uint64_t max_d =
       d_.empty() ? 1 : *std::max_element(d_.begin(), d_.end());
   return MemoryMeter{}
@@ -83,6 +86,7 @@ sim::Behavior KnownNFullAgent::run(sim::AgentContext& ctx) {
       d_.push_back(dis);
       dis = 0;
     }
+    memory_changed();
   }
   // Back home: the last recorded distance closes the circuit, so ΣD = n and
   // |D| = k.
@@ -91,6 +95,7 @@ sim::Behavior KnownNFullAgent::run(sim::AgentContext& ctx) {
   rank_ = min_rotation(d_);
   dis_base_ = 0;
   for (std::size_t i = 0; i < rank_; ++i) dis_base_ += d_[i];
+  memory_changed();
 
   const TargetPlan plan =
       make_target_plan(n_, d_.size(), symmetry_degree(d_));
@@ -101,7 +106,7 @@ sim::Behavior KnownNFullAgent::run(sim::AgentContext& ctx) {
   co_return;
 }
 
-std::size_t KnownNFullAgent::memory_bits() const {
+std::size_t KnownNFullAgent::compute_memory_bits() const {
   const std::uint64_t max_d =
       d_.empty() ? 1 : *std::max_element(d_.begin(), d_.end());
   return MemoryMeter{}

@@ -42,7 +42,7 @@ class KnownKFullAgent final : public sim::AgentProgram {
 
   sim::Behavior run(sim::AgentContext& ctx) override;
   [[nodiscard]] std::string_view name() const override { return "known-k-full"; }
-  [[nodiscard]] std::size_t memory_bits() const override;
+  [[nodiscard]] std::size_t compute_memory_bits() const override;
   [[nodiscard]] std::uint64_t state_hash() const override;
   [[nodiscard]] std::vector<std::string_view> phase_names() const override {
     return {"selection", "deployment"};
@@ -83,7 +83,7 @@ class KnownNFullAgent final : public sim::AgentProgram {
 
   sim::Behavior run(sim::AgentContext& ctx) override;
   [[nodiscard]] std::string_view name() const override { return "known-n-full"; }
-  [[nodiscard]] std::size_t memory_bits() const override;
+  [[nodiscard]] std::size_t compute_memory_bits() const override;
   [[nodiscard]] std::uint64_t state_hash() const override;
   [[nodiscard]] std::vector<std::string_view> phase_names() const override {
     return {"selection", "deployment"};

@@ -35,6 +35,7 @@ sim::Behavior KnownKLogMemAgent::run(sim::AgentContext& ctx) {
     tokens_seen_ = 0;
     identical_ = true;
     min_ = true;
+    memory_changed();
     const bool first_circuit = (sub_phase_ == 1);
 
     // -- measure ID_i = (d_own_, fnum_own_): walk to the next active node.
@@ -43,9 +44,11 @@ sim::Behavior KnownKLogMemAgent::run(sim::AgentContext& ctx) {
     // walk returned home (every home keeps its token forever).
     d_own_ = 0;
     fnum_own_ = 0;
+    memory_changed();
     for (;;) {
       co_await ctx.move();
       ++d_own_;
+      memory_changed();
       if (first_circuit) ++n_;  // n accumulates over the first circuit
       if (ctx.tokens_here() == 0) continue;
       ++tokens_seen_;
@@ -57,15 +60,18 @@ sim::Behavior KnownKLogMemAgent::run(sim::AgentContext& ctx) {
       // meeting another active node (Algorithm 2, line 6). fnum_own_ counted
       // every follower, so the whole ring is its segment.
       role_ = Role::Leader;
+      memory_changed();
       break;
     }
 
     // -- measure ID_next of the next active agent (lines 7–9).
     d_next_ = 0;
     fnum_next_ = 0;
+    memory_changed();
     for (;;) {
       co_await ctx.move();
       ++d_next_;
+      memory_changed();
       if (first_circuit) ++n_;
       if (ctx.tokens_here() == 0) continue;
       ++tokens_seen_;
@@ -79,9 +85,11 @@ sim::Behavior KnownKLogMemAgent::run(sim::AgentContext& ctx) {
     while (tokens_seen_ != k_) {
       d_other_ = 0;
       fnum_other_ = 0;
+      memory_changed();
       for (;;) {
         co_await ctx.move();
         ++d_other_;
+        memory_changed();
         if (first_circuit) ++n_;
         if (ctx.tokens_here() == 0) continue;
         ++tokens_seen_;
@@ -97,11 +105,14 @@ sim::Behavior KnownKLogMemAgent::run(sim::AgentContext& ctx) {
     // -- decide (lines 15–17). The agent is now back at its home node.
     if (identical_) {
       role_ = Role::Leader;  // all active agents share one ID: base nodes found
+      memory_changed();
     } else if (!min_ ||
                compare_ids(d_own_, fnum_own_, d_next_, fnum_next_) == 0) {
       role_ = Role::Follower;  // not minimal, or a non-last member of a run
+      memory_changed();
     } else {
       ++sub_phase_;  // survive into the next sub-phase
+      memory_changed();
     }
   }
 
@@ -123,6 +134,7 @@ sim::Behavior KnownKLogMemAgent::run(sim::AgentContext& ctx) {
     // Walk the segment, waking each follower with its token count to the
     // next base node (lines 4–9).
     walk_count_ = 0;
+    memory_changed();
     while (walk_count_ != fnum_own_) {
       do {
         co_await ctx.move();
@@ -131,6 +143,7 @@ sim::Behavior KnownKLogMemAgent::run(sim::AgentContext& ctx) {
       info.t_base = fnum_own_ - walk_count_;
       ctx.broadcast(info);
       ++walk_count_;
+      memory_changed();
     }
     // Move to the next base node — this leader's own target — and halt.
     do {
@@ -154,9 +167,13 @@ sim::Behavior KnownKLogMemAgent::run(sim::AgentContext& ctx) {
 
   // Walk to the nearest base node: pass t_base token nodes (line 17).
   walk_count_ = 0;
+  memory_changed();
   while (walk_count_ != info.t_base) {
     co_await ctx.move();
-    if (ctx.tokens_here() != 0) ++walk_count_;
+    if (ctx.tokens_here() != 0) {
+      ++walk_count_;
+      memory_changed();
+    }
   }
 
   // Probe target positions until a vacant one is found (lines 18–21).
@@ -165,8 +182,10 @@ sim::Behavior KnownKLogMemAgent::run(sim::AgentContext& ctx) {
   // is probed like any target (the literal pseudocode — racy, see header);
   // by default it is skipped, reserved for its leader.
   target_index_ = 0;
+  memory_changed();
   for (;;) {
     ++target_index_;
+    memory_changed();
     const std::size_t hop =
         info.floor_gap + (target_index_ <= info.ceil_gaps ? 1 : 0);
     for (std::size_t step = 0; step < hop; ++step) {
@@ -177,11 +196,14 @@ sim::Behavior KnownKLogMemAgent::run(sim::AgentContext& ctx) {
         ctx.others_staying_here() == 0) {
       co_return;  // claim this vacant target and halt
     }
-    if (at_base_node) target_index_ = 0;
+    if (at_base_node) {
+      target_index_ = 0;
+      memory_changed();
+    }
   }
 }
 
-std::size_t KnownKLogMemAgent::memory_bits() const {
+std::size_t KnownKLogMemAgent::compute_memory_bits() const {
   // Scalars only — this is the point of Algorithm 2. Every counter is
   // bounded by n (distances), k (counts) or log k (sub-phase index).
   return MemoryMeter{}

@@ -18,10 +18,12 @@ sim::Behavior PrematureHaltAgent::run(sim::AgentContext& ctx) {
       ++dis;
     } while (ctx.tokens_here() == 0);
     d_.push_back(dis);
+    memory_changed();
     ++observed;
     if (observed % 4 == 0 && is_m_fold_repetition(d_, 4)) {
       k_est_ = observed / 4;
       for (std::size_t i = 0; i < k_est_; ++i) n_est_ += d_[i];
+      memory_changed();
     }
   }
 
@@ -29,6 +31,7 @@ sim::Behavior PrematureHaltAgent::run(sim::AgentContext& ctx) {
   // step Theorem 5 forbids: the estimate may describe a smaller ring.
   ctx.set_phase(kDeploying);
   rank_ = min_rotation(d_);
+  memory_changed();
   std::size_t dis_base = 0;
   for (std::size_t i = 0; i < rank_; ++i) dis_base += d_[i];
   const std::size_t offset =
@@ -39,7 +42,7 @@ sim::Behavior PrematureHaltAgent::run(sim::AgentContext& ctx) {
   co_return;
 }
 
-std::size_t PrematureHaltAgent::memory_bits() const {
+std::size_t PrematureHaltAgent::compute_memory_bits() const {
   const std::uint64_t max_d =
       d_.empty() ? 1 : *std::max_element(d_.begin(), d_.end());
   return MemoryMeter{}

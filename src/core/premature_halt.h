@@ -39,7 +39,7 @@ class PrematureHaltAgent final : public sim::AgentProgram {
 
   sim::Behavior run(sim::AgentContext& ctx) override;
   [[nodiscard]] std::string_view name() const override { return "premature-halt"; }
-  [[nodiscard]] std::size_t memory_bits() const override;
+  [[nodiscard]] std::size_t compute_memory_bits() const override;
   [[nodiscard]] std::uint64_t state_hash() const override;
   [[nodiscard]] std::vector<std::string_view> phase_names() const override {
     return {"estimating", "deploying"};

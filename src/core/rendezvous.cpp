@@ -17,13 +17,16 @@ sim::Behavior RendezvousAgent::run(sim::AgentContext& ctx) {
       ++dis;
     } while (ctx.tokens_here() == 0);
     d_.push_back(dis);
+    memory_changed();
   }
   n_ = sum(d_);
+  memory_changed();
 
   if (is_periodic(d_)) {
     // Symmetric views: gathering is impossible (classical rendezvous lower
     // bound). Report and stop at home.
     unsolvable_ = true;
+    memory_changed();
     co_return;
   }
 
@@ -39,7 +42,7 @@ sim::Behavior RendezvousAgent::run(sim::AgentContext& ctx) {
   co_return;
 }
 
-std::size_t RendezvousAgent::memory_bits() const {
+std::size_t RendezvousAgent::compute_memory_bits() const {
   const std::uint64_t max_d =
       d_.empty() ? 1 : *std::max_element(d_.begin(), d_.end());
   return MemoryMeter{}

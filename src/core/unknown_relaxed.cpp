@@ -19,9 +19,11 @@ sim::Behavior UnknownRelaxedAgent::run(sim::AgentContext& ctx) {
     do {
       co_await ctx.move();
       ++nodes_;
+      memory_changed();
       ++dis;
     } while (ctx.tokens_here() == 0);
     d_.push_back(dis);
+    memory_changed();
     ++observed;
     if (observed % 4 == 0 && is_m_fold_repetition(d_, 4)) {
       // D = S^4: the agent believes it circled the ring four times.
@@ -29,6 +31,7 @@ sim::Behavior UnknownRelaxedAgent::run(sim::AgentContext& ctx) {
       n_est_ = 0;
       for (std::size_t i = 0; i < k_est_; ++i) n_est_ += d_[i];
       first_n_est_ = n_est_;
+      memory_changed();
     }
   }
 
@@ -43,6 +46,7 @@ sim::Behavior UnknownRelaxedAgent::run(sim::AgentContext& ctx) {
     while (nodes_ != 12 * n_est_) {
       co_await ctx.move();
       ++nodes_;
+      memory_changed();
       if (corrections_ == 0 && ctx.others_staying_here() > 0) {
         sim::EstimateMessage message;
         message.n_est = n_est_;
@@ -58,6 +62,7 @@ sim::Behavior UnknownRelaxedAgent::run(sim::AgentContext& ctx) {
     rank_ = min_rotation(d_);  // < k_est_ because S is aperiodic
     dis_base_ = 0;
     for (std::size_t i = 0; i < rank_; ++i) dis_base_ += d_[i];
+    memory_changed();
 
     // offset(rank) with the n' ≠ c·k' remainder rule (§3.1.1, one segment in
     // the agent's estimated world).
@@ -69,6 +74,7 @@ sim::Behavior UnknownRelaxedAgent::run(sim::AgentContext& ctx) {
     for (std::size_t i = 0; i < dis_base_ + offset; ++i) {
       co_await ctx.move();
       ++nodes_;
+      memory_changed();
     }
 
     // ==== suspended state (Algorithm 6, lines 12–19) ========================
@@ -83,6 +89,7 @@ sim::Behavior UnknownRelaxedAgent::run(sim::AgentContext& ctx) {
       k_est_ = message.k_est;
       d_ = shift(message.distance_seq, t);  // D re-anchored at this agent's home
       ++corrections_;
+      memory_changed();
       break;
     }
     // Catch up to 12·n'ℓ total moves (always ahead of nodes_; Lemma 5), then
@@ -138,7 +145,7 @@ UnknownRelaxedAgent::pick_resume_message(
   return best;
 }
 
-std::size_t UnknownRelaxedAgent::memory_bits() const {
+std::size_t UnknownRelaxedAgent::compute_memory_bits() const {
   const std::uint64_t max_d =
       d_.empty() ? 1 : *std::max_element(d_.begin(), d_.end());
   return MemoryMeter{}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <span>
 #include <sstream>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 
 #include "config/generators.h"
 #include "core/distance_sequence.h"
+#include "sim/batch_arena.h"
 #include "util/bits.h"
 
 namespace udring::exp {
@@ -88,34 +90,21 @@ namespace {
   return key;
 }
 
-ScenarioResult run_one(const Scenario& scenario, const CampaignGrid& grid,
-                       bool record_final_positions, core::RunContext& ctx) {
-  ScenarioResult out;
-  try {
-    Rng rng = Rng(grid.base_seed).substream(instance_key(scenario));
-    core::RunSpec spec;
-    spec.node_count = scenario.node_count;
-    spec.homes = draw_homes(scenario.family, scenario.node_count,
-                            scenario.agent_count, scenario.symmetry, rng);
-    spec.seed = rng();  // scheduler randomness, independent of the homes draw
-    spec.scheduler = scenario.scheduler;
-    spec.sim_options = grid.sim_options;
-    spec.problem = scenario.problem;
-    const core::RunReport report = ctx.run(scenario.algorithm, spec);
-    out.success = report.success;
-    if (!report.success) out.ensure_cold().failure = report.failure;
-    out.total_moves = report.total_moves;
-    out.makespan = report.makespan;
-    out.max_memory_bits = report.max_memory_bits;
-    out.actions = report.result.actions;
-    if (record_final_positions) {
-      out.ensure_cold().final_positions = report.final_positions;
-    }
-  } catch (const std::exception& error) {
-    out.success = false;
-    out.ensure_cold().failure = std::string("exception: ") + error.what();
-  }
-  return out;
+/// Builds the RunSpec scenario `s` executes — the substream derivation both
+/// engines (and scenario_homes) share: homes drawn from the instance-keyed
+/// substream, then one extra draw for the scheduler seed.
+[[nodiscard]] core::RunSpec make_scenario_spec(const Scenario& scenario,
+                                               const CampaignGrid& grid) {
+  Rng rng = Rng(grid.base_seed).substream(instance_key(scenario));
+  core::RunSpec spec;
+  spec.node_count = scenario.node_count;
+  spec.homes = draw_homes(scenario.family, scenario.node_count,
+                          scenario.agent_count, scenario.symmetry, rng);
+  spec.seed = rng();  // scheduler randomness, independent of the homes draw
+  spec.scheduler = scenario.scheduler;
+  spec.sim_options = grid.sim_options;
+  spec.problem = scenario.problem;
+  return spec;
 }
 
 [[nodiscard]] std::string describe(const Scenario& s) {
@@ -214,6 +203,172 @@ void sample_failure(CellStats& stats, SampleBuffer& global, const Scenario& s,
     insert_bounded(global, options.max_recorded_failures, s.index,
                    std::move(description));
   }
+}
+
+// ---- lane-batched execution (sim::BatchArena) -------------------------------
+
+/// Auto heuristic bounds. Lanes pay off when a lane's whole arena (state,
+/// queues, coroutine frames) is small enough that B of them stay cheap and
+/// per-scenario setup/retirement is a visible fraction of the run — AND the
+/// scenario stream is long enough to amortize warming B arenas instead of
+/// one (B−1 extra n-sized buffer growths per worker, ~tens of µs, which a
+/// 32-scenario smoke grid would pay as a net loss). Big rings and short
+/// streams keep the scalar engine.
+constexpr std::size_t kAutoLanes = 4;
+constexpr std::size_t kAutoLaneMaxNodes = 4096;
+constexpr std::size_t kAutoLaneMinScenariosPerWorker = 256;
+
+/// The lane count the engine actually uses (see CampaignOptions::batch_lanes:
+/// 0 = auto, 1 = scalar, >1 = explicit). A pure performance policy: results
+/// are byte-identical whichever engine runs.
+[[nodiscard]] std::size_t resolve_batch_lanes(const CampaignGrid& grid,
+                                              const CampaignOptions& options,
+                                              std::size_t scenario_count,
+                                              std::size_t workers) {
+  if (options.batch_lanes != 0) return options.batch_lanes;
+  if (scenario_count < kAutoLaneMinScenariosPerWorker * workers) return 1;
+  std::size_t max_n = 0;
+  for (const auto& [n, k] : grid.instances) max_n = std::max(max_n, n);
+  if (grid.instances.empty()) {
+    for (const std::size_t n : grid.node_counts) max_n = std::max(max_n, n);
+  }
+  return max_n <= kAutoLaneMaxNodes ? kAutoLanes : 1;
+}
+
+/// Lean epilogue of the lane-batched engine: exactly the fields the
+/// aggregation folds consume — core::finish_report's success/failure
+/// derivation (oracle on quiescence, the action-limit text otherwise), the
+/// three complexity measures, the action count, and the final positions only
+/// when requested. None of the report-only extras (moves_by_phase, labels,
+/// string copies) the scalar RunReport allocates and the campaign discards.
+[[nodiscard]] ScenarioResult finish_scenario(const sim::GoalOracle& oracle,
+                                             const sim::ExecutionState& state,
+                                             const sim::RunResult& result,
+                                             bool record_final_positions) {
+  ScenarioResult out;
+  if (result.quiescent()) {
+    const sim::CheckResult goal = oracle.check_goal(state);
+    out.success = goal.ok;
+    if (!goal.ok) out.ensure_cold().failure = goal.reason;
+  } else {
+    out.success = false;
+    out.ensure_cold().failure =
+        "action limit reached (livelock or broken algorithm)";
+  }
+  out.total_moves = state.metrics().total_moves();
+  out.makespan = state.metrics().makespan();
+  out.max_memory_bits = state.metrics().max_memory_bits();
+  out.actions = result.actions;
+  if (record_final_positions) {
+    out.ensure_cold().final_positions = state.staying_nodes();
+  }
+  return out;
+}
+
+[[nodiscard]] ScenarioResult exception_result(const std::exception& error) {
+  ScenarioResult out;
+  out.success = false;
+  out.ensure_cold().failure = std::string("exception: ") + error.what();
+  return out;
+}
+
+/// One scenario on the scalar (lanes == 1) engine, through the same lean
+/// epilogue the lane-batched path uses — build the spec and instance, reset
+/// the worker's pooled state, run, judge. `instance_slot` is worker-owned
+/// storage keeping the Instance alive while ctx.state() references it
+/// (RunContext::run would do this internally, but would also assemble a full
+/// RunReport — moves_by_phase, sorted positions, label mapping — that the
+/// campaign folds immediately discard).
+ScenarioResult run_one(const Scenario& scenario, const CampaignGrid& grid,
+                       bool record_final_positions, core::RunContext& ctx,
+                       std::optional<sim::Instance>& instance_slot) {
+  try {
+    const core::RunSpec spec = make_scenario_spec(scenario, grid);
+    const sim::Instance& instance =
+        instance_slot.emplace(core::make_instance(scenario.algorithm, spec));
+    ctx.state().reset(instance);
+    sim::Scheduler& scheduler =
+        ctx.scheduler(spec.scheduler, spec.seed, spec.homes.size());
+    const sim::RunResult result = ctx.state().run(scheduler);
+    return finish_scenario(ctx.oracle(scenario.algorithm, scenario.problem),
+                           ctx.state(), result, record_final_positions);
+  } catch (const std::exception& error) {
+    return exception_result(error);
+  }
+}
+
+/// The lane-batched scenario loop shared by both aggregation paths: each
+/// worker owns a LanePool + BatchArena of `lanes` lanes and pumps scenario
+/// indices from the shared work-stealing cursor, so up to workers × lanes
+/// scenarios are in flight; finished lanes retire individually and refill
+/// from the stream. emit(worker, scenario, result) is called once per
+/// claimed scenario, on the claiming worker's thread, in lane-retirement
+/// order — safe because every fold the callers apply is commutative and
+/// index-keyed (the same argument that makes work stealing itself sound).
+///
+/// Exception parity with the scalar path, stage by stage: a scenario whose
+/// spec/instance build throws (feed), whose run throws (an algorithm bug
+/// surfacing through Behavior::resume), or whose oracle throws (retire) is
+/// emitted as a failure with "exception: " + what — exactly run_one's catch.
+/// Returns the worker count used.
+std::size_t run_scenarios_batched(
+    const CampaignGrid& grid, const std::vector<CellKey>& cells,
+    std::size_t scenario_count, std::size_t workers, std::size_t lanes,
+    bool record_final_positions,
+    const std::function<void(std::size_t worker, const Scenario& s,
+                             ScenarioResult&& r)>& emit) {
+  return parallel_pump_workers(
+      scenario_count, workers,
+      [&](std::size_t worker, const std::function<std::size_t()>& claim) {
+        core::LanePool pool(lanes);
+        sim::BatchArena arena(lanes);
+        std::vector<Scenario> in_flight(lanes);
+
+        const auto feed = [&](std::size_t lane) -> bool {
+          for (;;) {
+            const std::size_t i = claim();
+            if (i >= scenario_count) return false;
+            const Scenario s = scenario_at(cells, grid.seeds, i);
+            try {
+              const core::RunSpec spec = make_scenario_spec(s, grid);
+              sim::Scheduler& scheduler = pool.scheduler(
+                  lane, spec.scheduler, spec.seed, spec.homes.size());
+              const sim::Instance& instance =
+                  pool.emplace_instance(lane, s.algorithm, spec);
+              arena.load(lane, instance, scheduler, spec.scheduler, i);
+              in_flight[lane] = s;
+              return true;
+            } catch (const std::exception& error) {
+              emit(worker, s, exception_result(error));
+              // The lane is still empty — claim the next scenario for it.
+            }
+          }
+        };
+        const auto retire = [&](std::size_t lane, std::uint64_t /*ticket*/,
+                                const sim::RunResult& result) {
+          const Scenario& s = in_flight[lane];
+          ScenarioResult out;
+          try {
+            out = finish_scenario(pool.oracle(s.algorithm, s.problem),
+                                  arena.state(lane), result,
+                                  record_final_positions);
+          } catch (const std::exception& error) {
+            out = exception_result(error);
+          }
+          emit(worker, s, std::move(out));
+        };
+        const auto on_error = [&](std::size_t lane, std::uint64_t /*ticket*/,
+                                  std::exception_ptr error) {
+          try {
+            std::rethrow_exception(std::move(error));
+          } catch (const std::exception& e) {
+            emit(worker, in_flight[lane], exception_result(e));
+          }
+          // A non-std::exception rethrow escapes to parallel_pump_workers,
+          // which is where the scalar path sends it too.
+        };
+        arena.run(feed, retire, on_error);
+      });
 }
 
 }  // namespace
@@ -409,20 +564,35 @@ CampaignResult run_campaign(const CampaignGrid& grid,
   // 1000-instance campaign performs O(workers), not O(instances),
   // steady-state heap allocations. Scenario *outputs* still go to
   // index-owned slots — pooling changes where the arena lives, not the
-  // determinism story.
+  // determinism story. With batch_lanes ≠ 1 the pooled arena is a
+  // BatchArena of lanes instead of one RunContext — same outputs, same
+  // slots, B scenarios in flight per worker.
   const std::size_t workers =
       resolve_workers(result.scenarios.size(), options.workers);
-  std::vector<std::unique_ptr<core::RunContext>> contexts;
-  contexts.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    contexts.push_back(std::make_unique<core::RunContext>());
+  const std::size_t lanes =
+      resolve_batch_lanes(grid, options, result.scenarios.size(), workers);
+  if (lanes > 1) {
+    result.workers_used = run_scenarios_batched(
+        grid, expand_cells(grid), result.scenarios.size(), workers, lanes,
+        options.record_final_positions,
+        [&](std::size_t /*worker*/, const Scenario& s, ScenarioResult&& r) {
+          result.results[s.index] = std::move(r);
+        });
+  } else {
+    std::vector<std::unique_ptr<core::RunContext>> contexts;
+    std::vector<std::optional<sim::Instance>> instances(workers);
+    contexts.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      contexts.push_back(std::make_unique<core::RunContext>());
+    }
+    result.workers_used = parallel_for_workers(
+        result.scenarios.size(), workers,
+        [&](std::size_t worker, std::size_t i) {
+          result.results[i] = run_one(result.scenarios[i], grid,
+                                      options.record_final_positions,
+                                      *contexts[worker], instances[worker]);
+        });
   }
-  result.workers_used = parallel_for_workers(
-      result.scenarios.size(), workers, [&](std::size_t worker, std::size_t i) {
-        result.results[i] =
-            run_one(result.scenarios[i], grid, options.record_final_positions,
-                    *contexts[worker]);
-      });
 
   // Aggregation in scenario-index order. Every fold below is
   // order-independent anyway (integer sums, commutative hash-sum,
@@ -501,28 +671,47 @@ CampaignResult run_campaign_streaming(const CampaignGrid& grid,
     std::size_t failures = 0;
     SampleBuffer samples;
   };
-  std::vector<std::unique_ptr<core::RunContext>> contexts;
   std::vector<CellAccumulator> accumulators(workers);
-  contexts.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    contexts.push_back(std::make_unique<core::RunContext>());
-  }
 
-  result.workers_used = parallel_for_workers(
-      scenario_count, workers, [&](std::size_t worker, std::size_t i) {
-        const Scenario s = scenario_at(cells, grid.seeds, i);
-        const ScenarioResult r =
-            run_one(s, grid, /*record_final_positions=*/false,
-                    *contexts[worker]);
-        CellAccumulator& acc = accumulators[worker];
-        acc.scenario_hash += hash_scenario(i, r);
-        CellStats& stats = acc.cells[cells[i / grid.seeds]];
-        fold_into_cell(stats, r);
-        if (!r.success) {
-          ++acc.failures;
-          sample_failure(stats, acc.samples, s, r, options);
-        }
-      });
+  // The worker-local fold both engines below share: commutative and
+  // index-keyed, so per-lane retirement order (batched) and index-claim
+  // order (scalar) land on the same accumulator bytes.
+  const auto fold = [&](std::size_t worker, const Scenario& s,
+                        const ScenarioResult& r) {
+    CellAccumulator& acc = accumulators[worker];
+    acc.scenario_hash += hash_scenario(s.index, r);
+    CellStats& stats = acc.cells[cells[s.index / grid.seeds]];
+    fold_into_cell(stats, r);
+    if (!r.success) {
+      ++acc.failures;
+      sample_failure(stats, acc.samples, s, r, options);
+    }
+  };
+
+  const std::size_t lanes =
+      resolve_batch_lanes(grid, options, scenario_count, workers);
+  if (lanes > 1) {
+    result.workers_used = run_scenarios_batched(
+        grid, cells, scenario_count, workers, lanes,
+        /*record_final_positions=*/false,
+        [&](std::size_t worker, const Scenario& s, ScenarioResult&& r) {
+          fold(worker, s, r);
+        });
+  } else {
+    std::vector<std::unique_ptr<core::RunContext>> contexts;
+    std::vector<std::optional<sim::Instance>> instances(workers);
+    contexts.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      contexts.push_back(std::make_unique<core::RunContext>());
+    }
+    result.workers_used = parallel_for_workers(
+        scenario_count, workers, [&](std::size_t worker, std::size_t i) {
+          const Scenario s = scenario_at(cells, grid.seeds, i);
+          fold(worker, s,
+               run_one(s, grid, /*record_final_positions=*/false,
+                       *contexts[worker], instances[worker]));
+        });
+  }
 
   // Merge. Work stealing hands workers arbitrary scenario subsets, so every
   // combination below is commutative-exact: integer sums, wrapping

@@ -245,6 +245,20 @@ struct CampaignOptions {
   /// Deliberately independent of the worker count so the digest contract
   /// holds even when the budget binds.
   std::size_t memory_budget_bytes = 0;
+  /// Lane-batched execution (sim::BatchArena): how many in-flight scenarios
+  /// each worker interleaves, stepping them in bounded round-robin chunks
+  /// with per-lane retirement and refill. 1 = the scalar pooled path (one
+  /// RunContext per worker — the historical engine, byte for byte).
+  /// 0 (default) = auto: lanes engage for small-instance grids (max n ≤
+  /// 4096) whose stream is long enough to amortize warming B arenas per
+  /// worker (≥ 256 scenarios/worker); big rings and short smoke grids keep
+  /// the scalar engine.
+  /// Results are byte-identical at ANY value: every lane derives its
+  /// randomness from the same per-scenario substream, drives its own
+  /// per-lane reseeded scheduler, and the aggregation folds are commutative
+  /// (tests/test_batch.cpp pins digest equality across lane × worker
+  /// combinations).
+  std::size_t batch_lanes = 0;
 };
 
 /// Conservative per-cell byte estimate the streaming budget divides by:

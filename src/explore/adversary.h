@@ -63,6 +63,10 @@ class BurstPartitionScheduler final : public sim::Scheduler {
       : seed_(seed), burst_(burst) {}
 
   void reset(std::size_t agent_count) override;
+  // Without this override a pooled object would redraw the FIRST run's
+  // partition forever — the reseed-audit sweep in tests/test_pooling.cpp
+  // caught exactly that.
+  void reseed(std::uint64_t seed) override { seed_ = seed; }
   sim::AgentId pick(const std::vector<sim::AgentId>& enabled) override;
   [[nodiscard]] std::string_view name() const override { return "burst-partition"; }
 

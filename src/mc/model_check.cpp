@@ -14,6 +14,7 @@
 #include "explore/replay.h"
 #include "mc/symmetry.h"
 #include "sim/checker.h"
+#include "sim/footprint.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/visited_set.h"
@@ -119,10 +120,11 @@ class Explorer {
       }
       const AgentMask child_sleep = inherit_sleep(f.agents, f.sleep, agent);
       const std::size_t prev_tokens = cur_.total_tokens();
-      // Footprint of the edge about to be taken, captured pre-step: the
-      // action can only touch the agent's node and its successor.
-      const sim::NodeId n1 = cur_.agent_node(agent);
-      const sim::NodeId n2 = cur_.topology().next(n1);
+      // Footprint of the edge about to be taken, captured pre-step (the
+      // shared {node, next(node)} bound from sim/footprint.h).
+      const sim::ActionFootprint fp = sim::action_footprint(cur_, agent);
+      const sim::NodeId n1 = fp.node;
+      const sim::NodeId n2 = fp.next;
       path_.push_back(static_cast<branch_index_t>(b));
       step(agent);
       DedupHit hit;
@@ -335,15 +337,13 @@ class Explorer {
     if (stack.size() < 2) return;
     const Frame& top = stack.back();
     for (const sim::AgentId p : top.agents) {
-      const sim::NodeId pn1 = cur_.agent_node(p);
-      const sim::NodeId pn2 = cur_.topology().next(pn1);
+      const sim::ActionFootprint pfp = sim::action_footprint(cur_, p);
       for (std::size_t i = stack.size() - 1; i >= 1; --i) {
         const Frame& child = stack[i];  // edge stack[i-1] -> stack[i]
-        const bool dependent = child.entered_agent == p ||
-                               child.entered_n1 == pn1 ||
-                               child.entered_n1 == pn2 ||
-                               child.entered_n2 == pn1 ||
-                               child.entered_n2 == pn2;
+        const bool dependent =
+            child.entered_agent == p ||
+            sim::ActionFootprint{child.entered_n1, child.entered_n2}.overlaps(
+                pfp);
         if (!dependent) continue;
         Frame& pre = stack[i - 1];
         if ((pre.enabled_mask & bit(p)) != 0) {
@@ -461,12 +461,7 @@ class Explorer {
   }
 
   [[nodiscard]] bool independent(sim::AgentId a, sim::AgentId b) const {
-    const sim::Topology& topo = cur_.topology();
-    const sim::NodeId an = cur_.agent_node(a);
-    const sim::NodeId bn = cur_.agent_node(b);
-    const sim::NodeId an2 = topo.next(an);
-    const sim::NodeId bn2 = topo.next(bn);
-    return an != bn && an != bn2 && an2 != bn && an2 != bn2;
+    return sim::independent_actions(cur_, a, b);
   }
 
   /// Dedup key of the configuration cur_ currently sits at. With symmetry

@@ -6,24 +6,13 @@
 
 namespace udring::sim {
 
-Request Behavior::resume() {
-  if (!handle_ || handle_.done()) {
-    throw std::logic_error("Behavior::resume: coroutine is not resumable");
-  }
-  handle_.promise().pending = Request::None;
-  handle_.resume();
-  if (handle_.promise().exception) {
-    std::rethrow_exception(handle_.promise().exception);
-  }
-  if (handle_.done()) {
-    return Request::Done;
-  }
-  const Request request = handle_.promise().pending;
-  if (request == Request::None) {
-    throw std::logic_error(
-        "Behavior::resume: agent program suspended without a control request");
-  }
-  return request;
+void Behavior::throw_not_resumable() {
+  throw std::logic_error("Behavior::resume: coroutine is not resumable");
+}
+
+void Behavior::throw_no_request() {
+  throw std::logic_error(
+      "Behavior::resume: agent program suspended without a control request");
 }
 
 std::size_t AgentContext::tokens_here() const { return sim_->tokens_at_agent(self_); }

@@ -27,6 +27,7 @@
 
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
@@ -89,7 +90,25 @@ class Behavior {
   /// Runs one atomic action: resumes the coroutine until its next co_await /
   /// co_return. Returns what the agent requested. Rethrows any exception the
   /// agent program raised (a bug in algorithm code, surfaced to the caller).
-  Request resume();
+  /// Inline: one call per atomic action, on the campaign hot path.
+  Request resume() {
+    if (!handle_ || handle_.done()) [[unlikely]] {
+      throw_not_resumable();
+    }
+    handle_.promise().pending = Request::None;
+    handle_.resume();
+    if (handle_.promise().exception) [[unlikely]] {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+    if (handle_.done()) {
+      return Request::Done;
+    }
+    const Request request = handle_.promise().pending;
+    if (request == Request::None) [[unlikely]] {
+      throw_no_request();
+    }
+    return request;
+  }
 
  private:
   void destroy() {
@@ -98,6 +117,10 @@ class Behavior {
       handle_ = {};
     }
   }
+
+  // Cold throw sites out of line, keeping resume()'s inlined body small.
+  [[noreturn]] static void throw_not_resumable();
+  [[noreturn]] static void throw_no_request();
 
   std::coroutine_handle<promise_type> handle_;
 };
@@ -201,9 +224,21 @@ class AgentProgram {
 
   /// Current size of the agent's algorithm state in bits, using the paper's
   /// accounting: a counter bounded by m costs bit_width(m) bits, an array
-  /// costs length × element-width. Sampled after every action; the metrics
-  /// record the peak.
-  [[nodiscard]] virtual std::size_t memory_bits() const { return 0; }
+  /// costs length × element-width. The simulator samples this after every
+  /// action and records the peak, so it sits on the campaign hot path:
+  /// the value is cached and recomputed only after the program declared a
+  /// state change through memory_changed(). Debug builds verify the cache
+  /// against a fresh compute_memory_bits() at every sample, so a mutation
+  /// site that forgot to call memory_changed() fails the test suite rather
+  /// than silently under-reporting the peak.
+  [[nodiscard]] std::size_t memory_bits() const {
+    if (memory_dirty_) {
+      memory_bits_cache_ = compute_memory_bits();
+      memory_dirty_ = false;
+    }
+    assert(memory_bits_cache_ == compute_memory_bits());
+    return memory_bits_cache_;
+  }
 
   /// Order-insensitive hash of the algorithm state, for comparing the local
   /// configurations of corresponding agents in two executions (Lemma 1).
@@ -214,6 +249,19 @@ class AgentProgram {
   [[nodiscard]] virtual std::vector<std::string_view> phase_names() const {
     return {};
   }
+
+ protected:
+  /// The actual bit accounting, overridden by algorithms (the former
+  /// memory_bits() body). Called only when the cache is stale.
+  [[nodiscard]] virtual std::size_t compute_memory_bits() const { return 0; }
+
+  /// Algorithms call this after mutating any counted member. Cheap enough to
+  /// sprinkle after every assignment; only the next sample pays a recompute.
+  void memory_changed() const noexcept { memory_dirty_ = true; }
+
+ private:
+  mutable std::size_t memory_bits_cache_ = 0;
+  mutable bool memory_dirty_ = true;
 };
 
 }  // namespace udring::sim

@@ -1,0 +1,67 @@
+#include "sim/batch_arena.h"
+
+#include <stdexcept>
+
+namespace udring::sim {
+
+BatchArena::BatchArena(std::size_t lanes) {
+  if (lanes == 0) {
+    throw std::invalid_argument("BatchArena: lane count must be positive");
+  }
+  states_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    states_.push_back(std::make_unique<ExecutionState>());
+  }
+  live_.assign(lanes, 0);
+  scheduler_.assign(lanes, nullptr);
+  kind_.assign(lanes, SchedulerKind::RoundRobin);
+  ticket_.assign(lanes, 0);
+}
+
+void BatchArena::load(std::size_t lane, const Instance& instance,
+                      Scheduler& scheduler, SchedulerKind kind,
+                      std::uint64_t ticket) {
+  ExecutionState& state = *states_[lane];
+  state.reset(instance);
+  scheduler.attach(state);
+  scheduler.reset(state.agent_count());
+  scheduler_[lane] = &scheduler;
+  kind_[lane] = kind;
+  ticket_[lane] = ticket;
+  live_[lane] = 1;
+}
+
+void BatchArena::run(const Feed& feed, const Retire& retire,
+                     const OnError& on_error) {
+  const std::size_t lane_count = states_.size();
+  std::size_t live = 0;
+  for (std::size_t lane = 0; lane < lane_count; ++lane) {
+    live_[lane] = 0;
+    if (feed(lane)) {
+      ++live;
+    }
+  }
+
+  while (live > 0) {
+    for (std::size_t lane = 0; lane < lane_count; ++lane) {
+      if (live_[lane] == 0) continue;
+      std::optional<RunResult> finished;
+      try {
+        finished = states_[lane]->run_chunk(*scheduler_[lane], kind_[lane],
+                                            kChunkActions);
+      } catch (...) {
+        if (!on_error) throw;
+        on_error(lane, ticket_[lane], std::current_exception());
+        live_[lane] = 0;
+        if (!feed(lane)) --live;
+        continue;
+      }
+      if (!finished.has_value()) continue;  // budget exhausted, sweep again
+      retire(lane, ticket_[lane], *finished);
+      live_[lane] = 0;
+      if (!feed(lane)) --live;
+    }
+  }
+}
+
+}  // namespace udring::sim

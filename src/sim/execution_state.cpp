@@ -94,9 +94,8 @@ void ExecutionState::reset(const Instance& instance) {
   }
 }
 
-RunResult ExecutionState::run(Scheduler& scheduler) {
-  scheduler.attach(*this);
-  scheduler.reset(agents_.size());
+template <bool Logging, bool Fault>
+RunResult ExecutionState::run_impl(Scheduler& scheduler) {
   RunResult result;
   while (!enabled_.empty()) {
     if (action_counter_ >= options_.max_actions) {
@@ -104,11 +103,58 @@ RunResult ExecutionState::run(Scheduler& scheduler) {
       result.actions = action_counter_;
       return result;
     }
-    execute_action(scheduler.pick(enabled_));
+    execute_action_impl<Logging, Fault>(scheduler.pick(enabled_));
   }
   result.outcome = RunResult::Outcome::Quiescent;
   result.actions = action_counter_;
   return result;
+}
+
+RunResult ExecutionState::run(Scheduler& scheduler) {
+  scheduler.attach(*this);
+  scheduler.reset(agents_.size());
+  // Mode dispatch once per run; the loop then executes with both mode
+  // branches resolved at compile time.
+  if (log_.enabled()) {
+    return options_.fault_non_fifo_links ? run_impl<true, true>(scheduler)
+                                         : run_impl<true, false>(scheduler);
+  }
+  return options_.fault_non_fifo_links ? run_impl<false, true>(scheduler)
+                                       : run_impl<false, false>(scheduler);
+}
+
+template <bool Logging, bool Fault>
+std::optional<RunResult> ExecutionState::run_chunk_impl(Scheduler& scheduler,
+                                                        SchedulerKind kind,
+                                                        std::size_t budget) {
+  // Same termination checks in the same order as run_impl — quiescence
+  // before the action limit — so a budget-sliced run retires with the exact
+  // RunResult a monolithic run would.
+  while (budget-- > 0) {
+    if (enabled_.empty()) {
+      return RunResult{RunResult::Outcome::Quiescent, action_counter_};
+    }
+    if (action_counter_ >= options_.max_actions) {
+      return RunResult{RunResult::Outcome::ActionLimit, action_counter_};
+    }
+    execute_action_impl<Logging, Fault>(
+        Scheduler::draw_batch(scheduler, kind, enabled_));
+  }
+  return std::nullopt;
+}
+
+std::optional<RunResult> ExecutionState::run_chunk(Scheduler& scheduler,
+                                                   SchedulerKind kind,
+                                                   std::size_t budget) {
+  // Mode dispatch once per chunk (cf. run()'s once per run).
+  if (log_.enabled()) {
+    return options_.fault_non_fifo_links
+               ? run_chunk_impl<true, true>(scheduler, kind, budget)
+               : run_chunk_impl<true, false>(scheduler, kind, budget);
+  }
+  return options_.fault_non_fifo_links
+             ? run_chunk_impl<false, true>(scheduler, kind, budget)
+             : run_chunk_impl<false, false>(scheduler, kind, budget);
 }
 
 bool ExecutionState::step(Scheduler& scheduler) {
@@ -257,17 +303,33 @@ std::uint64_t ExecutionState::agent_digest(AgentId id) const {
 // ---- action engine ----------------------------------------------------------
 
 void ExecutionState::execute_action(AgentId id) {
+  // Per-action mode dispatch for callers outside a mode-specialized loop
+  // (step/step_agent/step_chosen): two predictable branches, then the same
+  // single action body run_impl executes.
+  if (log_.enabled()) {
+    options_.fault_non_fifo_links ? execute_action_impl<true, true>(id)
+                                  : execute_action_impl<true, false>(id);
+  } else {
+    options_.fault_non_fifo_links ? execute_action_impl<false, true>(id)
+                                  : execute_action_impl<false, false>(id);
+  }
+}
+
+template <bool Logging, bool Fault>
+void ExecutionState::execute_action_impl(AgentId id) {
   AgentCell& c = agents_[id];
   ++action_counter_;
   // Footprint bookkeeping for incremental oracles: this action can only
   // touch the node it executes at (c.node — the arrival node when in
-  // transit, the staying node otherwise) and, if it moves, the successor.
+  // transit, the staying node otherwise) and, if it moves, the successor —
+  // the conservative bound sim/footprint.h defines, narrowed post hoc to
+  // the nodes actually touched.
   last_acting_agent_ = id;
   last_action_nodes_[0] = c.node;
   last_action_node_count_ = 1;
-  // Hoisted so the (default-off) logging path costs one predictable branch
-  // per record site instead of materializing Event aggregates per action.
-  const bool logging = log_.enabled();
+  // Compile-time: the (default-off) logging mode is a template parameter,
+  // so the hot instantiation carries no record sites at all.
+  constexpr bool logging = Logging;
 
   const bool arrival = (c.status == AgentStatus::InTransit);
   std::uint64_t ts = c.last_ts;
@@ -275,14 +337,14 @@ void ExecutionState::execute_action(AgentId id) {
     auto& queue = queues_[c.node];
     if (!queue.empty() && queue.front() == id) {
       queue.pop_front();
-    } else if (options_.fault_non_fifo_links && queue.remove(id)) {
+    } else if (Fault && queue.remove(id)) {
       // Fault injection: the agent jumped the queue (see SimOptions).
     } else {
       throw std::logic_error(
           "ExecutionState: scheduled a non-head in-transit agent");
     }
     ts = std::max(ts, queue_arrival_ts_[c.node]);
-    if (!queue.empty()) refresh_enabled(queue.front());
+    if (!queue.empty()) refresh_enabled_impl<Fault>(queue.front());
   } else if (!c.mailbox.empty()) {
     ts = std::max(ts, c.wake_ts);
   }
@@ -290,7 +352,7 @@ void ExecutionState::execute_action(AgentId id) {
   c.last_ts = ts;
   if (arrival) {
     queue_arrival_ts_[c.node] = ts;
-    if (logging) {
+    if constexpr (logging) {
       log_.record({action_counter_, EventKind::Arrive, id, c.node, ts, 0});
     }
   }
@@ -316,7 +378,7 @@ void ExecutionState::execute_action(AgentId id) {
   switch (request) {
     case Request::Move: {
       if (c.in_staying_set) remove_from_staying(id);
-      if (logging) {
+      if constexpr (logging) {
         log_.record({action_counter_, EventKind::Depart, id, c.node, ts, 0});
       }
       const NodeId dest = topo_->next(c.node);
@@ -333,21 +395,21 @@ void ExecutionState::execute_action(AgentId id) {
     case Request::Stay:
       c.status = AgentStatus::Staying;
       if (!c.in_staying_set) add_to_staying(id);
-      if (logging) {
+      if constexpr (logging) {
         log_.record({action_counter_, EventKind::StayPut, id, c.node, ts, 0});
       }
       break;
     case Request::WaitMessage:
       c.status = AgentStatus::Waiting;
       if (!c.in_staying_set) add_to_staying(id);
-      if (logging) {
+      if constexpr (logging) {
         log_.record({action_counter_, EventKind::EnterWait, id, c.node, ts, 0});
       }
       break;
     case Request::Suspend:
       c.status = AgentStatus::Suspended;
       if (!c.in_staying_set) add_to_staying(id);
-      if (logging) {
+      if constexpr (logging) {
         log_.record(
             {action_counter_, EventKind::EnterSuspend, id, c.node, ts, 0});
       }
@@ -355,7 +417,7 @@ void ExecutionState::execute_action(AgentId id) {
     case Request::Done:
       c.status = AgentStatus::Halted;
       if (!c.in_staying_set) add_to_staying(id);
-      if (logging) {
+      if constexpr (logging) {
         log_.record({action_counter_, EventKind::Halt, id, c.node, ts, 0});
       }
       break;
@@ -363,25 +425,32 @@ void ExecutionState::execute_action(AgentId id) {
       throw std::logic_error("ExecutionState: agent yielded no request");
   }
 
-  refresh_enabled(id);
-  if (options_.fault_non_fifo_links) {
+  refresh_enabled_impl<Fault>(id);
+  if constexpr (Fault) {
     // Overtaking eligibility depends on whether queue *predecessors* have
     // acted, which any action can change; the cheap full sweep is fine on
     // this test-only path.
     for (AgentId other = 0; other < agents_.size(); ++other) {
-      refresh_enabled(other);
+      refresh_enabled_impl<Fault>(other);
     }
   }
 }
 
 bool ExecutionState::should_be_enabled(AgentId id) const {
+  return options_.fault_non_fifo_links ? should_be_enabled_impl<true>(id)
+                                       : should_be_enabled_impl<false>(id);
+}
+
+template <bool Fault>
+bool ExecutionState::should_be_enabled_impl(AgentId id) const {
   const AgentCell& c = cell(id);
   switch (c.status) {
     case AgentStatus::InTransit: {
       const auto& queue = queues_[c.node];
       if (queue.empty()) return false;
       if (queue.front() == id) return true;
-      if (!options_.fault_non_fifo_links) return false;
+      if constexpr (!Fault) return false;
+      if (!options_.fault_non_fifo_links) return false;  // unreachable guard
       // Fault injection: enabled from any position, but never overtaking an
       // agent that has not yet had its first action (the initial occupant of
       // its home buffer) — that would break the home-node-first rule, which
@@ -411,7 +480,13 @@ bool ExecutionState::should_be_enabled(AgentId id) const {
 }
 
 void ExecutionState::refresh_enabled(AgentId id) {
-  const bool want = should_be_enabled(id);
+  options_.fault_non_fifo_links ? refresh_enabled_impl<true>(id)
+                                : refresh_enabled_impl<false>(id);
+}
+
+template <bool Fault>
+void ExecutionState::refresh_enabled_impl(AgentId id) {
+  const bool want = should_be_enabled_impl<Fault>(id);
   const std::size_t pos = enabled_pos_[id];
   if (want && pos == kNotEnabled) {
     enabled_pos_[id] = enabled_.size();

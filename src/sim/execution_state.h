@@ -44,6 +44,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -132,6 +133,25 @@ class ExecutionState {
 
   /// Force-steps a specific agent (tests); returns false if not enabled.
   bool step_agent(AgentId id);
+
+  /// Lane-stepping entry (sim::BatchArena's per-action call): executes one
+  /// atomic action for `id`, which MUST currently be enabled — typically
+  /// Scheduler::draw_batch's choice, so the membership re-check step_agent
+  /// performs is skipped. Behaviour is byte-identical to the action run()
+  /// would execute for the same choice.
+  void step_chosen(AgentId id) { execute_action(id); }
+
+  /// Lane-sweep entry (sim::BatchArena): runs up to `budget` atomic actions,
+  /// drawing each choice through Scheduler::draw_batch(scheduler, kind, …) —
+  /// the devirtualized equivalent of scheduler.pick(). Returns the finished
+  /// RunResult when the run completed within the budget (quiescent, or the
+  /// instance's action limit — checked in exactly run()'s order), or nullopt
+  /// when the budget ran out first and the lane should be swept again.
+  /// A sequence of run_chunk calls with any budgets executes the byte-exact
+  /// action sequence run(scheduler) would, because the chunk boundary carries
+  /// no state: each draw depends only on the scheduler and the enabled set.
+  std::optional<RunResult> run_chunk(Scheduler& scheduler, SchedulerKind kind,
+                                     std::size_t budget);
 
   // ---- inspection ---------------------------------------------------------
 
@@ -265,11 +285,29 @@ class ExecutionState {
   [[nodiscard]] AgentCell& cell(AgentId id) { return agents_[id]; }
   [[nodiscard]] const AgentCell& cell(AgentId id) const { return agents_[id]; }
 
+  // The action engine is one templated body specialized on the two run-mode
+  // flags (event logging on? non-FIFO fault injection on?): the campaign hot
+  // path runs the <false, false> instantiation with both mode branches
+  // compiled out, while the dispatchers below keep the single-definition
+  // semantics — all four modes execute the same code, selected per action
+  // by two perfectly-predicted branches.
   void execute_action(AgentId id);
+  template <bool Logging, bool Fault>
+  void execute_action_impl(AgentId id);
+  template <bool Logging, bool Fault>
+  RunResult run_impl(Scheduler& scheduler);
+  template <bool Logging, bool Fault>
+  std::optional<RunResult> run_chunk_impl(Scheduler& scheduler,
+                                          SchedulerKind kind,
+                                          std::size_t budget);
   void refresh_enabled(AgentId id);
+  template <bool Fault>
+  void refresh_enabled_impl(AgentId id);
   void add_to_staying(AgentId id);
   void remove_from_staying(AgentId id);
   [[nodiscard]] bool should_be_enabled(AgentId id) const;
+  template <bool Fault>
+  [[nodiscard]] bool should_be_enabled_impl(AgentId id) const;
 
   // AgentContext hooks (the acting agent's perceptions and actions).
   [[nodiscard]] std::size_t tokens_at_agent(AgentId id) const;

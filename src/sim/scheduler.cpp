@@ -7,56 +7,23 @@ namespace udring::sim {
 
 // ---- RoundRobinScheduler ----------------------------------------------------
 
+// pick() bodies live inline in scheduler.h (the batched draw must inline
+// them); only the cold per-run machinery stays here.
+
 void RoundRobinScheduler::reset(std::size_t agent_count) {
   agent_count_ = agent_count;
   cursor_ = 0;
-}
-
-AgentId RoundRobinScheduler::pick(const std::vector<AgentId>& enabled) {
-  // Choose the enabled agent with the smallest cyclic distance from cursor_.
-  AgentId best = enabled.front();
-  std::size_t best_key = agent_count_;
-  for (const AgentId id : enabled) {
-    const std::size_t key =
-        id >= cursor_ ? id - cursor_ : agent_count_ - cursor_ + id;
-    if (key < best_key) {
-      best_key = key;
-      best = id;
-    }
-  }
-  cursor_ = (best + 1) % std::max<std::size_t>(agent_count_, 1);
-  return best;
 }
 
 // ---- RandomScheduler --------------------------------------------------------
 
 void RandomScheduler::reset(std::size_t /*agent_count*/) { rng_ = Rng(seed_); }
 
-AgentId RandomScheduler::pick(const std::vector<AgentId>& enabled) {
-  return enabled[rng_.index(enabled.size())];
-}
-
 // ---- SynchronousScheduler ---------------------------------------------------
 
 void SynchronousScheduler::reset(std::size_t agent_count) {
   acted_round_.assign(agent_count, 0);
   rounds_ = 0;
-}
-
-AgentId SynchronousScheduler::pick(const std::vector<AgentId>& enabled) {
-  const std::uint64_t current = rounds_ + 1;
-  for (const AgentId id : enabled) {
-    if (acted_round_[id] < current) {
-      acted_round_[id] = current;
-      return id;
-    }
-  }
-  // Every enabled agent has acted: the round is complete. Bumping rounds_
-  // implicitly un-stamps every agent — no array clear.
-  ++rounds_;
-  const AgentId id = enabled.front();
-  acted_round_[id] = rounds_ + 1;
-  return id;
 }
 
 // ---- PriorityScheduler ------------------------------------------------------
@@ -86,14 +53,6 @@ void PriorityScheduler::reset(std::size_t agent_count) {
   }
 }
 
-AgentId PriorityScheduler::pick(const std::vector<AgentId>& enabled) {
-  AgentId best = enabled.front();
-  for (const AgentId id : enabled) {
-    if (rank_[id] < rank_[best]) best = id;
-  }
-  return best;
-}
-
 // ---- BurstScheduler ---------------------------------------------------------
 
 void BurstScheduler::reset(std::size_t /*agent_count*/) {
@@ -102,15 +61,6 @@ void BurstScheduler::reset(std::size_t /*agent_count*/) {
   // correlated-rerun bug test_pooling.cpp pins).
   rng_ = Rng(seed_);
   current_ = kNoAgent;
-}
-
-AgentId BurstScheduler::pick(const std::vector<AgentId>& enabled) {
-  if (current_ != kNoAgent &&
-      std::find(enabled.begin(), enabled.end(), current_) != enabled.end()) {
-    return current_;
-  }
-  current_ = enabled[rng_.index(enabled.size())];
-  return current_;
 }
 
 // ---- factory ----------------------------------------------------------------

@@ -31,6 +31,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -43,6 +44,7 @@
 namespace udring::sim {
 
 class ExecutionState;
+enum class SchedulerKind;
 
 class Scheduler {
  public:
@@ -72,14 +74,54 @@ class Scheduler {
 
   /// Completed lockstep rounds; 0 for schedulers without round structure.
   [[nodiscard]] virtual std::uint64_t rounds() const { return 0; }
+
+  /// The batched draw API — the per-action entry of the lane-stepping
+  /// engine (sim::BatchArena). Semantically identical to scheduler.pick():
+  /// `kind` devirtualizes the five built-in kinds (they are final, so the
+  /// cast + call inlines into the lane sweep), and MUST name `scheduler`'s
+  /// dynamic type when it is one of them. Defined after the derived classes.
+  [[nodiscard]] static AgentId draw_batch(Scheduler& scheduler,
+                                          SchedulerKind kind,
+                                          const std::vector<AgentId>& enabled);
+
+  /// Kind-less overload for schedulers outside SchedulerKind (the explore
+  /// adversaries): the plain virtual draw, so lane-pooled drivers have one
+  /// spelling for both worlds.
+  [[nodiscard]] static AgentId draw_batch(Scheduler& scheduler,
+                                          const std::vector<AgentId>& enabled) {
+    return scheduler.pick(enabled);
+  }
 };
+
+// The pick() bodies of the five built-in kinds live here, in-class, so both
+// virtual dispatch (ExecutionState::run) and the devirtualized batched draw
+// (Scheduler::draw_batch below) inline them — a per-action call, worth
+// ~20% of the campaign hot loop. Cold members (reset, constructors) stay in
+// scheduler.cpp.
 
 /// Cycles through agent ids, running the first enabled agent at or after the
 /// cursor.
 class RoundRobinScheduler final : public Scheduler {
  public:
   void reset(std::size_t agent_count) override;
-  AgentId pick(const std::vector<AgentId>& enabled) override;
+  AgentId pick(const std::vector<AgentId>& enabled) override {
+    // Choose the enabled agent with the smallest cyclic distance from cursor_.
+    AgentId best = enabled.front();
+    std::size_t best_key = agent_count_;
+    for (const AgentId id : enabled) {
+      const std::size_t key =
+          id >= cursor_ ? id - cursor_ : agent_count_ - cursor_ + id;
+      if (key < best_key) {
+        best_key = key;
+        best = id;
+      }
+    }
+    // best < agent_count_ always (it is an enabled agent id), so the cyclic
+    // increment needs a compare, not a per-action modulo.
+    cursor_ = best + 1;
+    if (cursor_ >= agent_count_) cursor_ = 0;
+    return best;
+  }
   [[nodiscard]] std::string_view name() const override { return "round-robin"; }
 
  private:
@@ -93,7 +135,11 @@ class RandomScheduler final : public Scheduler {
   explicit RandomScheduler(std::uint64_t seed) : seed_(seed), rng_(seed) {}
   void reset(std::size_t agent_count) override;
   void reseed(std::uint64_t seed) override { seed_ = seed; }
-  AgentId pick(const std::vector<AgentId>& enabled) override;
+  AgentId pick(const std::vector<AgentId>& enabled) override {
+    // Depends on enabled's (insertion-with-swap-remove) order: part of the
+    // frozen schedule derivation, like the Rng stream itself.
+    return enabled[rng_.index(enabled.size())];
+  }
   [[nodiscard]] std::string_view name() const override { return "random"; }
 
  private:
@@ -111,7 +157,21 @@ class RandomScheduler final : public Scheduler {
 class SynchronousScheduler final : public Scheduler {
  public:
   void reset(std::size_t agent_count) override;
-  AgentId pick(const std::vector<AgentId>& enabled) override;
+  AgentId pick(const std::vector<AgentId>& enabled) override {
+    const std::uint64_t current = rounds_ + 1;
+    for (const AgentId id : enabled) {
+      if (acted_round_[id] < current) {
+        acted_round_[id] = current;
+        return id;
+      }
+    }
+    // Every enabled agent has acted: the round is complete. Bumping rounds_
+    // implicitly un-stamps every agent — no array clear.
+    ++rounds_;
+    const AgentId id = enabled.front();
+    acted_round_[id] = rounds_ + 1;
+    return id;
+  }
   [[nodiscard]] std::string_view name() const override { return "synchronous"; }
   [[nodiscard]] std::uint64_t rounds() const override { return rounds_; }
 
@@ -133,7 +193,13 @@ class PriorityScheduler final : public Scheduler {
   PriorityScheduler() = default;  ///< descending ids, sized at reset()
   explicit PriorityScheduler(std::vector<AgentId> order);
   void reset(std::size_t agent_count) override;
-  AgentId pick(const std::vector<AgentId>& enabled) override;
+  AgentId pick(const std::vector<AgentId>& enabled) override {
+    AgentId best = enabled.front();
+    for (const AgentId id : enabled) {
+      if (rank_[id] < rank_[best]) best = id;
+    }
+    return best;
+  }
   [[nodiscard]] std::string_view name() const override { return "priority"; }
 
  private:
@@ -150,7 +216,14 @@ class BurstScheduler final : public Scheduler {
   explicit BurstScheduler(std::uint64_t seed) : seed_(seed), rng_(seed) {}
   void reset(std::size_t agent_count) override;
   void reseed(std::uint64_t seed) override { seed_ = seed; }
-  AgentId pick(const std::vector<AgentId>& enabled) override;
+  AgentId pick(const std::vector<AgentId>& enabled) override {
+    if (current_ != kNoAgent &&
+        std::find(enabled.begin(), enabled.end(), current_) != enabled.end()) {
+      return current_;
+    }
+    current_ = enabled[rng_.index(enabled.size())];
+    return current_;
+  }
   [[nodiscard]] std::string_view name() const override { return "burst"; }
 
  private:
@@ -173,6 +246,25 @@ enum class SchedulerKind {
 /// Number of SchedulerKind values (sizes pooled per-kind caches).
 inline constexpr std::size_t kSchedulerKindCount =
     static_cast<std::size_t>(SchedulerKind::Burst) + 1;
+
+inline AgentId Scheduler::draw_batch(Scheduler& scheduler, SchedulerKind kind,
+                                     const std::vector<AgentId>& enabled) {
+  // One predictable switch on a lane-resident tag replaces the indirect
+  // virtual call; each case is a direct (inlineable) call on a final class.
+  switch (kind) {
+    case SchedulerKind::RoundRobin:
+      return static_cast<RoundRobinScheduler&>(scheduler).pick(enabled);
+    case SchedulerKind::Random:
+      return static_cast<RandomScheduler&>(scheduler).pick(enabled);
+    case SchedulerKind::Synchronous:
+      return static_cast<SynchronousScheduler&>(scheduler).pick(enabled);
+    case SchedulerKind::Priority:
+      return static_cast<PriorityScheduler&>(scheduler).pick(enabled);
+    case SchedulerKind::Burst:
+      return static_cast<BurstScheduler&>(scheduler).pick(enabled);
+  }
+  return scheduler.pick(enabled);  // future kinds: fair virtual fallback
+}
 
 [[nodiscard]] std::string_view to_string(SchedulerKind kind) noexcept;
 

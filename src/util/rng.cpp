@@ -44,6 +44,20 @@ Rng::result_type Rng::operator()() noexcept {
 std::uint64_t Rng::below(std::uint64_t bound) noexcept {
   // Lemire-style rejection: draw until the value falls inside the largest
   // multiple of `bound`, guaranteeing exact uniformity.
+  //
+  // Power-of-two fast path: 2^64 − bound equals ~0 − (~0 % bound) and
+  // draw & (bound − 1) equals draw % bound, so the draw count and the
+  // returned values are bit-identical to the general path (the frozen
+  // stream contract) minus two hardware divisions. Scheduler draws hit this
+  // constantly — enabled-set sizes are powers of two whenever k is.
+  if ((bound & (bound - 1)) == 0) {
+    const std::uint64_t limit = std::uint64_t{0} - bound;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) {
+      draw = (*this)();
+    }
+    return draw & (bound - 1);
+  }
   const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
   std::uint64_t draw = (*this)();
   while (draw >= limit) {
