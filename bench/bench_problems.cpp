@@ -63,8 +63,15 @@ void report_cross_problem_table() {
   const exp::CampaignGrid grid = cross_problem_grid();
   const exp::CampaignResult result = exp::run_campaign(grid, {.workers = 0});
 
+  // Tail columns ride along with the means: the per-cell quantile sketches
+  // make p50/p90/p99 mergeable (and therefore digest-stable) statistics, so
+  // the cross-problem comparison shows distribution shape, not just averages.
   Table table({"problem", "algorithm", "n", "k", "runs", "ok", "moves",
-               "time", "mem bits"});
+               "moves p50/90/99", "time", "time p50/90/99", "mem bits"});
+  const auto triple = [](double p50, double p90, double p99) {
+    return Table::num(p50, 0) + "/" + Table::num(p90, 0) + "/" +
+           Table::num(p99, 0);
+  };
   for (const core::Algorithm algorithm : grid.algorithms) {
     const core::ProblemSpec resolved = core::resolve_problem(algorithm, {});
     for (const std::size_t n : grid.node_counts) {
@@ -77,7 +84,11 @@ void report_cross_problem_table() {
                        std::string(core::to_string(algorithm)), Table::num(n),
                        Table::num(k), Table::num(avg.runs),
                        Table::num(avg.success_rate * 100.0, 1) + "%",
-                       Table::num(avg.moves, 1), Table::num(avg.makespan, 1),
+                       Table::num(avg.moves, 1),
+                       triple(avg.moves_p50, avg.moves_p90, avg.moves_p99),
+                       Table::num(avg.makespan, 1),
+                       triple(avg.makespan_p50, avg.makespan_p90,
+                              avg.makespan_p99),
                        Table::num(avg.memory_bits, 1)});
       }
     }

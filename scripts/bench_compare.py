@@ -7,14 +7,17 @@ Usage:
 
 For every benchmark present in the baseline, the fresh run must (a) contain
 a benchmark of the same name and (b) not be slower than baseline_time x
-tolerance. Benchmarks that only exist in the fresh run are reported but
-never fail the comparison (new benches land before their baseline does).
+tolerance. Name-set drift is reported in BOTH directions: benchmarks
+missing from the fresh run ("removed") and benchmarks present only in the
+fresh run ("added") are each an error — a one-sided comparison quietly
+shrinks the artifact, and an added bench without a committed baseline is a
+baseline update someone forgot. Under --informational both become warning
+annotations (new benches land before their baseline does).
 
-Exit codes: 0 = within tolerance, 1 = regression or missing benchmark,
+Exit codes: 0 = within tolerance, 1 = regression or added/removed benchmark,
 2 = unreadable/malformed input or a debug-built input. With --informational,
-regressions print GitHub warning annotations and the exit code stays 0
-(missing benchmarks still fail: a silently dropped benchmark is a broken
-artifact, not noise).
+regressions and name drift print GitHub warning annotations and the exit
+code stays 0.
 
 Debug timings are rejected outright, on BOTH sides of the comparison: a
 baseline recorded from a debug build makes every future comparison
@@ -81,34 +84,37 @@ def main():
     baseline = load(args.baseline)
     fresh = load(args.fresh)
 
-    failures = 0
-    regressions = 0
+    level = "warning" if args.informational else "error"
+    problems = 0
     for name, (base_time, base_unit) in sorted(baseline.items()):
         if name not in fresh:
-            print(f"::error::bench_compare: '{name}' present in "
-                  f"{args.baseline} but missing from {args.fresh}")
-            failures += 1
+            print(f"::{level}::bench_compare: removed benchmark '{name}' — "
+                  f"present in {args.baseline} but missing from {args.fresh} "
+                  f"(a dropped bench silently shrinks the artifact)")
+            problems += 1
             continue
         fresh_time, fresh_unit = fresh[name]
         if base_unit != fresh_unit:
-            print(f"::error::bench_compare: '{name}' changed time unit "
+            print(f"::{level}::bench_compare: '{name}' changed time unit "
                   f"({base_unit} -> {fresh_unit})")
-            failures += 1
+            problems += 1
             continue
         ratio = fresh_time / base_time if base_time > 0 else float("inf")
         verdict = "ok" if ratio <= args.tolerance else "REGRESSION"
         print(f"  {verdict:>10}  {name}: {base_time:.3g} -> {fresh_time:.3g} "
               f"{base_unit} ({ratio:.2f}x, tolerance {args.tolerance:.1f}x)")
         if ratio > args.tolerance:
-            level = "warning" if args.informational else "error"
             print(f"::{level}::bench regression: {name} is {ratio:.2f}x the "
                   f"committed baseline (tolerance {args.tolerance:.1f}x)")
-            regressions += 1
+            problems += 1
 
     for name in sorted(set(fresh) - set(baseline)):
-        print(f"         new  {name} (no baseline yet)")
+        print(f"::{level}::bench_compare: added benchmark '{name}' has no "
+              f"committed baseline — commit a regenerated baseline JSON for "
+              f"it")
+        problems += 1
 
-    if failures or (regressions and not args.informational):
+    if problems and not args.informational:
         return 1
     return 0
 

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/bench_compare.py (stdlib unittest, run by CI).
+
+Runs the comparator as a subprocess — the exit code IS its contract with CI,
+so that is what the test pins: tolerance pass/fail, added/removed benchmark
+names in both strict and --informational modes, and the debug-build guard.
+
+    python3 scripts/test_bench_compare.py -v
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def artifact(names_to_ns, build_type="Release"):
+    return {
+        "context": {"udring_build_type": build_type},
+        "benchmarks": [
+            {"name": name, "real_time": time_ns, "time_unit": "ns"}
+            for name, time_ns in names_to_ns.items()
+        ],
+    }
+
+
+class BenchCompareTest(unittest.TestCase):
+    def run_compare(self, baseline, fresh, *extra):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "baseline.json")
+            fresh_path = os.path.join(tmp, "fresh.json")
+            with open(base_path, "w") as f:
+                json.dump(baseline, f)
+            with open(fresh_path, "w") as f:
+                json.dump(fresh, f)
+            done = subprocess.run(
+                [sys.executable, SCRIPT, base_path, fresh_path, *extra],
+                capture_output=True, text=True)
+        return done.returncode, done.stdout + done.stderr
+
+    def test_identical_artifacts_pass(self):
+        data = artifact({"a/n=16": 100.0, "b/n=32": 200.0})
+        code, _ = self.run_compare(data, data)
+        self.assertEqual(code, 0)
+
+    def test_regression_beyond_tolerance_fails(self):
+        code, out = self.run_compare(artifact({"a": 100.0}),
+                                     artifact({"a": 1000.0}),
+                                     "--tolerance", "5.0")
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_slowdown_within_tolerance_passes(self):
+        code, _ = self.run_compare(artifact({"a": 100.0}),
+                                   artifact({"a": 300.0}),
+                                   "--tolerance", "5.0")
+        self.assertEqual(code, 0)
+
+    def test_removed_benchmark_is_an_error(self):
+        code, out = self.run_compare(artifact({"a": 100.0, "gone": 50.0}),
+                                     artifact({"a": 100.0}))
+        self.assertEqual(code, 1)
+        self.assertIn("removed benchmark 'gone'", out)
+        self.assertIn("::error::", out)
+
+    def test_added_benchmark_is_an_error(self):
+        code, out = self.run_compare(artifact({"a": 100.0}),
+                                     artifact({"a": 100.0, "new": 50.0}))
+        self.assertEqual(code, 1)
+        self.assertIn("added benchmark 'new'", out)
+        self.assertIn("::error::", out)
+
+    def test_informational_downgrades_name_drift_to_warnings(self):
+        code, out = self.run_compare(artifact({"a": 100.0, "gone": 50.0}),
+                                     artifact({"a": 100.0, "new": 50.0}),
+                                     "--informational")
+        self.assertEqual(code, 0)
+        self.assertIn("removed benchmark 'gone'", out)
+        self.assertIn("added benchmark 'new'", out)
+        self.assertIn("::warning::", out)
+        self.assertNotIn("::error::", out)
+
+    def test_informational_downgrades_regressions(self):
+        code, out = self.run_compare(artifact({"a": 100.0}),
+                                     artifact({"a": 1000.0}),
+                                     "--informational")
+        self.assertEqual(code, 0)
+        self.assertIn("::warning::", out)
+
+    def test_debug_build_rejected_even_informational(self):
+        code, out = self.run_compare(
+            artifact({"a": 100.0}, build_type="Debug"),
+            artifact({"a": 100.0}), "--informational")
+        self.assertEqual(code, 2)
+        self.assertIn("DEBUG", out)
+
+    def test_changed_time_unit_is_an_error(self):
+        base = artifact({"a": 100.0})
+        fresh = artifact({"a": 100.0})
+        fresh["benchmarks"][0]["time_unit"] = "ms"
+        code, out = self.run_compare(base, fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("time unit", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

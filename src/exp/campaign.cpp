@@ -10,6 +10,7 @@
 
 #include "config/generators.h"
 #include "core/distance_sequence.h"
+#include "exp/shard.h"
 #include "sim/batch_arena.h"
 #include "util/bits.h"
 
@@ -146,7 +147,7 @@ constexpr std::uint64_t kScenarioHashSalt = 0x5ce7a210ba5eedULL;
   return h;
 }
 
-using SampleBuffer = std::vector<std::pair<std::size_t, std::string>>;
+using SampleBuffer = FailureSamples;
 
 /// Would insert_bounded keep an entry with this index? Checked before the
 /// description string is built, so a failure-heavy sweep formats only the
@@ -167,6 +168,12 @@ void insert_bounded(SampleBuffer& buffer, std::size_t cap, std::size_t index,
   auto at = std::upper_bound(
       buffer.begin(), buffer.end(), index,
       [](std::size_t i, const auto& entry) { return i < entry.first; });
+  // Duplicate-index guard: a scenario contributes at most one failure, so an
+  // index already present means the same sample is being folded twice — a
+  // merge of overlapping partial folds. merge_shards rejects overlapping
+  // ranges outright; this guard keeps the accumulator merge itself from ever
+  // double-counting a sample (defense in depth, pinned in test_campaign.cpp).
+  if (at != buffer.begin() && std::prev(at)->first == index) return;
   if (at == buffer.end() && buffer.size() >= cap) return;
   buffer.insert(at, {index, std::move(text)});
   if (buffer.size() > cap) buffer.pop_back();
@@ -182,6 +189,8 @@ void fold_into_cell(CellStats& stats, const ScenarioResult& r) {
   stats.makespan_sum += r.makespan;
   stats.memory_bits_sum += r.max_memory_bits;
   stats.actions_sum += r.actions;
+  stats.moves_sketch.add(r.total_moves);
+  stats.makespan_sketch.add(r.makespan);
 }
 
 /// Samples one failing scenario into the cell and global buffers, building
@@ -313,12 +322,17 @@ ScenarioResult run_one(const Scenario& scenario, const CampaignGrid& grid,
 /// Returns the worker count used.
 std::size_t run_scenarios_batched(
     const CampaignGrid& grid, const std::vector<CellKey>& cells,
-    std::size_t scenario_count, std::size_t workers, std::size_t lanes,
+    std::size_t begin, std::size_t end, std::size_t workers, std::size_t lanes,
     bool record_final_positions,
     const std::function<void(std::size_t worker, const Scenario& s,
                              ScenarioResult&& r)>& emit) {
+  // The claim cursor hands out local offsets in [0, end - begin); scenarios
+  // keep their GLOBAL expansion index (begin + offset) everywhere — in the
+  // substream derivation, the scenario hash and the failure samples — so a
+  // range run is literally a subset of the whole-expansion run.
+  const std::size_t count = end - begin;
   return parallel_pump_workers(
-      scenario_count, workers,
+      count, workers,
       [&](std::size_t worker, const std::function<std::size_t()>& claim) {
         core::LanePool pool(lanes);
         sim::BatchArena arena(lanes);
@@ -326,8 +340,9 @@ std::size_t run_scenarios_batched(
 
         const auto feed = [&](std::size_t lane) -> bool {
           for (;;) {
-            const std::size_t i = claim();
-            if (i >= scenario_count) return false;
+            const std::size_t local = claim();
+            if (local >= count) return false;
+            const std::size_t i = begin + local;
             const Scenario s = scenario_at(cells, grid.seeds, i);
             try {
               const core::RunSpec spec = make_scenario_spec(s, grid);
@@ -445,7 +460,64 @@ Averages CellStats::averages() const {
   avg.makespan = static_cast<double>(makespan_sum) / denominator;
   avg.memory_bits = static_cast<double>(memory_bits_sum) / denominator;
   avg.success_rate = static_cast<double>(successes) / denominator;
+  avg.moves_p50 = moves_sketch.quantile(0.50);
+  avg.moves_p90 = moves_sketch.quantile(0.90);
+  avg.moves_p99 = moves_sketch.quantile(0.99);
+  avg.makespan_p50 = makespan_sketch.quantile(0.50);
+  avg.makespan_p90 = makespan_sketch.quantile(0.90);
+  avg.makespan_p99 = makespan_sketch.quantile(0.99);
   return avg;
+}
+
+namespace {
+/// Checked accumulate for the merge paths: cross-machine sweeps can push a
+/// sum past 2^64, and a wrapped sum reports plausible-looking garbage —
+/// fail loudly instead, naming the field.
+void merge_sum(std::uint64_t& into, std::uint64_t from, const char* field) {
+  const std::uint64_t sum = into + from;
+  if (sum < into) {
+    throw std::overflow_error(std::string("campaign merge: ") + field +
+                              " overflows 64 bits (the merged sweep is too "
+                              "large for exact sums; split the report)");
+  }
+  into = sum;
+}
+}  // namespace
+
+void merge_cell_stats(CellStats& into, CellStats&& from,
+                      std::size_t max_failures_per_cell) {
+  std::uint64_t runs = into.runs;
+  merge_sum(runs, from.runs, "runs");
+  into.runs = static_cast<std::size_t>(runs);
+  std::uint64_t successes = into.successes;
+  merge_sum(successes, from.successes, "successes");
+  into.successes = static_cast<std::size_t>(successes);
+  merge_sum(into.moves_sum, from.moves_sum, "moves_sum");
+  merge_sum(into.makespan_sum, from.makespan_sum, "makespan_sum");
+  merge_sum(into.memory_bits_sum, from.memory_bits_sum, "memory_bits_sum");
+  merge_sum(into.actions_sum, from.actions_sum, "actions_sum");
+  into.moves_sketch.merge(from.moves_sketch);
+  into.makespan_sketch.merge(from.makespan_sketch);
+  for (auto& [index, text] : from.failure_samples) {
+    insert_bounded(into.failure_samples, max_failures_per_cell, index,
+                   std::move(text));
+  }
+}
+
+void merge_accumulators(CampaignAccumulator& into, CampaignAccumulator&& from,
+                        std::size_t max_failures_per_cell,
+                        std::size_t max_recorded_failures) {
+  into.scenario_hash += from.scenario_hash;  // wrapping by design
+  std::uint64_t failures = into.failures;
+  merge_sum(failures, from.failures, "failures");
+  into.failures = static_cast<std::size_t>(failures);
+  for (auto& [key, stats] : from.cells) {
+    merge_cell_stats(into.cells[key], std::move(stats), max_failures_per_cell);
+  }
+  for (auto& [index, text] : from.failure_samples) {
+    insert_bounded(into.failure_samples, max_recorded_failures, index,
+                   std::move(text));
+  }
 }
 
 const CellStats* CampaignResult::cell(const CellKey& key) const {
@@ -498,6 +570,19 @@ std::uint64_t CampaignResult::digest() const {
   return state;
 }
 
+namespace {
+/// "p50/p90/p99" tail-statistics cell, compact (one decimal only when the
+/// interpolated estimate is fractional).
+[[nodiscard]] std::string quantile_triple(double p50, double p90, double p99) {
+  const auto one = [](double v) {
+    return v == static_cast<double>(static_cast<std::uint64_t>(v))
+               ? Table::num(static_cast<std::size_t>(v))
+               : Table::num(v, 1);
+  };
+  return one(p50) + "/" + one(p90) + "/" + one(p99);
+}
+}  // namespace
+
 Table CampaignResult::summary_table() const {
   // The "problem" column appears only when some cell carries an explicit
   // problem, so all-Auto campaigns render their historical layout.
@@ -505,9 +590,9 @@ Table CampaignResult::summary_table() const {
   for (const auto& [key, stats] : cells) {
     if (key.problem.kind != core::Problem::Auto) show_problem = true;
   }
-  std::vector<std::string> headers = {"algorithm", "family", "scheduler", "n",
-                                      "k", "l", "runs", "ok", "moves", "time",
-                                      "mem bits"};
+  std::vector<std::string> headers = {
+      "algorithm", "family", "scheduler", "n", "k", "l", "runs", "ok",
+      "moves", "moves p50/90/99", "time", "time p50/90/99", "mem bits"};
   if (show_problem) headers.insert(headers.begin() + 1, "problem");
   Table table(std::move(headers));
   for (const auto& [key, stats] : cells) {
@@ -518,7 +603,10 @@ Table CampaignResult::summary_table() const {
         std::string(sim::to_string(key.scheduler)), Table::num(key.node_count),
         Table::num(key.agent_count), Table::num(key.symmetry),
         Table::num(stats.runs), Table::num(avg.success_rate * 100.0, 1) + "%",
-        Table::num(avg.moves, 1), Table::num(avg.makespan, 1),
+        Table::num(avg.moves, 1), quantile_triple(avg.moves_p50, avg.moves_p90,
+                                                  avg.moves_p99),
+        Table::num(avg.makespan, 1),
+        quantile_triple(avg.makespan_p50, avg.makespan_p90, avg.makespan_p99),
         Table::num(avg.memory_bits, 1)};
     if (show_problem) row.insert(row.begin() + 1, core::to_string(key.problem));
     table.add_row(std::move(row));
@@ -573,7 +661,7 @@ CampaignResult run_campaign(const CampaignGrid& grid,
       resolve_batch_lanes(grid, options, result.scenarios.size(), workers);
   if (lanes > 1) {
     result.workers_used = run_scenarios_batched(
-        grid, expand_cells(grid), result.scenarios.size(), workers, lanes,
+        grid, expand_cells(grid), 0, result.scenarios.size(), workers, lanes,
         options.record_final_positions,
         [&](std::size_t /*worker*/, const Scenario& s, ScenarioResult&& r) {
           result.results[s.index] = std::move(r);
@@ -629,70 +717,93 @@ std::size_t streaming_cell_footprint_bytes(
   constexpr std::size_t kNodeBytes =
       sizeof(CellKey) + sizeof(CellStats) + 64;  // red-black node overhead
   constexpr std::size_t kSampleBytes = 160;
-  return kNodeBytes + options.max_failures_per_cell * kSampleBytes;
+  // The two quantile sketches store sparse (bucket, count) entries on the
+  // heap. A cell's sketches hold at most one entry per distinct measured
+  // value, and the sub-bucketed log universe collapses large values, so a
+  // flat allowance sized for a few hundred distinct buckets per cell covers
+  // realistic sweeps with the same generosity as the rest of the estimate.
+  constexpr std::size_t kSketchBytes = 2048;
+  return kNodeBytes + kSketchBytes +
+         options.max_failures_per_cell * kSampleBytes;
 }
 
-CampaignResult run_campaign_streaming(const CampaignGrid& grid,
-                                      const CampaignOptions& options) {
-  CampaignResult result;
-  result.streamed = true;
-  const std::vector<CellKey> cells = expand_cells(grid);
-
+AdmittedExpansion admit_cells(const CampaignGrid& grid,
+                              const CampaignOptions& options) {
   // Budget enforcement happens before any scenario runs, on the compact
   // expansion: cells are admitted in expansion order until one aggregation
   // store would exceed the budget, the rest are skipped and reported. The
-  // admitted set depends only on (grid, options), never on the worker
-  // count, so the digest contract survives a binding budget.
-  std::size_t admitted = cells.size();
+  // admitted set depends only on (grid, options) — never on the worker
+  // count, nor on shard or checkpoint boundaries — so the digest contract
+  // survives a binding budget under any partition of the work.
+  AdmittedExpansion out;
+  out.cells = expand_cells(grid);
+  std::size_t admitted = out.cells.size();
   if (options.memory_budget_bytes != 0) {
     admitted = std::min(
         admitted,
         options.memory_budget_bytes / streaming_cell_footprint_bytes(options));
   }
-  result.cells_skipped = cells.size() - admitted;
-  result.scenarios_skipped = result.cells_skipped * grid.seeds;
-  for (std::size_t c = admitted; c < cells.size() &&
-                                 result.skipped_cell_samples.size() < 8; ++c) {
-    result.skipped_cell_samples.push_back(cells[c]);
+  out.cells_skipped = out.cells.size() - admitted;
+  out.scenarios_skipped = out.cells_skipped * grid.seeds;
+  for (std::size_t c = admitted;
+       c < out.cells.size() && out.skipped_cell_samples.size() < 8; ++c) {
+    out.skipped_cell_samples.push_back(out.cells[c]);
   }
+  out.cells.resize(admitted);
+  return out;
+}
 
-  const std::size_t scenario_count = admitted * grid.seeds;
-  result.scenario_count = scenario_count;
-  const std::size_t workers = resolve_workers(scenario_count, options.workers);
+std::size_t admitted_scenario_count(const CampaignGrid& grid,
+                                    const CampaignOptions& options) {
+  return admit_cells(grid, options).cells.size() * grid.seeds;
+}
+
+std::size_t run_campaign_range(const CampaignGrid& grid,
+                               const CampaignOptions& options,
+                               std::size_t begin, std::size_t end,
+                               CampaignAccumulator& into) {
+  const AdmittedExpansion admitted = admit_cells(grid, options);
+  const std::vector<CellKey>& cells = admitted.cells;
+  const std::size_t total = cells.size() * grid.seeds;
+  if (begin > end || end > total) {
+    std::ostringstream what;
+    what << "run_campaign_range: range [" << begin << ", " << end
+         << ") outside the admitted expansion of " << total << " scenarios";
+    throw std::invalid_argument(what.str());
+  }
+  if (begin == end) return 0;
+  const std::size_t count = end - begin;
+  const std::size_t workers = resolve_workers(count, options.workers);
 
   // Per-worker state: the pooled RunContext (as in the materialized path)
-  // plus this path's whole point — a private CellAccumulator the worker
-  // folds each ScenarioResult into the moment the scenario finishes. The
-  // result is discarded right after; nothing per-scenario survives the
-  // fold.
-  struct CellAccumulator {
-    std::map<CellKey, CellStats> cells;
-    std::uint64_t scenario_hash = 0;
-    std::size_t failures = 0;
-    SampleBuffer samples;
-  };
-  std::vector<CellAccumulator> accumulators(workers);
+  // plus the streaming path's whole point — a private CampaignAccumulator
+  // the worker folds each ScenarioResult into the moment the scenario
+  // finishes. The result is discarded right after; nothing per-scenario
+  // survives the fold.
+  std::vector<CampaignAccumulator> accumulators(workers);
 
   // The worker-local fold both engines below share: commutative and
   // index-keyed, so per-lane retirement order (batched) and index-claim
-  // order (scalar) land on the same accumulator bytes.
+  // order (scalar) land on the same accumulator bytes. Scenario indices are
+  // GLOBAL expansion indices throughout, which is what lets a range run
+  // merge byte-identically into the whole.
   const auto fold = [&](std::size_t worker, const Scenario& s,
                         const ScenarioResult& r) {
-    CellAccumulator& acc = accumulators[worker];
+    CampaignAccumulator& acc = accumulators[worker];
     acc.scenario_hash += hash_scenario(s.index, r);
     CellStats& stats = acc.cells[cells[s.index / grid.seeds]];
     fold_into_cell(stats, r);
     if (!r.success) {
       ++acc.failures;
-      sample_failure(stats, acc.samples, s, r, options);
+      sample_failure(stats, acc.failure_samples, s, r, options);
     }
   };
 
-  const std::size_t lanes =
-      resolve_batch_lanes(grid, options, scenario_count, workers);
+  const std::size_t lanes = resolve_batch_lanes(grid, options, count, workers);
+  std::size_t used = 0;
   if (lanes > 1) {
-    result.workers_used = run_scenarios_batched(
-        grid, cells, scenario_count, workers, lanes,
+    used = run_scenarios_batched(
+        grid, cells, begin, end, workers, lanes,
         /*record_final_positions=*/false,
         [&](std::size_t worker, const Scenario& s, ScenarioResult&& r) {
           fold(worker, s, r);
@@ -704,9 +815,9 @@ CampaignResult run_campaign_streaming(const CampaignGrid& grid,
     for (std::size_t w = 0; w < workers; ++w) {
       contexts.push_back(std::make_unique<core::RunContext>());
     }
-    result.workers_used = parallel_for_workers(
-        scenario_count, workers, [&](std::size_t worker, std::size_t i) {
-          const Scenario s = scenario_at(cells, grid.seeds, i);
+    used = parallel_for_workers(
+        count, workers, [&](std::size_t worker, std::size_t local) {
+          const Scenario s = scenario_at(cells, grid.seeds, begin + local);
           fold(worker, s,
                run_one(s, grid, /*record_final_positions=*/false,
                        *contexts[worker], instances[worker]));
@@ -714,35 +825,39 @@ CampaignResult run_campaign_streaming(const CampaignGrid& grid,
   }
 
   // Merge. Work stealing hands workers arbitrary scenario subsets, so every
-  // combination below is commutative-exact: integer sums, wrapping
-  // hash-sum, lowest-index bounded sample merges. Any worker count — and
-  // the materialized index-order fold — lands on the same bytes.
-  SampleBuffer samples;
-  for (CellAccumulator& acc : accumulators) {
-    result.scenario_hash += acc.scenario_hash;
-    result.failures += acc.failures;
-    for (auto& [key, stats] : acc.cells) {
-      CellStats& merged = result.cells[key];
-      merged.runs += stats.runs;
-      merged.successes += stats.successes;
-      merged.moves_sum += stats.moves_sum;
-      merged.makespan_sum += stats.makespan_sum;
-      merged.memory_bits_sum += stats.memory_bits_sum;
-      merged.actions_sum += stats.actions_sum;
-      for (auto& [index, text] : stats.failure_samples) {
-        insert_bounded(merged.failure_samples, options.max_failures_per_cell,
-                       index, std::move(text));
-      }
-    }
-    for (auto& [index, text] : acc.samples) {
-      insert_bounded(samples, options.max_recorded_failures, index,
-                     std::move(text));
-    }
+  // fold inside merge_accumulators is commutative-exact: integer sums,
+  // wrapping hash-sum, lowest-index bounded sample merges. Any worker count
+  // — and the materialized index-order fold — lands on the same bytes.
+  for (CampaignAccumulator& acc : accumulators) {
+    merge_accumulators(into, std::move(acc), options.max_failures_per_cell,
+                       options.max_recorded_failures);
   }
-  result.failure_samples.reserve(samples.size());
-  for (auto& entry : samples) {
-    result.failure_samples.push_back(std::move(entry.second));
+  return used;
+}
+
+void finalize_streaming_result(CampaignResult& result,
+                               CampaignAccumulator&& merged) {
+  result.cells = std::move(merged.cells);
+  result.scenario_hash = merged.scenario_hash;
+  result.failures = merged.failures;
+  result.failure_samples.clear();
+  result.failure_samples.reserve(merged.failure_samples.size());
+  for (auto& [index, text] : merged.failure_samples) {
+    static_cast<void>(index);
+    result.failure_samples.push_back(std::move(text));
   }
+}
+
+CampaignResult run_campaign_streaming(const CampaignGrid& grid,
+                                      const CampaignOptions& options) {
+  // The whole-expansion streaming run is shard 0 of 1: the range engine and
+  // the checkpoint loop live behind run_campaign_shard (exp/shard.cpp), so
+  // in-process, resumed and multi-process sweeps share one code path — that
+  // sharing IS the byte-identity argument.
+  std::vector<ShardFile> shards;
+  shards.push_back(run_campaign_shard(grid, options, 0, 1));
+  CampaignResult result = merge_shards(std::move(shards));
+  result.workers_used = resolve_workers(result.scenario_count, options.workers);
   return result;
 }
 

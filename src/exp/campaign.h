@@ -49,6 +49,7 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -58,6 +59,7 @@
 #include "sim/scheduler.h"
 #include "sim/simulator.h"
 #include "util/parallel.h"
+#include "util/quantile_sketch.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -196,22 +198,38 @@ struct ScenarioResult {
 };
 
 /// Seed-averaged measurements of one cell (the paper's three measures plus
-/// the success rate).
+/// the success rate), with the tail statistics a deployment actually wants:
+/// p50/p90/p99 of moves and makespan from the cell's mergeable quantile
+/// sketches (exact below 256, ≤ 1/16 relative error above).
 struct Averages {
   double moves = 0;
   double makespan = 0;
   double memory_bits = 0;
   double success_rate = 0;
   std::size_t runs = 0;
+  double moves_p50 = 0;
+  double moves_p90 = 0;
+  double moves_p99 = 0;
+  double makespan_p50 = 0;
+  double makespan_p90 = 0;
+  double makespan_p99 = 0;
 };
+
+/// Lowest-index-N failure samples: (scenario index, description), ascending
+/// by index, maintained by bounded insertion (see CampaignOptions caps).
+using FailureSamples = std::vector<std::pair<std::size_t, std::string>>;
 
 /// The per-cell accumulator both aggregation paths fold ScenarioResults
 /// into. Sums are exact integers deliberately: integer addition is
 /// associative, so per-worker partial accumulators merge to the *same
 /// bytes* as an index-order fold — that associativity is what lets the
 /// streaming path keep the worker-count-invariant digest contract without
-/// ever ordering scenarios (the measures are counts ≪ 2^64, so nothing
-/// overflows before ~10^12 scenarios per cell).
+/// ever ordering scenarios. A single process cannot overflow them (the
+/// expansion is size_t-bounded and each scenario's measures are bounded by
+/// its resolved action limit), but a cross-machine merged sweep CAN: the
+/// shard/accumulator merge paths (merge_accumulators, exp::merge_shards)
+/// therefore use checked addition and fail loudly on saturation instead of
+/// wrapping into silently-wrong tables.
 struct CellStats {
   std::size_t runs = 0;
   std::size_t successes = 0;
@@ -222,10 +240,23 @@ struct CellStats {
   /// The cell's lowest-index failing scenarios, ≤ max_failures_per_cell of
   /// them, ascending (scenario index, description) — failure *sampling*, so
   /// a cell that fails 10^5 times costs M strings, not 10^5.
-  std::vector<std::pair<std::size_t, std::string>> failure_samples;
+  FailureSamples failure_samples;
+  /// Mergeable per-cell quantile sketches over each scenario's total moves
+  /// and makespan. Element-wise commutative merges (util/quantile_sketch.h),
+  /// so — like the integer sums — they are byte-identical at any worker,
+  /// lane, shard or checkpoint partition of the scenario set.
+  QuantileSketch moves_sketch;
+  QuantileSketch makespan_sketch;
 
   [[nodiscard]] Averages averages() const;
 };
+
+/// Merges `from` into `into` with CHECKED sums: any wrapping of runs/
+/// successes or a measure sum throws std::overflow_error naming the field —
+/// a merged cross-machine sweep that big must fail loudly, not report
+/// garbage averages. `max_failures_per_cell` bounds the merged sample list.
+void merge_cell_stats(CellStats& into, CellStats&& from,
+                      std::size_t max_failures_per_cell);
 
 struct CampaignOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
@@ -259,6 +290,33 @@ struct CampaignOptions {
   /// (tests/test_batch.cpp pins digest equality across lane × worker
   /// combinations).
   std::size_t batch_lanes = 0;
+  /// Streaming path only: checkpoint/resume. When non-empty, the run folds
+  /// scenarios in watermark blocks and atomically replaces this file (a
+  /// versioned exp::ShardFile, write-temp + rename) after each block, so a
+  /// kill -9 at any point loses at most one checkpoint interval. If the file
+  /// already exists when the run starts, it is validated against the grid
+  /// fingerprint (mismatch throws — resuming someone else's sweep corrupts
+  /// both) and the run continues from its watermark. The final digest is
+  /// byte-identical to an uninterrupted run at any kill/resume point: the
+  /// watermark blocks are just another partition of the scenario set, and
+  /// every fold is commutative (tests/test_shard.cpp pins this).
+  std::string checkpoint_path{};
+  /// Scenarios per checkpoint block (watermark granularity). 0 with a
+  /// checkpoint_path set = write only the final file (a complete shard).
+  std::size_t checkpoint_every_scenarios = 0;
+  /// TEST/OPS HOOK: abort (throw CampaignAborted) after this many checkpoint
+  /// writes if scenarios remain — simulates a mid-sweep kill with the
+  /// on-disk state a real crash would leave. 0 = off.
+  std::size_t checkpoint_abort_after = 0;
+};
+
+/// Thrown by the checkpoint_abort_after test hook after the requested number
+/// of checkpoint writes. The checkpoint file on disk is exactly what a
+/// process killed at that watermark would leave behind.
+struct CampaignAborted : std::runtime_error {
+  explicit CampaignAborted(const std::string& what, std::size_t watermark_)
+      : std::runtime_error(what), watermark(watermark_) {}
+  std::size_t watermark = 0;  ///< scenarios folded into the file so far
 };
 
 /// Conservative per-cell byte estimate the streaming budget divides by:
@@ -341,6 +399,70 @@ using udring::resolve_workers;
 /// scenarios/results stay empty and record_final_positions is ignored.
 [[nodiscard]] CampaignResult run_campaign_streaming(
     const CampaignGrid& grid, const CampaignOptions& options = {});
+
+/// The order-invariant aggregation state the streaming path folds into —
+/// now a first-class value so partial folds can cross process boundaries:
+/// per-worker accumulators, checkpoint files and shard files all carry one,
+/// and any merge order reproduces the in-process fold byte for byte (the
+/// global failure samples keep their scenario indices here precisely so a
+/// cross-shard merge can still select the lowest-index N).
+struct CampaignAccumulator {
+  std::map<CellKey, CellStats> cells;
+  std::uint64_t scenario_hash = 0;  ///< commutative (wrapping by design)
+  std::size_t failures = 0;
+  FailureSamples failure_samples;
+};
+
+/// Merges `from` into `into`. Cell sums are CHECKED (std::overflow_error on
+/// saturation, see merge_cell_stats); the scenario hash wraps by design;
+/// sample buffers merge by lowest index under the given caps. Commutative
+/// across any partition of a scenario set into accumulators.
+void merge_accumulators(CampaignAccumulator& into, CampaignAccumulator&& from,
+                        std::size_t max_failures_per_cell,
+                        std::size_t max_recorded_failures);
+
+/// Runs scenarios [begin, end) of the grid's budget-admitted expansion
+/// (exactly the set run_campaign_streaming would run — a binding
+/// memory_budget_bytes truncates the cell list identically here) and folds
+/// them into `into` through the same per-worker-accumulator machinery,
+/// honoring workers/batch_lanes. This is the primitive the checkpoint loop
+/// and the multi-process shard driver (exp::run_campaign_shard) are built
+/// on: run_campaign_streaming(grid, o) == fold of run_campaign_range over
+/// any partition of [0, admitted scenario count). Throws
+/// std::invalid_argument when end exceeds the admitted scenario count.
+/// Returns the worker count used.
+std::size_t run_campaign_range(const CampaignGrid& grid,
+                               const CampaignOptions& options,
+                               std::size_t begin, std::size_t end,
+                               CampaignAccumulator& into);
+
+/// The budget-admitted prefix of expand_cells(grid) plus the skip
+/// bookkeeping for the dropped tail — the expansion the streaming engine,
+/// the checkpoint loop and every shard of a multi-process sweep all iterate
+/// (a function of (grid, options) only, never of workers — that is what
+/// keeps the digest contract alive when the budget binds).
+struct AdmittedExpansion {
+  std::vector<CellKey> cells;  ///< admitted prefix, expansion order
+  std::size_t cells_skipped = 0;
+  std::size_t scenarios_skipped = 0;
+  std::vector<CellKey> skipped_cell_samples;  ///< first ≤ 8 dropped keys
+};
+
+[[nodiscard]] AdmittedExpansion admit_cells(const CampaignGrid& grid,
+                                            const CampaignOptions& options);
+
+/// Number of scenarios the streaming path will actually run under these
+/// options: expansion_size(grid) minus scenarios of cells skipped by a
+/// binding memory_budget_bytes.
+[[nodiscard]] std::size_t admitted_scenario_count(const CampaignGrid& grid,
+                                                  const CampaignOptions& options);
+
+/// Moves an accumulator's folds into a streamed CampaignResult (cells,
+/// scenario hash, failure counts and sample texts). Shared by
+/// run_campaign_streaming and exp::merge_shards so the two finishing paths
+/// cannot drift.
+void finalize_streaming_result(CampaignResult& result,
+                               CampaignAccumulator&& merged);
 
 /// The home configuration scenario `s` of `grid` runs on — the substream
 /// contract makes it recomputable outside the engine, so reports can relate

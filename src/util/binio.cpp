@@ -1,0 +1,35 @@
+#include "util/binio.h"
+
+#include <stdexcept>
+
+namespace udring {
+
+namespace {
+[[noreturn]] void fail(const std::string& context, const char* what) {
+  throw std::runtime_error((context.empty() ? std::string("binary input")
+                                            : context) +
+                           ": " + what);
+}
+}  // namespace
+
+void BinaryReader::need(std::uint64_t count) const {
+  if (count > remaining()) fail(context_, "truncated (unexpected end of data)");
+}
+
+std::uint64_t BinaryReader::read(unsigned bytes) {
+  need(bytes);
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(bytes_[position_ + i]))
+             << (8 * i);
+  }
+  position_ += bytes;
+  return value;
+}
+
+void BinaryReader::expect_end() const {
+  if (!at_end()) fail(context_, "trailing bytes after the last field");
+}
+
+}  // namespace udring

@@ -1,0 +1,98 @@
+// udring/util/binio.h
+//
+// Tiny binary serialization helpers for the shard-file format (exp/shard.h):
+// a growing byte buffer with fixed-width little-endian integer writes, and a
+// bounds-checked reader that throws on truncation instead of reading
+// garbage. Everything is explicit-width and endian-pinned so a shard file
+// written on one machine merges on another — the whole point of the format.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace udring {
+
+/// Append-only byte buffer. All integers little-endian, fixed width.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t value) { buffer_.push_back(static_cast<char>(value)); }
+
+  void u16(std::uint16_t value) {
+    for (int shift = 0; shift < 16; shift += 8) {
+      buffer_.push_back(static_cast<char>((value >> shift) & 0xff));
+    }
+  }
+
+  void u32(std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      buffer_.push_back(static_cast<char>((value >> shift) & 0xff));
+    }
+  }
+
+  void u64(std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      buffer_.push_back(static_cast<char>((value >> shift) & 0xff));
+    }
+  }
+
+  /// Length-prefixed (u64) byte string.
+  void str(std::string_view text) {
+    u64(text.size());
+    buffer_.append(text);
+  }
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return buffer_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked sequential reader over a byte buffer. Every overrun — a
+/// truncated or corrupt shard file — throws std::runtime_error carrying
+/// `context` so the error names the file being parsed, not just "bad read".
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view bytes, std::string context = {})
+      : bytes_(bytes), context_(std::move(context)) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[position_++]);
+  }
+
+  [[nodiscard]] std::uint16_t u16() { return static_cast<std::uint16_t>(read(2)); }
+  [[nodiscard]] std::uint32_t u32() { return static_cast<std::uint32_t>(read(4)); }
+  [[nodiscard]] std::uint64_t u64() { return read(8); }
+
+  [[nodiscard]] std::string str() {
+    const std::uint64_t length = u64();
+    need(length);
+    std::string text(bytes_.substr(position_, length));
+    position_ += length;
+    return text;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - position_;
+  }
+  [[nodiscard]] bool at_end() const noexcept { return remaining() == 0; }
+
+  /// Fails unless the whole buffer was consumed — trailing bytes mean the
+  /// reader and writer disagree about the format, never harmless padding.
+  void expect_end() const;
+
+ private:
+  void need(std::uint64_t count) const;
+  [[nodiscard]] std::uint64_t read(unsigned bytes);
+
+  std::string_view bytes_;
+  std::size_t position_ = 0;
+  std::string context_;
+};
+
+}  // namespace udring

@@ -1,6 +1,8 @@
 #include "util/io.h"
 
+#include <cstdio>
 #include <fstream>
+#include <sstream>
 
 namespace udring {
 
@@ -9,6 +11,36 @@ bool write_text_file(const std::string& path, std::string_view text) {
   out << text;
   out.flush();
   return out.good();
+}
+
+std::optional<std::string> read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return std::move(buffer).str();
+}
+
+bool write_binary_file_atomic(const std::string& path, std::string_view bytes) {
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      std::remove(temp.c_str());
+      return false;
+    }
+  }
+  // POSIX rename over an existing target is atomic: a concurrent reader (or
+  // a kill -9 between these lines) sees either the previous complete file or
+  // the new one, never a prefix.
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace udring

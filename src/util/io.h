@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -15,5 +16,19 @@ namespace udring {
 /// checks this result instead of fire-and-forgetting an ofstream.
 [[nodiscard]] bool write_text_file(const std::string& path,
                                    std::string_view text);
+
+/// Reads a whole file as raw bytes; nullopt when it does not exist or any
+/// read fails. Binary-safe (no newline translation) — the shard loader's
+/// input primitive.
+[[nodiscard]] std::optional<std::string> read_binary_file(
+    const std::string& path);
+
+/// Atomically replaces `path` with `bytes`: writes `path` + ".tmp", flushes,
+/// then renames over the target, so a reader (or a process killed mid-write)
+/// only ever observes the old complete file or the new complete file — the
+/// checkpoint durability primitive. False when any step fails; on failure
+/// the temporary is removed and `path` is untouched.
+[[nodiscard]] bool write_binary_file_atomic(const std::string& path,
+                                            std::string_view bytes);
 
 }  // namespace udring

@@ -1,0 +1,177 @@
+#include "util/quantile_sketch.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+namespace udring {
+
+namespace {
+
+/// Values below this map one-to-one onto buckets (exact representation).
+constexpr std::uint64_t kExactLimit = 256;
+/// Sub-buckets per octave above the exact range: 2^4 = 16, so relative
+/// error within a bucket is bounded by 1/16.
+constexpr unsigned kSubBits = 4;
+constexpr std::uint64_t kSubBuckets = 1u << kSubBits;
+/// First octave with log buckets: values in [2^8, 2^9).
+constexpr unsigned kFirstExponent = 8;
+
+[[nodiscard]] std::uint64_t checked_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t sum = a + b;
+  if (sum < a) {
+    throw std::overflow_error(
+        "QuantileSketch: bucket count overflow on merge (the merged sweep "
+        "exceeds 2^64 observations in one bucket)");
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::uint16_t QuantileSketch::bucket_of(std::uint64_t value) noexcept {
+  if (value < kExactLimit) return static_cast<std::uint16_t>(value);
+  const unsigned exponent = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const std::uint64_t sub = (value >> (exponent - kSubBits)) & (kSubBuckets - 1);
+  return static_cast<std::uint16_t>(kExactLimit +
+                                    (exponent - kFirstExponent) * kSubBuckets +
+                                    sub);
+}
+
+std::pair<std::uint64_t, std::uint64_t> QuantileSketch::bucket_range(
+    std::uint16_t bucket) noexcept {
+  if (bucket < kExactLimit) return {bucket, std::uint64_t{bucket} + 1};
+  const unsigned index = static_cast<unsigned>(bucket - kExactLimit);
+  const unsigned exponent = kFirstExponent + index / kSubBuckets;
+  const std::uint64_t sub = index % kSubBuckets;
+  const std::uint64_t lo =
+      (std::uint64_t{1} << exponent) + (sub << (exponent - kSubBits));
+  const std::uint64_t width = std::uint64_t{1} << (exponent - kSubBits);
+  // The top bucket of the top octave ends at 2^64; saturate the open bound.
+  const std::uint64_t hi =
+      lo + width < lo ? std::numeric_limits<std::uint64_t>::max() : lo + width;
+  return {lo, hi};
+}
+
+void QuantileSketch::add(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  const std::uint16_t bucket = bucket_of(value);
+  const auto at = std::lower_bound(
+      entries_.begin(), entries_.end(), bucket,
+      [](const Entry& entry, std::uint16_t b) { return entry.bucket < b; });
+  if (at != entries_.end() && at->bucket == bucket) {
+    at->count = checked_add(at->count, count);
+  } else {
+    entries_.insert(at, Entry{bucket, count});
+  }
+  total_ = checked_add(total_, count);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.total_ == 0) return;
+  // Sorted two-way merge: element-wise addition over the shared bucket
+  // universe. No ordering decision is ever taken on values, which is what
+  // keeps this commutative (and shard/worker/checkpoint-order invariant).
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->bucket < b->bucket) {
+      merged.push_back(*a++);
+    } else if (b->bucket < a->bucket) {
+      merged.push_back(*b++);
+    } else {
+      merged.push_back(Entry{a->bucket, checked_add(a->count, b->count)});
+      ++a;
+      ++b;
+    }
+  }
+  merged.insert(merged.end(), a, entries_.end());
+  merged.insert(merged.end(), b, other.entries_.end());
+  entries_ = std::move(merged);
+  total_ = checked_add(total_, other.total_);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double QuantileSketch::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Integer rank selection: the 0-indexed order statistic floor(q*(N-1)),
+  // the "lower" empirical quantile — deterministic, no floating-point
+  // accumulation across buckets.
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  std::uint64_t cumulative = 0;
+  for (const Entry& entry : entries_) {
+    if (rank < cumulative + entry.count) {
+      auto [lo, hi] = bucket_range(entry.bucket);
+      // Clamp the bucket to the exact observed extremes so tails never
+      // report values outside [min, max].
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_ + 1 < max_ ? max_ : max_ + 1);
+      if (hi <= lo + 1) return static_cast<double>(lo);
+      // Uniform interpolation inside the landing bucket by position.
+      const std::uint64_t position = rank - cumulative;
+      return static_cast<double>(lo) +
+             static_cast<double>(hi - 1 - lo) * static_cast<double>(position) /
+                 static_cast<double>(entry.count);
+    }
+    cumulative += entry.count;
+  }
+  return static_cast<double>(max_);  // unreachable for a consistent sketch
+}
+
+QuantileSketch QuantileSketch::from_entries(std::vector<Entry> entries,
+                                            std::uint64_t min_value,
+                                            std::uint64_t max_value) {
+  QuantileSketch sketch;
+  std::uint64_t total = 0;
+  std::uint16_t previous = 0;
+  bool first = true;
+  for (const Entry& entry : entries) {
+    if (entry.bucket >= kBucketCount) {
+      throw std::invalid_argument("QuantileSketch: bucket out of universe");
+    }
+    if (!first && entry.bucket <= previous) {
+      throw std::invalid_argument("QuantileSketch: entries not sorted");
+    }
+    if (entry.count == 0) {
+      throw std::invalid_argument("QuantileSketch: zero-count entry");
+    }
+    const std::uint64_t sum = total + entry.count;
+    if (sum < total) {
+      throw std::invalid_argument("QuantileSketch: total overflows");
+    }
+    total = sum;
+    previous = entry.bucket;
+    first = false;
+  }
+  if (total == 0) {
+    if (min_value != std::numeric_limits<std::uint64_t>::max() ||
+        max_value != 0) {
+      throw std::invalid_argument(
+          "QuantileSketch: empty sketch with non-sentinel extremes");
+    }
+    return sketch;
+  }
+  if (min_value > max_value) {
+    throw std::invalid_argument("QuantileSketch: min > max");
+  }
+  if (bucket_of(min_value) != entries.front().bucket ||
+      bucket_of(max_value) != entries.back().bucket) {
+    throw std::invalid_argument(
+        "QuantileSketch: extremes disagree with bucket span");
+  }
+  sketch.entries_ = std::move(entries);
+  sketch.total_ = total;
+  sketch.min_ = min_value;
+  sketch.max_ = max_value;
+  return sketch;
+}
+
+}  // namespace udring

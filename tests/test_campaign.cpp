@@ -289,5 +289,82 @@ TEST(Campaign, CellLookupMissReturnsNull) {
             0u);
 }
 
+TEST(Campaign, AccumulatorMergeNeverDuplicatesAScenarioIndex) {
+  // Scenario indices are unique across workers by construction, but the
+  // bounded sample buffers are now also fed by checkpoint resumes and shard
+  // merges — a replayed index (double-submitted shard caught late, a buggy
+  // future caller) must fold to ONE sample, not two. insert_bounded's
+  // duplicate-index guard is the last line of defense; pin it through the
+  // public accumulator merge path.
+  CampaignAccumulator a;
+  a.failures = 1;
+  a.failure_samples = {{3, "scenario 3 failed"}};
+  a.cells[CellKey{core::Algorithm::KnownKFull, ConfigFamily::RandomAny,
+                  sim::SchedulerKind::RoundRobin, 16, 4, 1}]
+      .failure_samples = {{3, "scenario 3 failed"}};
+  CampaignAccumulator b;
+  b.failures = 2;
+  b.failure_samples = {{3, "scenario 3 failed"}, {7, "scenario 7 failed"}};
+  b.cells[CellKey{core::Algorithm::KnownKFull, ConfigFamily::RandomAny,
+                  sim::SchedulerKind::RoundRobin, 16, 4, 1}]
+      .failure_samples = {{3, "scenario 3 failed"}, {7, "scenario 7 failed"}};
+  merge_accumulators(a, std::move(b), /*max_failures_per_cell=*/4,
+                     /*max_recorded_failures=*/16);
+  const FailureSamples expected = {{3, "scenario 3 failed"},
+                                   {7, "scenario 7 failed"}};
+  EXPECT_EQ(a.failure_samples, expected);
+  EXPECT_EQ(a.cells.begin()->second.failure_samples, expected);
+}
+
+TEST(Campaign, CellStatsMergeChecksSumsAtTheUint64Boundary) {
+  // merge_cell_stats is the checked path shared by checkpoint resume and
+  // shard merging: exactly at the boundary it succeeds, one past it throws
+  // std::overflow_error naming the field — never a silent wrap.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  CellStats at_boundary;
+  at_boundary.moves_sum = kMax - 10;
+  CellStats add_ten;
+  add_ten.moves_sum = 10;
+  merge_cell_stats(at_boundary, std::move(add_ten),
+                   /*max_failures_per_cell=*/4);
+  EXPECT_EQ(at_boundary.moves_sum, kMax);  // == 2^64 - 1: still exact
+
+  CellStats one_more;
+  one_more.moves_sum = 1;
+  try {
+    merge_cell_stats(at_boundary, std::move(one_more),
+                     /*max_failures_per_cell=*/4);
+    FAIL() << "wrapping merge must throw";
+  } catch (const std::overflow_error& error) {
+    EXPECT_NE(std::string(error.what()).find("moves_sum"), std::string::npos)
+        << error.what();
+  }
+
+  CellStats actions_wrap_a;
+  actions_wrap_a.actions_sum = kMax;
+  CellStats actions_wrap_b;
+  actions_wrap_b.actions_sum = 1;
+  EXPECT_THROW(merge_cell_stats(actions_wrap_a, std::move(actions_wrap_b),
+                                /*max_failures_per_cell=*/4),
+               std::overflow_error);
+}
+
+TEST(Campaign, AveragesReportSketchQuantiles) {
+  const CampaignResult result = run_campaign(small_grid());
+  for (const auto& [key, stats] : result.cells) {
+    const Averages avg = stats.averages();
+    ASSERT_GT(avg.runs, 0u);
+    EXPECT_EQ(stats.moves_sketch.total(), stats.runs);
+    EXPECT_EQ(stats.makespan_sketch.total(), stats.runs);
+    // Quantiles are ordered and bracketed by the exact extremes.
+    EXPECT_LE(avg.moves_p50, avg.moves_p90);
+    EXPECT_LE(avg.moves_p90, avg.moves_p99);
+    EXPECT_GE(avg.moves_p50, static_cast<double>(stats.moves_sketch.min()));
+    EXPECT_LE(avg.moves_p99, static_cast<double>(stats.moves_sketch.max()));
+    EXPECT_LE(avg.makespan_p50, avg.makespan_p90);
+    EXPECT_LE(avg.makespan_p90, avg.makespan_p99);
+  }
+}
+
 }  // namespace
 }  // namespace udring::exp
