@@ -76,6 +76,19 @@ namespace {
   return family == ConfigFamily::Periodic;
 }
 
+/// The fault-axis analogue of feasible(): a plan that names a crash agent
+/// ≥ k, or rewires a ring too small to have a coprime stride, is skipped at
+/// that grid point instead of recorded as an exception failure.
+[[nodiscard]] bool fault_feasible(const sim::FaultPlan& plan, std::size_t n,
+                                  std::size_t k) {
+  try {
+    plan.validate(n, k);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
 /// Substream index for a scenario's randomness. Covers the *instance*
 /// coordinates (family, n, k, l, repetition) but deliberately not the
 /// algorithm or scheduler: every algorithm × scheduler cell of a grid is
@@ -104,6 +117,9 @@ namespace {
   spec.seed = rng();  // scheduler randomness, independent of the homes draw
   spec.scheduler = scenario.scheduler;
   spec.sim_options = grid.sim_options;
+  // The fault axis replaces (not merges with) any grid-wide baseline plan:
+  // each cell's label must describe exactly what its runs execute under.
+  if (!scenario.fault.empty()) spec.sim_options.faults = scenario.fault;
   spec.problem = scenario.problem;
   return spec;
 }
@@ -119,6 +135,7 @@ namespace {
   if (s.problem.kind != core::Problem::Auto) {
     text << " problem=" << core::to_string(s.problem);
   }
+  if (!s.fault.empty()) text << " fault=" << s.fault.label();
   return text.str();
 }
 
@@ -397,20 +414,30 @@ std::vector<CellKey> expand_cells(const CampaignGrid& grid) {
       }
     }
   }
+  // The fault axis in canonical form: an empty axis means the single
+  // fault-free plan, and every plan is normalized here so cell keys (and
+  // hence digests and merge ordering) never depend on how the caller spelled
+  // an equivalent plan.
+  std::vector<sim::FaultPlan> fault_plans = grid.fault_plans;
+  if (fault_plans.empty()) fault_plans.push_back({});
+  for (sim::FaultPlan& plan : fault_plans) plan.normalize();
   std::vector<CellKey> cells;
   for (const core::Algorithm algorithm : grid.algorithms) {
     for (const core::ProblemSpec& problem : grid.problems) {
-      for (const ConfigFamily family : grid.families) {
-        for (const sim::SchedulerKind scheduler : grid.schedulers) {
-          for (const auto& [n, k] : points) {
-            bool first_symmetry = true;
-            for (const std::size_t l : grid.symmetries) {
-              const std::size_t effective_l = uses_symmetry(family) ? l : 1;
-              if (!uses_symmetry(family) && !first_symmetry) continue;
-              first_symmetry = false;
-              if (!feasible(family, n, k, effective_l)) continue;
-              cells.push_back(CellKey{algorithm, family, scheduler, n, k,
-                                      effective_l, problem});
+      for (const sim::FaultPlan& fault : fault_plans) {
+        for (const ConfigFamily family : grid.families) {
+          for (const sim::SchedulerKind scheduler : grid.schedulers) {
+            for (const auto& [n, k] : points) {
+              bool first_symmetry = true;
+              for (const std::size_t l : grid.symmetries) {
+                const std::size_t effective_l = uses_symmetry(family) ? l : 1;
+                if (!uses_symmetry(family) && !first_symmetry) continue;
+                first_symmetry = false;
+                if (!feasible(family, n, k, effective_l)) continue;
+                if (!fault_feasible(fault, n, k)) continue;
+                cells.push_back(CellKey{algorithm, family, scheduler, n, k,
+                                        effective_l, problem, fault});
+              }
             }
           }
         }
@@ -437,6 +464,7 @@ Scenario scenario_at(const std::vector<CellKey>& cells, std::size_t seeds,
   s.symmetry = cell.symmetry;
   s.repetition = index % seeds;
   s.problem = cell.problem;
+  s.fault = cell.fault;
   return s;
 }
 
@@ -557,6 +585,9 @@ std::uint64_t CampaignResult::digest() const {
       fold64(state, static_cast<std::uint64_t>(key.problem.kind));
       fold64(state, key.problem.gather_g);
     }
+    // Same contract for the fault axis: empty plans fold nothing, so
+    // fault-free campaigns keep their pre-fault digest bytes.
+    if (!key.fault.empty()) key.fault.fold_into(state);
     fold64(state, stats.runs);
     fold64(state, stats.successes);
     fold64(state, stats.moves_sum);
@@ -584,15 +615,19 @@ namespace {
 }  // namespace
 
 Table CampaignResult::summary_table() const {
-  // The "problem" column appears only when some cell carries an explicit
-  // problem, so all-Auto campaigns render their historical layout.
+  // The "problem" and "fault" columns appear only when some cell carries an
+  // explicit problem / a non-empty fault plan, so all-Auto fault-free
+  // campaigns render their historical layout.
   bool show_problem = false;
+  bool show_fault = false;
   for (const auto& [key, stats] : cells) {
     if (key.problem.kind != core::Problem::Auto) show_problem = true;
+    if (!key.fault.empty()) show_fault = true;
   }
   std::vector<std::string> headers = {
       "algorithm", "family", "scheduler", "n", "k", "l", "runs", "ok",
       "moves", "moves p50/90/99", "time", "time p50/90/99", "mem bits"};
+  if (show_fault) headers.insert(headers.begin() + 1, "fault");
   if (show_problem) headers.insert(headers.begin() + 1, "problem");
   Table table(std::move(headers));
   for (const auto& [key, stats] : cells) {
@@ -608,6 +643,10 @@ Table CampaignResult::summary_table() const {
         Table::num(avg.makespan, 1),
         quantile_triple(avg.makespan_p50, avg.makespan_p90, avg.makespan_p99),
         Table::num(avg.memory_bits, 1)};
+    if (show_fault) {
+      row.insert(row.begin() + 1,
+                 key.fault.empty() ? "none" : key.fault.label());
+    }
     if (show_problem) row.insert(row.begin() + 1, core::to_string(key.problem));
     table.add_row(std::move(row));
   }
@@ -631,6 +670,7 @@ std::string CampaignResult::summary() const {
       if (key.problem.kind != core::Problem::Auto) {
         text << " problem=" << core::to_string(key.problem);
       }
+      if (!key.fault.empty()) text << " fault=" << key.fault.label();
     }
     text << '\n';
   }
@@ -694,7 +734,7 @@ CampaignResult run_campaign(const CampaignGrid& grid,
     result.scenario_hash += hash_scenario(i, r);
     CellStats& stats = result.cells[CellKey{s.algorithm, s.family, s.scheduler,
                                             s.node_count, s.agent_count,
-                                            s.symmetry, s.problem}];
+                                            s.symmetry, s.problem, s.fault}];
     fold_into_cell(stats, r);
     if (!r.success) {
       ++result.failures;

@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "core/runner.h"
+#include "sim/fault.h"
 #include "sim/scheduler.h"
 #include "sim/simulator.h"
 #include "util/parallel.h"
@@ -94,6 +95,12 @@ struct Scenario {
   /// Goal the run is judged against (core::make_goal_oracle); Auto = the
   /// algorithm's natural problem.
   core::ProblemSpec problem;
+  /// Fault profile the run executes under (sim::FaultPlan; empty = the
+  /// fault-free paper model). Like the problem axis it does NOT enter the
+  /// scenario substream key, so every fault cell of an (n, k, l, rep) point
+  /// replays the same drawn configuration — degradation columns are paired
+  /// faulty-vs-clean comparisons.
+  sim::FaultPlan fault;
 };
 
 /// Declarative scenario grid: the cross product of all vectors, repeated
@@ -113,6 +120,14 @@ struct CampaignGrid {
   /// substream key, so all problem cells of an (n, k, l, rep) point see the
   /// same drawn configuration — cross-problem comparisons are paired.
   std::vector<core::ProblemSpec> problems = {{}};
+  /// Fault axis: every scenario runs under each listed sim::FaultPlan (the
+  /// default single empty entry = the fault-free paper model, which
+  /// reproduces the historical expansion and digest bytes exactly). A
+  /// non-empty plan replaces sim_options.faults for its cells; crucially the
+  /// axis is excluded from the scenario substream key, so each fault profile
+  /// is measured on identical drawn configurations and the per-profile
+  /// success-rate / moves / p99-makespan deltas are paired comparisons.
+  std::vector<sim::FaultPlan> fault_plans = {{}};
   std::vector<ConfigFamily> families = {ConfigFamily::RandomAny};
   std::vector<sim::SchedulerKind> schedulers = {sim::SchedulerKind::Synchronous};
   std::vector<std::size_t> node_counts;
@@ -125,8 +140,8 @@ struct CampaignGrid {
 };
 
 /// The grid's deterministic expansion (loop order: algorithm, problem,
-/// family, scheduler, n, k, l, repetition), with infeasible combinations
-/// skipped. Scenario i of the returned vector has index == i.
+/// fault, family, scheduler, n, k, l, repetition), with infeasible
+/// combinations skipped. Scenario i of the returned vector has index == i.
 [[nodiscard]] std::vector<Scenario> expand(const CampaignGrid& grid);
 
 /// Aggregation key: one cell of the reported table (seed repetitions of the
@@ -144,6 +159,10 @@ struct CellKey {
   /// predates the field and is positionally aggregate-initialized at many
   /// call sites — extend this struct only at the end.
   core::ProblemSpec problem = {};
+  /// The grid's fault axis (same extend-only-at-the-end rule; empty plan =
+  /// the fault-free historical cell, which keeps default-initialized keys
+  /// and digests byte-identical to the pre-fault layout).
+  sim::FaultPlan fault = {};
 
   auto operator<=>(const CellKey&) const = default;
 };

@@ -27,6 +27,10 @@ void fold_cell_key(std::uint64_t& state, const CellKey& key) {
   fold64(state, key.symmetry);
   fold64(state, static_cast<std::uint64_t>(key.problem.kind));
   fold64(state, key.problem.gather_g);
+  // Folded only when non-empty so fault-free sweeps keep their pre-fault
+  // fingerprints (a v1 checkpoint of such a sweep stays resumable in spirit;
+  // the file format itself is gated by kVersion regardless).
+  if (!key.fault.empty()) key.fault.fold_into(state);
 }
 
 [[noreturn]] void fail(const std::string& context, const std::string& what) {
@@ -46,6 +50,21 @@ void encode_cell_key(BinaryWriter& out, const CellKey& key) {
   out.u64(key.symmetry);
   out.u8(static_cast<std::uint8_t>(key.problem.kind));
   out.u64(key.problem.gather_g);
+  const sim::FaultPlan& plan = key.fault;
+  out.u64(plan.crashes.size());
+  for (const sim::CrashFault& crash : plan.crashes) {
+    out.u64(crash.agent);
+    out.u64(crash.at_action);
+  }
+  out.u8(plan.non_fifo ? 1 : 0);
+  out.u64(plan.non_fifo_min_phase);
+  out.u64(plan.non_fifo_until_action);
+  out.u64(plan.drop_count);
+  out.u64(plan.drop_from_action);
+  out.u64(plan.dup_count);
+  out.u64(plan.dup_from_action);
+  out.u64(plan.rewire_at.size());
+  for (const std::size_t at : plan.rewire_at) out.u64(at);
 }
 
 void encode_sketch(BinaryWriter& out, const QuantileSketch& sketch) {
@@ -112,6 +131,39 @@ CellKey decode_cell_key(BinaryReader& in, const std::string& context) {
   if (problem >= kProblemCount) fail(context, "unknown problem value");
   key.problem.kind = static_cast<core::Problem>(problem);
   key.problem.gather_g = static_cast<std::size_t>(in.u64());
+  sim::FaultPlan& plan = key.fault;
+  const std::size_t crash_count =
+      checked_count(in, context, in.u64(), 16, "crash fault");
+  plan.crashes.reserve(crash_count);
+  for (std::size_t i = 0; i < crash_count; ++i) {
+    sim::CrashFault crash;
+    crash.agent = static_cast<sim::AgentId>(in.u64());
+    crash.at_action = static_cast<std::size_t>(in.u64());
+    plan.crashes.push_back(crash);
+  }
+  const std::uint8_t non_fifo = in.u8();
+  if (non_fifo > 1) fail(context, "bad fault non-FIFO flag");
+  plan.non_fifo = non_fifo != 0;
+  plan.non_fifo_min_phase = static_cast<std::size_t>(in.u64());
+  plan.non_fifo_until_action = static_cast<std::size_t>(in.u64());
+  plan.drop_count = static_cast<std::size_t>(in.u64());
+  plan.drop_from_action = static_cast<std::size_t>(in.u64());
+  plan.dup_count = static_cast<std::size_t>(in.u64());
+  plan.dup_from_action = static_cast<std::size_t>(in.u64());
+  const std::size_t rewire_count =
+      checked_count(in, context, in.u64(), 8, "rewire point");
+  plan.rewire_at.reserve(rewire_count);
+  for (std::size_t i = 0; i < rewire_count; ++i) {
+    plan.rewire_at.push_back(static_cast<std::size_t>(in.u64()));
+  }
+  // Cell keys store plans in the canonical form expand_cells writes; a plan
+  // validate() rejects (or a non-normalized one) cannot have come from this
+  // encoder.
+  try {
+    plan.validate(key.node_count, key.agent_count);
+  } catch (const std::invalid_argument& error) {
+    fail(context, std::string("invalid cell fault plan: ") + error.what());
+  }
   return key;
 }
 
@@ -192,6 +244,12 @@ std::uint64_t grid_fingerprint(const CampaignGrid& grid,
   fold64(state, grid.sim_options.max_actions);
   fold64(state, grid.sim_options.fault_non_fifo_links ? 1 : 0);
   fold64(state, grid.sim_options.fault_non_fifo_min_phase);
+  // Result-affecting like the legacy pair above; folded only when non-empty
+  // so fault-free fingerprints keep their historical values. (The per-cell
+  // fault-axis plans are already inside fold_cell_key.)
+  if (!grid.sim_options.faults.empty()) {
+    grid.sim_options.faults.fold_into(state);
+  }
   fold64(state, options.max_recorded_failures);
   fold64(state, options.max_failures_per_cell);
   fold64(state, options.memory_budget_bytes);

@@ -50,9 +50,10 @@ namespace udring::exp {
 
 /// One serialized partial campaign: header + provenance + aggregate.
 struct ShardFile {
-  /// "UDS1" little-endian; bumped in lockstep with kVersion on layout change.
-  static constexpr std::uint32_t kMagic = 0x31534455u;
-  static constexpr std::uint32_t kVersion = 1;
+  /// "UDS2" little-endian; bumped in lockstep with kVersion on layout change.
+  /// v2: cell keys carry the fault-axis plan (sim::FaultPlan).
+  static constexpr std::uint32_t kMagic = 0x32534455u;
+  static constexpr std::uint32_t kVersion = 2;
 
   /// Digest of grid expansion + result-affecting options (grid_fingerprint).
   std::uint64_t fingerprint = 0;

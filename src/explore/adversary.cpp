@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "sim/fault.h"
 #include "sim/simulator.h"
 
 namespace udring::explore {
@@ -106,6 +108,72 @@ sim::AgentId FifoStressScheduler::pick(const std::vector<sim::AgentId>& enabled)
   return best;
 }
 
+// ---- RewiringAdversary ------------------------------------------------------
+
+namespace {
+
+/// d^{-1} mod n by extended Euclid; callers guarantee gcd(d, n) == 1 (rewire
+/// candidate strides are coprime by construction).
+[[nodiscard]] std::size_t mod_inverse(std::size_t d, std::size_t n) {
+  long long t = 0, new_t = 1;
+  long long r = static_cast<long long>(n), new_r = static_cast<long long>(d);
+  while (new_r != 0) {
+    const long long q = r / new_r;
+    t -= q * new_t;
+    std::swap(t, new_t);
+    r -= q * new_r;
+    std::swap(r, new_r);
+  }
+  if (t < 0) t += static_cast<long long>(n);
+  return static_cast<std::size_t>(t);
+}
+
+}  // namespace
+
+std::size_t RewiringAdversary::pick_index(std::size_t bound) {
+  // Fallback (also the base-class default): the largest stride. Used when
+  // unattached or when displacement cannot distinguish candidates.
+  if (sim_ == nullptr || bound <= 1) return bound - 1;
+  const std::size_t n = sim_->node_count();
+  nodes_.clear();
+  for (sim::AgentId id = 0; id < sim_->agent_count(); ++id) {
+    nodes_.push_back(sim_->agent_node(id));
+  }
+  if (nodes_.size() < 2) return bound - 1;
+
+  // Distance from v to u under stride d is ((u − v) mod n) · d^{-1} mod n —
+  // the analytic form keeps the scan O(candidates · k²) instead of walking
+  // the ring. Candidates are subsampled (ends always included) so a huge
+  // φ(n) cannot make one rewire draw quadratic in n.
+  const std::size_t samples = std::min<std::size_t>(bound, 33);
+  std::size_t best_index = bound - 1;
+  std::uint64_t best_score = 0;
+  bool first = true;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::size_t index =
+        samples == bound ? s : s * (bound - 1) / (samples - 1);
+    const std::size_t stride = sim::rewire_candidate_stride(n, index);
+    const std::size_t inv = mod_inverse(stride, n);
+    std::uint64_t score = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      std::size_t nearest = n;
+      for (std::size_t j = 0; j < nodes_.size(); ++j) {
+        if (j == i) continue;
+        const std::size_t gap = (nodes_[j] + n - nodes_[i]) % n;
+        nearest = std::min(nearest, gap * inv % n);
+      }
+      score += nearest;
+    }
+    if (first || score > best_score ||
+        (score == best_score && index > best_index)) {
+      best_index = index;
+      best_score = score;
+      first = false;
+    }
+  }
+  return best_index;
+}
+
 // ---- kinds ------------------------------------------------------------------
 
 std::string_view to_string(ExploreSchedulerKind kind) noexcept {
@@ -119,6 +187,7 @@ std::string_view to_string(ExploreSchedulerKind kind) noexcept {
     case ExploreSchedulerKind::LinkDelay: return "link-delay";
     case ExploreSchedulerKind::BurstPartition: return "burst-partition";
     case ExploreSchedulerKind::FifoStress: return "fifo-stress";
+    case ExploreSchedulerKind::RewireAdversary: return "rewire-adversary";
   }
   return "?";
 }
@@ -137,6 +206,7 @@ const std::vector<ExploreSchedulerKind>& all_explore_scheduler_kinds() {
       ExploreSchedulerKind::Synchronous,    ExploreSchedulerKind::Priority,
       ExploreSchedulerKind::Burst,          ExploreSchedulerKind::LinkDelay,
       ExploreSchedulerKind::BurstPartition, ExploreSchedulerKind::FifoStress,
+      ExploreSchedulerKind::RewireAdversary,
   };
   return kinds;
 }
@@ -146,6 +216,7 @@ const std::vector<ExploreSchedulerKind>& adversary_scheduler_kinds() {
       ExploreSchedulerKind::LinkDelay,
       ExploreSchedulerKind::BurstPartition,
       ExploreSchedulerKind::FifoStress,
+      ExploreSchedulerKind::RewireAdversary,
   };
   return kinds;
 }
@@ -167,6 +238,8 @@ std::unique_ptr<sim::Scheduler> make_explore_scheduler(ExploreSchedulerKind kind
       return std::make_unique<BurstPartitionScheduler>(seed);
     case ExploreSchedulerKind::FifoStress:
       return std::make_unique<FifoStressScheduler>();
+    case ExploreSchedulerKind::RewireAdversary:
+      return std::make_unique<RewiringAdversary>(seed);
   }
   throw std::invalid_argument("make_explore_scheduler: unknown kind");
 }

@@ -25,8 +25,12 @@
 //                             known_k_logmem.h). Under the non-FIFO fault
 //                             injection it is the scheduler that breaks
 //                             KnownKLogMemStrict fastest.
+//  - RewiringAdversary:       adversarial *rewiring*, not scheduling: agent
+//                             picks stay uniform, but dynamic-ring stride
+//                             draws (sim/fault.h) maximize agent
+//                             displacement on the rewired ring.
 //
-// All three are deterministic given their seed and remain fair on
+// All are deterministic given their seed and remain fair on
 // terminating workloads (a starved agent acts once its competitors park or
 // halt). ExploreSchedulerKind unifies them with the sim/ families so record/
 // replay tests, fuzz pools and sweeps can treat all schedulers uniformly.
@@ -89,6 +93,37 @@ class FifoStressScheduler final : public sim::Scheduler {
   const sim::ExecutionState* sim_ = nullptr;
 };
 
+/// The dynamic-ring adversary (sim/fault.h). Agent picks delegate to the
+/// seeded uniform scheduler — rewiring trouble should come from the *ring*,
+/// not from a biased schedule — but every rewiring stride draw
+/// (Scheduler::pick_index, consumed at FaultPlan rewire points) is answered
+/// by scanning the candidate strides and choosing the one that maximizes
+/// total agent displacement: the sum, over agents, of the live-ring distance
+/// to the nearest other agent under the rewired successor map. Deployed
+/// configurations score near-uniform spacing; the adversary's rewiring
+/// stretches exactly those distances, forcing the longest recovery walks the
+/// 1-interval-connectivity model permits.
+class RewiringAdversary final : public sim::Scheduler {
+ public:
+  explicit RewiringAdversary(std::uint64_t seed) : inner_(seed) {}
+
+  void attach(const sim::ExecutionState& sim) override { sim_ = &sim; }
+  void reset(std::size_t agent_count) override { inner_.reset(agent_count); }
+  void reseed(std::uint64_t seed) override { inner_.reseed(seed); }
+  sim::AgentId pick(const std::vector<sim::AgentId>& enabled) override {
+    return inner_.pick(enabled);
+  }
+  [[nodiscard]] std::size_t pick_index(std::size_t bound) override;
+  [[nodiscard]] std::string_view name() const override {
+    return "rewire-adversary";
+  }
+
+ private:
+  const sim::ExecutionState* sim_ = nullptr;
+  sim::RandomScheduler inner_;
+  std::vector<sim::NodeId> nodes_;  // scratch: agent positions per draw
+};
+
 /// The sim/ scheduler families plus the adversaries: one namespace of
 /// scheduler kinds for the explorer (record/replay sweeps, fuzz pools).
 enum class ExploreSchedulerKind {
@@ -100,6 +135,7 @@ enum class ExploreSchedulerKind {
   LinkDelay,
   BurstPartition,
   FifoStress,
+  RewireAdversary,
 };
 
 [[nodiscard]] std::string_view to_string(ExploreSchedulerKind kind) noexcept;
@@ -111,7 +147,7 @@ enum class ExploreSchedulerKind {
 /// All kinds, for INSTANTIATE_TEST_SUITE_P sweeps and fuzz pools.
 [[nodiscard]] const std::vector<ExploreSchedulerKind>& all_explore_scheduler_kinds();
 
-/// Only the three adversaries.
+/// Only the adversaries.
 [[nodiscard]] const std::vector<ExploreSchedulerKind>& adversary_scheduler_kinds();
 
 /// Factory covering every ExploreSchedulerKind (delegates the sim/ kinds to

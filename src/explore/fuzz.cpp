@@ -144,7 +144,18 @@ ReplayOutcome drive_checked(sim::ExecutionState& sim, sim::Scheduler& scheduler,
   spec.sim_options.max_actions = request.max_actions;
   spec.sim_options.fault_non_fifo_links = request.fault_non_fifo;
   spec.sim_options.fault_non_fifo_min_phase = request.fault_min_phase;
+  spec.sim_options.faults = request.faults;
   return core::make_instance(request.algorithm, spec);
+}
+
+/// The request's full fault plan: the structured plan with the two legacy
+/// non-FIFO knobs merged in (the same merge the Instance ctor performs).
+[[nodiscard]] sim::FaultPlan merged_fault_plan(const RecordRequest& request) {
+  sim::FaultPlan plan = request.faults;
+  plan.non_fifo = plan.non_fifo || request.fault_non_fifo;
+  plan.non_fifo_min_phase =
+      std::max(plan.non_fifo_min_phase, request.fault_min_phase);
+  return plan;
 }
 
 }  // namespace
@@ -162,8 +173,7 @@ ScheduleTrace record_trace(const RecordRequest& request,
   trace.problem = request.problem;
   trace.generator = std::string(to_string(request.kind));
   trace.seed = request.seed;
-  trace.fault_non_fifo = request.fault_non_fifo;
-  trace.fault_min_phase = request.fault_min_phase;
+  trace.set_fault_plan(merged_fault_plan(request));
   trace.max_actions = request.max_actions;
 
   const sim::Instance instance = build_instance(request);
@@ -213,6 +223,7 @@ ReplayOutcome replay_trace(const ScheduleTrace& trace, std::size_t max_actions,
   request.homes = trace.homes;
   request.fault_non_fifo = trace.fault_non_fifo;
   request.fault_min_phase = trace.fault_min_phase;
+  request.faults = trace.fault_plan();
   // An explicit cap wins; otherwise the cap the trace was recorded under,
   // so cap-sensitive outcomes ("action limit reached") replay stand-alone.
   request.max_actions = max_actions != 0 ? max_actions : trace.max_actions;
@@ -280,6 +291,47 @@ FuzzIteration fuzz_iteration(const FuzzOptions& options,
                                  : options.schedulers;
   request.kind = pool[rng.index(pool.size())];
   request.seed = rng();
+
+  // Draw this iteration's fault plan last, gated on the budgets: zero
+  // budgets consume nothing from the substream, so fault-free fuzz digests
+  // are byte-identical to pre-fault builds. Fault times land in a window of
+  // ~2 virtual laps so crashes/rewires hit mid-execution, not after
+  // quiescence.
+  request.faults = options.faults;
+  if (options.fault_crash_budget > 0 || options.fault_rewire_budget > 0) {
+    const std::size_t k = request.homes.size();
+    const std::size_t horizon =
+        std::max<std::size_t>(2 * request.node_count * std::max<std::size_t>(k, 1), 8);
+    const std::size_t already = request.faults.crashes.size();
+    const std::size_t crashes =
+        std::min(options.fault_crash_budget, k > already ? k - already : 0);
+    for (std::size_t c = 0; c < crashes; ++c) {
+      sim::CrashFault crash;
+      do {
+        crash.agent = static_cast<sim::AgentId>(rng.index(k));
+      } while (std::any_of(request.faults.crashes.begin(),
+                           request.faults.crashes.end(),
+                           [&](const sim::CrashFault& have) {
+                             return have.agent == crash.agent;
+                           }));
+      crash.at_action = 1 + static_cast<std::size_t>(rng.index(horizon));
+      request.faults.crashes.push_back(crash);
+    }
+    const std::size_t rewires =
+        sim::rewire_candidate_count(request.node_count) > 0
+            ? options.fault_rewire_budget
+            : 0;
+    for (std::size_t r = 0; r < rewires; ++r) {
+      std::size_t at = 0;
+      do {
+        at = 1 + static_cast<std::size_t>(rng.index(horizon));
+      } while (std::find(request.faults.rewire_at.begin(),
+                         request.faults.rewire_at.end(),
+                         at) != request.faults.rewire_at.end());
+      request.faults.rewire_at.push_back(at);
+    }
+    request.faults.normalize();
+  }
 
   ScheduleTrace trace = record_trace(request, reuse);
   FuzzIteration out;

@@ -105,6 +105,16 @@ struct FuzzOptions {
   bool fault_non_fifo = false;
   /// Fault window (SimOptions::fault_non_fifo_min_phase).
   std::size_t fault_min_phase = 0;
+  /// Fixed structured fault plan (sim/fault.h) applied verbatim to every
+  /// iteration — the "replay THIS fault scenario under many schedules" mode.
+  sim::FaultPlan faults;
+  /// Per-iteration fault budgets: when nonzero, each iteration draws that
+  /// many crash faults / rewiring points from its own substream (on top of
+  /// `faults`), so a fuzz campaign explores schedules and fault timings
+  /// jointly. Zero budgets draw nothing and leave the substream untouched —
+  /// budget-free fuzz digests are byte-identical to pre-fault builds.
+  std::size_t fault_crash_budget = 0;
+  std::size_t fault_rewire_budget = 0;
   /// Per-action invariant oracle (see OracleMode). Full by default;
   /// Incremental for big instances.
   OracleMode oracle = OracleMode::Full;
@@ -198,6 +208,9 @@ struct RecordRequest {
   std::uint64_t seed = 0;
   bool fault_non_fifo = false;
   std::size_t fault_min_phase = 0;
+  /// Structured fault plan for the run (merged with the two legacy knobs
+  /// above by the Instance constructor; recorded into the trace).
+  sim::FaultPlan faults;
   std::size_t max_actions = 0;
   /// Per-action oracle for the recording run (see OracleMode).
   OracleMode oracle = OracleMode::Full;

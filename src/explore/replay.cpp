@@ -30,6 +30,15 @@ sim::AgentId RecordingScheduler::pick(const std::vector<sim::AgentId>& enabled) 
   return chosen;
 }
 
+std::size_t RecordingScheduler::pick_index(std::size_t bound) {
+  const std::size_t chosen = inner_->pick_index(bound);
+  if (chosen >= bound) {
+    throw std::logic_error("RecordingScheduler: inner pick_index out of range");
+  }
+  choices_.push_back(static_cast<std::uint32_t>(chosen));
+  return chosen;
+}
+
 void ReplayScheduler::reset(std::size_t /*agent_count*/) {
   cursor_ = 0;
   divergence_.clear();
@@ -53,6 +62,22 @@ sim::AgentId ReplayScheduler::pick(const std::vector<sim::AgentId>& enabled) {
   // Both modes proceed on the lenient fallback; Strict only *reports*, so a
   // diverged run is still a complete schedule the caller can inspect.
   return sorted_[choice % sorted_.size()];
+}
+
+std::size_t ReplayScheduler::pick_index(std::size_t bound) {
+  const bool exhausted = cursor_ >= choices_.size();
+  const std::uint32_t choice = exhausted ? 0 : choices_[cursor_];
+  if (mode_ == ReplayMode::Strict && divergence_.empty()) {
+    if (exhausted) {
+      divergence_ = "trace exhausted at pick " + std::to_string(cursor_);
+    } else if (choice >= bound) {
+      divergence_ = "index " + std::to_string(choice) + " out of range at pick " +
+                    std::to_string(cursor_) + " (bound " +
+                    std::to_string(bound) + ")";
+    }
+  }
+  ++cursor_;
+  return choice % bound;
 }
 
 }  // namespace udring::explore

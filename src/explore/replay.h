@@ -35,6 +35,11 @@ class RecordingScheduler final : public sim::Scheduler {
   void attach(const sim::ExecutionState& sim) override { inner_->attach(sim); }
   void reset(std::size_t agent_count) override;
   sim::AgentId pick(const std::vector<sim::AgentId>& enabled) override;
+  /// Auxiliary draws (dynamic-ring rewiring strides, sim/fault.h) interleave
+  /// into the same choice stream as agent picks: the simulator consumes them
+  /// at deterministic points, so position alone disambiguates the two kinds
+  /// and one ddmin pass shrinks schedule and fault choices jointly.
+  [[nodiscard]] std::size_t pick_index(std::size_t bound) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] std::uint64_t rounds() const override { return inner_->rounds(); }
 
@@ -73,6 +78,10 @@ class ReplayScheduler final : public sim::Scheduler {
 
   void reset(std::size_t agent_count) override;
   sim::AgentId pick(const std::vector<sim::AgentId>& enabled) override;
+  /// Consumes the next trace entry as an auxiliary index (rewiring stride
+  /// draws), mirroring RecordingScheduler::pick_index: entries reduce modulo
+  /// `bound`, an exhausted trace pads with 0, Strict reports both cases.
+  [[nodiscard]] std::size_t pick_index(std::size_t bound) override;
   [[nodiscard]] std::string_view name() const override { return "replay"; }
 
   /// Picks served so far (> choices().size() means the fallback padded).

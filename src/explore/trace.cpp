@@ -32,6 +32,28 @@ void expect_list_consumed(std::istringstream& line, const std::string& key) {
   malformed("bad token '" + rest + "' in '" + key + "' list");
 }
 
+/// Parses one "A@B" token (crash agent@action, drop/dup count@from-action).
+/// Both halves must be fully numeric — a mangled token is a parse error.
+[[nodiscard]] std::pair<std::uint64_t, std::uint64_t> parse_at_pair(
+    const std::string& token, const std::string& key) {
+  const std::size_t at = token.find('@');
+  if (at == std::string::npos) {
+    malformed("bad token '" + token + "' in '" + key + "' (want A@B)");
+  }
+  std::pair<std::uint64_t, std::uint64_t> out;
+  for (int half = 0; half < 2; ++half) {
+    const std::string part =
+        half == 0 ? token.substr(0, at) : token.substr(at + 1);
+    std::istringstream number(part);
+    std::uint64_t value = 0;
+    if (!(number >> value) || !(number >> std::ws).eof()) {
+      malformed("bad token '" + token + "' in '" + key + "' (want A@B)");
+    }
+    (half == 0 ? out.first : out.second) = value;
+  }
+  return out;
+}
+
 }  // namespace
 
 const std::vector<core::Algorithm>& all_algorithms() {
@@ -50,6 +72,23 @@ core::Algorithm algorithm_from_name(std::string_view name) {
   }
   throw std::invalid_argument("algorithm_from_name: unknown algorithm '" +
                               std::string(name) + "'");
+}
+
+void ScheduleTrace::set_fault_plan(const sim::FaultPlan& plan) {
+  fault_non_fifo = plan.non_fifo;
+  fault_min_phase = plan.non_fifo_min_phase;
+  faults = plan;
+  faults.normalize();
+  faults.non_fifo = false;
+  faults.non_fifo_min_phase = 0;
+}
+
+sim::FaultPlan ScheduleTrace::fault_plan() const {
+  sim::FaultPlan plan = faults;
+  plan.non_fifo = fault_non_fifo;
+  plan.non_fifo_min_phase = fault_min_phase;
+  plan.normalize();
+  return plan;
 }
 
 std::string ScheduleTrace::to_text() const {
@@ -71,6 +110,38 @@ std::string ScheduleTrace::to_text() const {
   out << "seed " << seed << '\n';
   if (fault_non_fifo) out << "fault-non-fifo 1\n";
   if (fault_min_phase != 0) out << "fault-min-phase " << fault_min_phase << '\n';
+  // Structured fault keys, canonical order: alphabetical, lists normalized.
+  // Emission depends only on the plan's *content*, never on the order the
+  // producer filled it in, so re-recording a trace reproduces it byte-for-
+  // byte. The legacy non-FIFO flags above stay authoritative for the plain
+  // relaxation; `faults.non_fifo` mirrors them and is not re-emitted.
+  {
+    sim::FaultPlan canonical = faults;
+    canonical.normalize();
+    if (!canonical.crashes.empty()) {
+      out << "fault-crashes";
+      for (const sim::CrashFault& crash : canonical.crashes) {
+        out << ' ' << crash.agent << '@' << crash.at_action;
+      }
+      out << '\n';
+    }
+    if (canonical.drop_count != 0) {
+      out << "fault-drops " << canonical.drop_count << '@'
+          << canonical.drop_from_action << '\n';
+    }
+    if (canonical.dup_count != 0) {
+      out << "fault-dups " << canonical.dup_count << '@'
+          << canonical.dup_from_action << '\n';
+    }
+    if (canonical.non_fifo_until_action != 0) {
+      out << "fault-non-fifo-window " << canonical.non_fifo_until_action << '\n';
+    }
+    if (!canonical.rewire_at.empty()) {
+      out << "fault-rewires";
+      for (const std::size_t at : canonical.rewire_at) out << ' ' << at;
+      out << '\n';
+    }
+  }
   if (max_actions != 0) out << "max-actions " << max_actions << '\n';
   if (!note.empty()) out << "note " << note << '\n';
   out << "choices";
@@ -139,6 +210,39 @@ ScheduleTrace ScheduleTrace::parse(std::string_view text) {
       trace.fault_non_fifo = parse_u64(fields, key) != 0;
     } else if (key == "fault-min-phase") {
       trace.fault_min_phase = static_cast<std::size_t>(parse_u64(fields, key));
+    } else if (key == "fault-crashes") {
+      std::string token;
+      while (fields >> token) {
+        const auto [agent, at_action] = parse_at_pair(token, key);
+        trace.faults.crashes.push_back(
+            sim::CrashFault{static_cast<sim::AgentId>(agent),
+                            static_cast<std::size_t>(at_action)});
+      }
+      if (trace.faults.crashes.empty()) malformed("empty '" + key + "' list");
+    } else if (key == "fault-drops") {
+      std::string token;
+      fields >> token;
+      const auto [count, from] = parse_at_pair(token, key);
+      trace.faults.drop_count = static_cast<std::size_t>(count);
+      trace.faults.drop_from_action = static_cast<std::size_t>(from);
+      if (count == 0) malformed("zero count in '" + key + "'");
+    } else if (key == "fault-dups") {
+      std::string token;
+      fields >> token;
+      const auto [count, from] = parse_at_pair(token, key);
+      trace.faults.dup_count = static_cast<std::size_t>(count);
+      trace.faults.dup_from_action = static_cast<std::size_t>(from);
+      if (count == 0) malformed("zero count in '" + key + "'");
+    } else if (key == "fault-non-fifo-window") {
+      trace.faults.non_fifo_until_action =
+          static_cast<std::size_t>(parse_u64(fields, key));
+    } else if (key == "fault-rewires") {
+      std::uint64_t at = 0;
+      while (fields >> at) {
+        trace.faults.rewire_at.push_back(static_cast<std::size_t>(at));
+      }
+      expect_list_consumed(fields, key);
+      if (trace.faults.rewire_at.empty()) malformed("empty '" + key + "' list");
     } else if (key == "max-actions") {
       trace.max_actions = static_cast<std::size_t>(parse_u64(fields, key));
     } else if (key == "note") {

@@ -59,7 +59,19 @@ using VisitedMap = std::unordered_map<std::uint64_t, VisitedEntry>;
   spec.sim_options.max_actions = request.max_actions;
   spec.sim_options.fault_non_fifo_links = request.fault_non_fifo;
   spec.sim_options.fault_non_fifo_min_phase = request.fault_min_phase;
+  spec.sim_options.faults = request.faults;
   return core::make_instance(request.algorithm, spec);
+}
+
+/// The request's full fault plan: the structured plan plus the legacy
+/// non-FIFO knobs (the Instance ctor's merge, reproduced for trace
+/// provenance).
+[[nodiscard]] sim::FaultPlan merged_fault_plan(const CheckRequest& request) {
+  sim::FaultPlan plan = request.faults;
+  plan.non_fifo = plan.non_fifo || request.fault_non_fifo;
+  plan.non_fifo_min_phase =
+      std::max(plan.non_fifo_min_phase, request.fault_min_phase);
+  return plan;
 }
 
 /// One stateless DFS (or BFS-expansion) engine over one pooled
@@ -83,7 +95,8 @@ class Explorer {
         visited_(std::move(visited_seed)),
         shared_(shared_visited),
         shared_actions_(shared_actions),
-        stop_flag_(stop_flag) {}
+        stop_flag_(stop_flag),
+        fault_mode_(instance.options().faults.has_events()) {}
 
   McStats stats;
   bool budget_stop = false;
@@ -107,6 +120,33 @@ class Explorer {
       const int b = pick_branch(f);
       if (b < 0) {
         pop_frame(stack);
+        continue;
+      }
+      if (f.rewire) {
+        // Rewire node: the branch is a candidate stride index, not an agent.
+        // Applying it consumes no simulator action — the configuration
+        // changes only in its live successor map — so the child classifies
+        // like any configuration (dedup folds the fault state).
+        if (!at_tip_) {
+          reposition();
+          if (!cur_.pending_rewire()) {
+            throw std::logic_error(
+                "mc: rewiring point vanished on backtrack replay "
+                "(determinism bug)");
+          }
+        }
+        path_.push_back(static_cast<branch_index_t>(b));
+        cur_.apply_rewire(static_cast<std::size_t>(b));
+        DedupHit hit;
+        const NodeClass cls =
+            classify(f.sleep, cur_.total_tokens(), &hit);
+        if (cls == NodeClass::Open) {
+          stack.push_back(make_frame(f.sleep, f.entered_agent, f.entered_n1,
+                                     f.entered_n2, hit.key));
+        } else {
+          path_.pop_back();
+          at_tip_ = false;
+        }
         continue;
       }
       const sim::AgentId agent = f.agents[static_cast<std::size_t>(b)];
@@ -208,6 +248,8 @@ class Explorer {
     /// id -> canonical rank at this node (symmetry + DPOR write-back only).
     std::vector<std::uint32_t> rank;
     branch_index_t next_branch = 0;  ///< sequential fallback (> 64 agents)
+    bool rewire = false;             ///< branches = rewiring candidate strides
+    branch_index_t rewire_branches = 0;  ///< candidate count of a rewire node
     sim::AgentId entered_agent = 0;  ///< edge into this node (parent's pick)
     sim::NodeId entered_n1 = 0;      ///< that edge's footprint
     sim::NodeId entered_n2 = 0;
@@ -241,6 +283,23 @@ class Explorer {
   [[nodiscard]] Frame make_frame(AgentMask sleep, sim::AgentId entered,
                                  sim::NodeId n1, sim::NodeId n2,
                                  std::uint64_t dedup_key) {
+    if (fault_mode_ && cur_.pending_rewire()) {
+      // A pending rewiring is its own choice-tree level: branches are the
+      // candidate stride indices. The path-dependent prunings are forced
+      // off under event plans (mc::check), so the frame only needs the
+      // sequential branch cursor.
+      ++stats.states_expanded;
+      Frame f;
+      f.rewire = true;
+      f.rewire_branches =
+          static_cast<branch_index_t>(cur_.rewire_candidate_count());
+      f.sleep = sleep;
+      f.entered_agent = entered;
+      f.entered_n1 = n1;
+      f.entered_n2 = n2;
+      f.dedup_key = dedup_key;
+      return f;
+    }
     sort_enabled();
     ++stats.states_expanded;
     Frame f;
@@ -274,6 +333,10 @@ class Explorer {
   /// falls back to a plain scan when the instance exceeds the mask width,
   /// where sleep sets and DPOR are auto-disabled anyway.
   [[nodiscard]] int pick_branch(Frame& f) {
+    if (f.rewire) {
+      if (f.next_branch >= f.rewire_branches) return -1;
+      return static_cast<int>(f.next_branch++);
+    }
     if (!masks_usable()) {
       if (f.next_branch >= f.agents.size()) return -1;
       return static_cast<int>(f.next_branch++);
@@ -409,24 +472,66 @@ class Explorer {
   void reposition() {
     cur_.reset(instance_);
     if (!path_.empty()) {
-      explore::ReplayScheduler replayer(path_, explore::ReplayMode::Strict);
-      replayer.reset(cur_.agent_count());
-      for (std::size_t i = 0; i < path_.size(); ++i) {
-        if (!cur_.step(replayer)) {
-          throw std::logic_error("mc: prefix replay hit quiescence early");
+      if (fault_mode_) {
+        reposition_with_faults();
+      } else {
+        explore::ReplayScheduler replayer(path_, explore::ReplayMode::Strict);
+        replayer.reset(cur_.agent_count());
+        for (std::size_t i = 0; i < path_.size(); ++i) {
+          if (!cur_.step(replayer)) {
+            throw std::logic_error("mc: prefix replay hit quiescence early");
+          }
         }
-      }
-      if (replayer.diverged()) {
-        throw std::logic_error("mc: strict prefix replay diverged: " +
-                               replayer.divergence());
-      }
-      ++stats.replays;
-      stats.total_actions += path_.size();
-      if (shared_actions_ != nullptr) {
-        shared_actions_->fetch_add(path_.size(), std::memory_order_relaxed);
+        if (replayer.diverged()) {
+          throw std::logic_error("mc: strict prefix replay diverged: " +
+                                 replayer.divergence());
+        }
+        ++stats.replays;
+        stats.total_actions += path_.size();
+        if (shared_actions_ != nullptr) {
+          shared_actions_->fetch_add(path_.size(), std::memory_order_relaxed);
+        }
       }
     }
     at_tip_ = true;
+  }
+
+  /// Fault-mode prefix replay: entries at pending-rewire points are
+  /// candidate stride indices (no simulator action), everything else an
+  /// index into the sorted enabled set — the same interpretation the DFS
+  /// used when it recorded the path, with the Strict divergence contract
+  /// enforced manually. ExecutionState::step() cannot drive this: it
+  /// resolves a pending rewiring and picks an agent in one call, which
+  /// over-consumes when the prefix ENDS at a rewiring point (the DFS
+  /// backtracks to rewire nodes to try their sibling strides).
+  void reposition_with_faults() {
+    std::size_t actions = 0;
+    for (std::size_t i = 0; i < path_.size(); ++i) {
+      const branch_index_t entry = path_[i];
+      if (cur_.pending_rewire()) {
+        if (entry >= cur_.rewire_candidate_count()) {
+          throw std::logic_error(
+              "mc: rewiring index out of range on prefix replay "
+              "(determinism bug)");
+        }
+        cur_.apply_rewire(entry);
+        continue;
+      }
+      sort_enabled();
+      if (entry >= sorted_.size()) {
+        throw std::logic_error(
+            "mc: choice out of range on prefix replay (determinism bug)");
+      }
+      if (!cur_.step_agent(sorted_[entry])) {
+        throw std::logic_error("mc: prefix replay hit quiescence early");
+      }
+      ++actions;
+    }
+    ++stats.replays;
+    stats.total_actions += actions;
+    if (shared_actions_ != nullptr) {
+      shared_actions_->fetch_add(actions, std::memory_order_relaxed);
+    }
   }
 
   void sort_enabled() {
@@ -588,6 +693,9 @@ class Explorer {
   std::atomic<std::size_t>* shared_actions_ = nullptr;
   std::atomic<bool>* stop_flag_ = nullptr;
   SymmetryCanonicalizer canon_;
+  /// True when the instance's fault plan has events: rewire choice levels
+  /// exist and prefixes replay through reposition_with_faults().
+  const bool fault_mode_ = false;
   std::vector<branch_index_t> path_;
   std::vector<sim::AgentId> sorted_;  // scratch, reused across nodes
   bool at_tip_ = false;
@@ -610,8 +718,7 @@ class Explorer {
                        : std::string(request.topology.name());
   trace.problem = request.problem;
   trace.generator = "model-check";
-  trace.fault_non_fifo = request.fault_non_fifo;
-  trace.fault_min_phase = request.fault_min_phase;
+  trace.set_fault_plan(merged_fault_plan(request));
   trace.max_actions = request.max_actions;  // cap-sensitive verdicts replay
   trace.choices = choices;
   const explore::ReplayOutcome outcome = explore::replay_trace(trace);
@@ -675,6 +782,24 @@ ModelCheckReport check(const CheckRequest& request, const McOptions& options) {
   if (request.homes.size() > kMaskAgents) {  // bitmask width
     opts.sleep_sets = false;
     opts.dpor = false;
+  }
+  if (request.faults.has_events()) {
+    // Crash-stop faults and rewirings are global events the footprint
+    // independence relation does not model (a crash at action t is not a
+    // local transition two agents can commute around), so the path-dependent
+    // prunings are unsound across fault boundaries and are forced off. The
+    // BFS frontier phase is skipped too — rewiring choice levels exist only
+    // in the DFS walk. Dedup (and, crash-free, symmetry) stay sound because
+    // config_digest / canonical_digest fold the live fault state.
+    opts.sleep_sets = false;
+    opts.dpor = false;
+    opts.frontier_target = 1;
+  }
+  if (request.faults.has_crashes()) {
+    // A crash plan names concrete agent ids; quotienting by agent
+    // relabelling would merge states whose futures differ (the named agent
+    // dies, its image does not).
+    opts.symmetry = false;
   }
   const std::size_t node_count =
       request.topology.empty() ? request.node_count : request.topology.size();
@@ -827,6 +952,98 @@ ModelCheckReport check(const CheckRequest& request, const McOptions& options) {
   return report;
 }
 
+ModelCheckReport check_with_faults(const CheckRequest& request,
+                                   const FaultBudget& budget,
+                                   const McOptions& options) {
+  const std::size_t horizon = budget.max_fault_action;
+  const std::size_t k = request.homes.size();
+  const std::size_t node_count =
+      request.topology.empty() ? request.node_count : request.topology.size();
+
+  // Materialize the plan space up front (budgets are tiny by design — the
+  // product of crash assignments and rewiring-point sets stays in the
+  // hundreds). The empty extension comes first in both generators, so the
+  // clean plan is always checked first.
+  std::vector<std::vector<sim::CrashFault>> crash_sets;
+  {
+    std::vector<sim::CrashFault> cur;
+    const auto gen = [&](auto&& self, std::size_t next_agent) -> void {
+      crash_sets.push_back(cur);
+      if (cur.size() >= budget.crashes) return;
+      for (std::size_t a = next_agent; a < k; ++a) {
+        for (std::size_t t = 0; t <= horizon; ++t) {
+          cur.push_back(
+              sim::CrashFault{static_cast<sim::AgentId>(a), t});
+          self(self, a + 1);
+          cur.pop_back();
+        }
+      }
+    };
+    gen(gen, 0);
+  }
+  std::vector<std::vector<std::size_t>> rewire_sets = {{}};
+  if (sim::rewire_candidate_count(node_count) > 0) {
+    std::vector<std::size_t> cur;
+    rewire_sets.clear();
+    const auto gen = [&](auto&& self, std::size_t next_t) -> void {
+      rewire_sets.push_back(cur);
+      if (cur.size() >= budget.rewires) return;
+      for (std::size_t t = next_t; t <= horizon; ++t) {
+        cur.push_back(t);
+        self(self, t + 1);
+        cur.pop_back();
+      }
+    };
+    gen(gen, 0);
+  }
+
+  ModelCheckReport aggregate;
+  aggregate.ok = true;
+  aggregate.complete = true;
+  for (const std::vector<sim::CrashFault>& crashes : crash_sets) {
+    for (const std::vector<std::size_t>& rewires : rewire_sets) {
+      // Skip extensions that collide with the request's own plan (duplicate
+      // crash agents / rewiring points are invalid, not interesting).
+      const bool conflict =
+          std::any_of(crashes.begin(), crashes.end(),
+                      [&](const sim::CrashFault& c) {
+                        return std::any_of(
+                            request.faults.crashes.begin(),
+                            request.faults.crashes.end(),
+                            [&](const sim::CrashFault& have) {
+                              return have.agent == c.agent;
+                            });
+                      }) ||
+          std::any_of(rewires.begin(), rewires.end(), [&](std::size_t t) {
+            return std::find(request.faults.rewire_at.begin(),
+                             request.faults.rewire_at.end(),
+                             t) != request.faults.rewire_at.end();
+          });
+      if (conflict) continue;
+      CheckRequest sub = request;
+      sub.faults.crashes.insert(sub.faults.crashes.end(), crashes.begin(),
+                                crashes.end());
+      sub.faults.rewire_at.insert(sub.faults.rewire_at.end(), rewires.begin(),
+                                  rewires.end());
+      sub.faults.normalize();
+      const ModelCheckReport sub_report = check(sub, options);
+      accumulate(aggregate.stats, sub_report.stats);
+      aggregate.stats.shards += sub_report.stats.shards;
+      if (!sub_report.ok) {
+        aggregate.ok = false;
+        aggregate.complete = false;
+        aggregate.verdict = sub_report.verdict;
+        aggregate.failure_reason = sub_report.failure_reason;
+        aggregate.counterexample = sub_report.counterexample;
+        return aggregate;
+      }
+      if (!sub_report.complete) aggregate.complete = false;
+    }
+  }
+  aggregate.verdict = aggregate.complete ? "verified" : "budget-exhausted";
+  return aggregate;
+}
+
 // ---- campaign integration ---------------------------------------------------
 
 GridReport check_grid(const exp::CampaignGrid& grid, const McOptions& options) {
@@ -860,6 +1077,7 @@ GridReport check_grid(const exp::CampaignGrid& grid, const McOptions& options) {
     request.homes = cell.homes;
     request.fault_non_fifo = grid.sim_options.fault_non_fifo_links;
     request.fault_min_phase = grid.sim_options.fault_non_fifo_min_phase;
+    request.faults = grid.sim_options.faults;
     request.max_actions = grid.sim_options.max_actions;
     cell.report = check(request, options);
 

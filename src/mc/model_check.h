@@ -148,6 +148,18 @@ struct CheckRequest {
   /// TEST-ONLY non-FIFO fault injection, as in SimOptions / ScheduleTrace.
   bool fault_non_fifo = false;
   std::size_t fault_min_phase = 0;
+  /// Structured fault schedule (sim/fault.h) every checked schedule runs
+  /// under: crash-stop faults, message drop/duplication, dynamic-ring
+  /// rewiring points. Rewiring points add *choice-tree levels*: at a pending
+  /// rewiring the node's branches are the candidate strides instead of
+  /// agents, so counterexample traces carry the adversary's rewiring choices
+  /// in `choices` and replay through the ordinary pick_index path. Plans
+  /// with events force the path-dependent prunings off (sleep sets, DPOR —
+  /// a crash is a global asymmetric event their independence relation does
+  /// not model) and crash plans force symmetry off (they name concrete
+  /// agent ids); dedup stays sound because config_digest folds the live
+  /// fault state.
+  sim::FaultPlan faults;
   /// Per-schedule action cap; 0 = the simulator's auto limit. Hitting it on
   /// any branch is a violation (livelock or broken algorithm), like the
   /// fuzzer's verdict.
@@ -237,6 +249,31 @@ struct ModelCheckReport {
 /// worker count affects wall-clock only.
 [[nodiscard]] ModelCheckReport check(const CheckRequest& request,
                                      const McOptions& options = {});
+
+/// Bounded fault-budget enumeration for check_with_faults: how many fault
+/// events the adversary may inject per plan, and the latest action index a
+/// fault event may be scheduled at (the enumeration is over discrete
+/// schedule times, so this bounds the plan space).
+struct FaultBudget {
+  std::size_t crashes = 0;  ///< max crash-stop faults per plan (0 or 1 typical)
+  std::size_t rewires = 0;  ///< max dynamic-ring rewiring points per plan
+  std::size_t max_fault_action = 8;  ///< latest at_action considered
+
+  [[nodiscard]] bool empty() const noexcept {
+    return crashes == 0 && rewires == 0;
+  }
+};
+
+/// Exhaustively verifies `request` under EVERY fault plan within `budget`
+/// (on top of request.faults): the clean plan first, then every crash
+/// assignment (agent × time), every rewiring-point set, and their products,
+/// in deterministic lexicographic order. Stops at the first violating plan —
+/// the returned report's counterexample trace carries that plan, so the
+/// artifact replays stand-alone — otherwise aggregates stats across all
+/// plans ("verified" only when every plan's walk completed).
+[[nodiscard]] ModelCheckReport check_with_faults(const CheckRequest& request,
+                                                 const FaultBudget& budget,
+                                                 const McOptions& options = {});
 
 // ---- campaign integration ---------------------------------------------------
 

@@ -50,6 +50,12 @@ std::uint64_t SymmetryCanonicalizer::canonical_digest(
     fold64(digest, queue.size());
     for (const sim::AgentId member : queue) fold64(digest, rank_of_[member]);
   }
+  // Lockstep with ExecutionState::config_digest(): live fault state (current
+  // stride, pending/consumed rewires, remaining drop/dup budgets) is
+  // agent-id-free, so it folds identically into the canonical digest — two
+  // states whose adversaries can still act differently must never quotient
+  // together. No-op for event-free plans.
+  state.fold_fault_state(digest);
   return digest;
 }
 

@@ -72,6 +72,12 @@ CheckResult check_queues_empty(const Simulator& sim) {
 
 CheckResult check_all_status(const Simulator& sim, AgentStatus wanted) {
   for (AgentId id = 0; id < sim.agent_count(); ++id) {
+    // Crash-stop corpses (sim/fault.h) are exempt: a goal is judged over
+    // the agents that can still act — a dead agent can neither halt nor
+    // suspend, and blaming it would make every crashed run "fail" for the
+    // wrong reason. What a corpse *blocks* (occupied queues, broken
+    // geometry) is still reported by the other checks.
+    if (sim.status(id) == AgentStatus::Crashed) continue;
     if (sim.status(id) != wanted) {
       std::ostringstream why;
       why << "agent " << id << " is " << to_string(sim.status(id)) << ", expected "
@@ -82,6 +88,40 @@ CheckResult check_all_status(const Simulator& sim, AgentStatus wanted) {
   return CheckResult::pass();
 }
 
+/// Number of agents not dead by a crash-stop fault.
+std::size_t live_agent_count(const Simulator& sim) {
+  std::size_t live = 0;
+  for (AgentId id = 0; id < sim.agent_count(); ++id) {
+    if (sim.status(id) != AgentStatus::Crashed) ++live;
+  }
+  return live;
+}
+
+/// Nodes of all *live* staying agents, sorted — the position multiset every
+/// geometric goal (uniformity, gathering groups, dispersion) is judged
+/// over. Unlike ExecutionState::staying_nodes() this excludes crashed
+/// corpses: a corpse occupies its node physically but is not a deployed
+/// agent. On fault-free runs the two are identical.
+std::vector<NodeId> live_staying_nodes(const Simulator& sim) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(sim.agent_count());
+  for (AgentId id = 0; id < sim.agent_count(); ++id) {
+    switch (sim.status(id)) {
+      case AgentStatus::Staying:
+      case AgentStatus::Waiting:
+      case AgentStatus::Suspended:
+      case AgentStatus::Halted:
+        nodes.push_back(sim.agent_node(id));
+        break;
+      case AgentStatus::InTransit:
+      case AgentStatus::Crashed:
+        break;
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
 }  // namespace
 
 CheckResult UniformDeploymentOracle::check_goal(const Simulator& sim) const {
@@ -89,7 +129,7 @@ CheckResult UniformDeploymentOracle::check_goal(const Simulator& sim) const {
     // Definition 1: halted agents, drained links, uniform positions.
     if (auto r = check_all_status(sim, AgentStatus::Halted); !r) return r;
     if (auto r = check_queues_empty(sim); !r) return r;
-    return check_positions_uniform(sim.staying_nodes(), sim.node_count());
+    return check_positions_uniform(live_staying_nodes(sim), sim.node_count());
   }
   // Definition 2: suspended agents, drained links and mailboxes, uniform
   // positions.
@@ -97,6 +137,7 @@ CheckResult UniformDeploymentOracle::check_goal(const Simulator& sim) const {
   if (auto r = check_queues_empty(sim); !r) return r;
   const Snapshot snap = sim.snapshot();
   for (const AgentSnap& agent : snap.agents) {
+    if (agent.status == AgentStatus::Crashed) continue;  // frozen mail
     if (agent.mailbox_size != 0) {
       std::ostringstream why;
       why << "agent " << agent.id << " has " << agent.mailbox_size
@@ -104,7 +145,7 @@ CheckResult UniformDeploymentOracle::check_goal(const Simulator& sim) const {
       return CheckResult::fail(why.str());
     }
   }
-  return check_positions_uniform(sim.staying_nodes(), sim.node_count());
+  return check_positions_uniform(live_staying_nodes(sim), sim.node_count());
 }
 
 CheckResult check_uniform_deployment_with_termination(const Simulator& sim) {
@@ -121,7 +162,11 @@ namespace {
 /// matching the queue it sits in. Shared verbatim by the full and
 /// incremental checkers so the two modes cannot drift apart in wording.
 CheckResult check_queue_member(const Simulator& sim, AgentId id, NodeId node) {
-  if (sim.status(id) != AgentStatus::InTransit) {
+  if (sim.status(id) != AgentStatus::InTransit &&
+      sim.status(id) != AgentStatus::Crashed) {
+    // A crash-stop corpse legitimately freezes inside the queue it was
+    // transiting (destination still must match below); every live member
+    // must be InTransit exactly as before.
     std::ostringstream why;
     why << "agent " << id << " is in queue to node " << node << " but has status "
         << to_string(sim.status(id));
@@ -139,6 +184,17 @@ CheckResult check_queue_member(const Simulator& sim, AgentId id, NodeId node) {
 /// hold it. Shared by both checker modes.
 CheckResult check_occurrences(const Simulator& sim, AgentId id,
                               std::size_t occurrences) {
+  if (sim.status(id) == AgentStatus::Crashed) {
+    // A corpse froze either in its link queue (1 occurrence) or in a
+    // staying set (0); more than one queue is corruption as always.
+    if (occurrences > 1) {
+      std::ostringstream why;
+      why << "crashed agent " << id << " appears in " << occurrences
+          << " queues";
+      return CheckResult::fail(why.str());
+    }
+    return CheckResult::pass();
+  }
   const bool in_transit = sim.status(id) == AgentStatus::InTransit;
   if (in_transit && occurrences != 1) {
     std::ostringstream why;
@@ -282,8 +338,8 @@ CheckResult IncrementalInvariantChecker::check_after_action(
 }
 
 CheckResult check_gathered(const Simulator& sim) {
-  const std::vector<NodeId> nodes = sim.staying_nodes();
-  if (nodes.size() != sim.agent_count()) {
+  const std::vector<NodeId> nodes = live_staying_nodes(sim);
+  if (nodes.size() != live_agent_count(sim)) {
     return CheckResult::fail("not all agents are staying");
   }
   std::vector<NodeId> distinct = nodes;
@@ -301,8 +357,7 @@ CheckResult check_partial_gathering(const Simulator& sim, std::size_t g) {
   if (auto r = check_all_status(sim, AgentStatus::Halted); !r) return r;
   if (auto r = check_queues_empty(sim); !r) return r;
   if (g <= 1) return CheckResult::pass();
-  std::vector<NodeId> nodes = sim.staying_nodes();
-  std::sort(nodes.begin(), nodes.end());
+  std::vector<NodeId> nodes = live_staying_nodes(sim);
   for (std::size_t i = 0; i < nodes.size();) {
     std::size_t j = i;
     while (j < nodes.size() && nodes[j] == nodes[i]) ++j;
@@ -320,8 +375,7 @@ CheckResult check_partial_gathering(const Simulator& sim, std::size_t g) {
 CheckResult check_dispersed(const Simulator& sim) {
   if (auto r = check_all_status(sim, AgentStatus::Halted); !r) return r;
   if (auto r = check_queues_empty(sim); !r) return r;
-  std::vector<NodeId> nodes = sim.staying_nodes();
-  std::sort(nodes.begin(), nodes.end());
+  std::vector<NodeId> nodes = live_staying_nodes(sim);
   for (std::size_t i = 0; i < nodes.size();) {
     std::size_t j = i;
     while (j < nodes.size() && nodes[j] == nodes[i]) ++j;

@@ -43,6 +43,20 @@ void ExecutionState::reset(const Instance& instance) {
   last_action_node_count_ = 0;
   last_acting_agent_ = kNoAgentActing;
 
+  // Live fault state, derived once from the (already normalized and
+  // validated) plan. The hot path then only ever tests has_fault_events_.
+  const FaultPlan& plan = options_.faults;
+  has_fault_events_ = plan.has_events();
+  crash_cursor_ = 0;
+  rewire_cursor_ = 0;
+  pending_rewire_ = false;
+  live_stride_ = 0;
+  rewires_applied_ = 0;
+  rewire_candidates_ =
+      plan.has_rewires() ? sim::rewire_candidate_count(n) : 0;
+  drops_remaining_ = plan.drop_count;
+  dups_remaining_ = plan.dup_count;
+
   tokens_.assign(n, 0);
   queue_arrival_ts_.assign(n, 0);
   // Shrinking keeps the front queues' buffers; growing default-constructs
@@ -92,6 +106,9 @@ void ExecutionState::reset(const Instance& instance) {
   for (AgentId id = 0; id < k; ++id) {
     refresh_enabled(id);
   }
+  // Faults due at action counter 0: dead-on-arrival crashes, a rewiring
+  // scheduled before the first action.
+  if (has_fault_events_) apply_due_faults();
 }
 
 template <bool Logging, bool Fault>
@@ -102,6 +119,13 @@ RunResult ExecutionState::run_impl(Scheduler& scheduler) {
       result.outcome = RunResult::Outcome::ActionLimit;
       result.actions = action_counter_;
       return result;
+    }
+    if (has_fault_events_ && pending_rewire_) {
+      // A scheduled rewiring resolves at the choice point, through the same
+      // choice stream agent picks use — the recording/replaying schedulers
+      // intercept pick_index, so the rewiring choice is part of the trace.
+      apply_rewire(scheduler.pick_index(rewire_candidates_));
+      continue;
     }
     execute_action_impl<Logging, Fault>(scheduler.pick(enabled_));
   }
@@ -137,6 +161,14 @@ std::optional<RunResult> ExecutionState::run_chunk_impl(Scheduler& scheduler,
     if (action_counter_ >= options_.max_actions) {
       return RunResult{RunResult::Outcome::ActionLimit, action_counter_};
     }
+    if (has_fault_events_ && pending_rewire_) {
+      // Resolving a rewiring charges one budget unit like an action would;
+      // the action *sequence* is budget-independent either way (the chunk
+      // boundary still carries no state), which is all the byte-equality
+      // contract needs.
+      apply_rewire(scheduler.pick_index(rewire_candidates_));
+      continue;
+    }
     execute_action_impl<Logging, Fault>(
         Scheduler::draw_batch(scheduler, kind, enabled_));
   }
@@ -159,6 +191,9 @@ std::optional<RunResult> ExecutionState::run_chunk(Scheduler& scheduler,
 
 bool ExecutionState::step(Scheduler& scheduler) {
   if (enabled_.empty()) return false;
+  if (has_fault_events_ && pending_rewire_) {
+    apply_rewire(scheduler.pick_index(rewire_candidates_));
+  }
   execute_action(scheduler.pick(enabled_));
   return true;
 }
@@ -281,7 +316,23 @@ std::uint64_t ExecutionState::config_digest() const {
     for (const AgentId member : queue) fold64(state, member);
   }
   // P (staying membership) is fully determined by status + node above.
+  // Live fault state (no-op for event-free plans, keeping legacy digests
+  // byte-identical): what the adversary may still do is part of the
+  // configuration, or mc dedup would merge states with different futures.
+  fold_fault_state(state);
   return state;
+}
+
+void ExecutionState::fold_fault_state(std::uint64_t& state) const noexcept {
+  if (!has_fault_events_) return;
+  state ^= 0xfa17d16e57a7e000ULL;  // "fault-state" domain
+  fold64(state, crash_cursor_);
+  fold64(state, rewire_cursor_);
+  fold64(state, pending_rewire_ ? 1 : 0);
+  fold64(state, live_stride_);
+  fold64(state, rewires_applied_);
+  fold64(state, drops_remaining_);
+  fold64(state, dups_remaining_);
 }
 
 std::uint64_t ExecutionState::agent_digest(AgentId id) const {
@@ -298,6 +349,56 @@ std::uint64_t ExecutionState::agent_digest(AgentId id) const {
   fold64(state, c.mailbox.size());
   for (const Message& message : c.mailbox) fold_message(state, message);
   return state;
+}
+
+// ---- fault events (sim/fault.h) ---------------------------------------------
+
+void ExecutionState::apply_due_faults() {
+  const FaultPlan& plan = options_.faults;
+  // Crashes before rewire scheduling at the same action index (a rewiring
+  // pending at index t resolves at the next choice point, so an agent
+  // crashing at t is dead before the new cycle installs).
+  while (crash_cursor_ < plan.crashes.size() &&
+         plan.crashes[crash_cursor_].at_action <= action_counter_) {
+    apply_crash(plan.crashes[crash_cursor_].agent);
+    ++crash_cursor_;
+  }
+  while (rewire_cursor_ < plan.rewire_at.size() &&
+         plan.rewire_at[rewire_cursor_] <= action_counter_) {
+    pending_rewire_ = true;
+    ++rewire_cursor_;
+  }
+}
+
+void ExecutionState::apply_crash(AgentId id) {
+  AgentCell& c = agents_[id];
+  if (c.status == AgentStatus::Crashed) return;
+  // Crash-stop: freeze in place. An in-transit corpse stays in its link
+  // queue (under FIFO it blocks every follower forever — a legitimate
+  // degradation the oracles report); a staying/parked corpse remains in
+  // p_i. No other agent's enabledness changes: crashing only *removes*
+  // this agent from the enabled set.
+  c.status = AgentStatus::Crashed;
+  refresh_enabled(id);
+  if (log_.enabled()) {
+    log_.record({action_counter_, EventKind::Halt, id, c.node, c.last_ts, 0});
+  }
+}
+
+void ExecutionState::apply_rewire(std::size_t candidate_index) {
+  if (!pending_rewire_) {
+    throw std::logic_error("ExecutionState: no rewiring is pending");
+  }
+  const std::size_t stride =
+      rewire_candidate_stride(tokens_.size(), candidate_index);
+  // is_single_cycle_stride holds by construction (coprime stride); the
+  // 1-interval-connectivity revalidation is the candidate enumeration
+  // itself. Installing the new cycle changes where future moves lead and
+  // nothing else — no queue, staying set, mailbox or status is touched, so
+  // no agent's enabledness changes.
+  live_stride_ = stride;
+  pending_rewire_ = false;
+  ++rewires_applied_;
 }
 
 // ---- action engine ----------------------------------------------------------
@@ -381,7 +482,7 @@ void ExecutionState::execute_action_impl(AgentId id) {
       if constexpr (logging) {
         log_.record({action_counter_, EventKind::Depart, id, c.node, ts, 0});
       }
-      const NodeId dest = topo_->next(c.node);
+      const NodeId dest = live_next(c.node);
       c.status = AgentStatus::InTransit;
       c.node = dest;
       queues_[dest].push_back(id);
@@ -434,6 +535,9 @@ void ExecutionState::execute_action_impl(AgentId id) {
       refresh_enabled_impl<Fault>(other);
     }
   }
+  // Event faults keyed to the new action count fire now — after the
+  // action's own bookkeeping, before the next choice point.
+  if (has_fault_events_) apply_due_faults();
 }
 
 bool ExecutionState::should_be_enabled(AgentId id) const {
@@ -459,6 +563,12 @@ bool ExecutionState::should_be_enabled_impl(AgentId id) const {
       if (metrics_.agent(id).phase < options_.fault_non_fifo_min_phase) {
         return false;
       }
+      // Generalized window (FaultPlan): overtaking closes again once the
+      // action counter leaves [0, until). 0 = open-ended (legacy).
+      if (options_.faults.non_fifo_until_action != 0 &&
+          action_counter_ >= options_.faults.non_fifo_until_action) {
+        return false;
+      }
       for (const AgentId member : queue) {
         if (member == id) return true;
         if (metrics_.agent(member).actions == 0 ||
@@ -474,6 +584,7 @@ bool ExecutionState::should_be_enabled_impl(AgentId id) const {
     case AgentStatus::Suspended:
       return !c.mailbox.empty();
     case AgentStatus::Halted:
+    case AgentStatus::Crashed:
       return false;
   }
   return false;
@@ -537,12 +648,49 @@ void ExecutionState::agent_release_token(AgentId id) {
 void ExecutionState::agent_broadcast(AgentId id, Message message) {
   const AgentCell& sender = cell(id);
   const bool logging = log_.enabled();
+  // Link faults (sim/fault.h): bounded broadcast drops and duplications.
+  // Both budgets tick only on broadcasts with at least one deliverable
+  // receiver — an unobservable drop must not burn the budget, or commuting
+  // schedules would disagree on the remaining count for no semantic reason.
+  std::size_t copies = 1;
+  if (has_fault_events_ && (drops_remaining_ > 0 || dups_remaining_ > 0)) {
+    bool deliverable = false;
+    for (const AgentId other : staying_[sender.node]) {
+      if (other == id) continue;
+      const AgentStatus s = cell(other).status;
+      if (s != AgentStatus::Halted && s != AgentStatus::Crashed) {
+        deliverable = true;
+        break;
+      }
+    }
+    if (deliverable) {
+      if (drops_remaining_ > 0 &&
+          action_counter_ >= options_.faults.drop_from_action) {
+        --drops_remaining_;
+        if (logging) {
+          log_.record({action_counter_, EventKind::Broadcast, id, sender.node,
+                       sender.last_ts, 0});
+        }
+        return;  // the whole broadcast vanishes
+      }
+      if (dups_remaining_ > 0 &&
+          action_counter_ >= options_.faults.dup_from_action) {
+        --dups_remaining_;
+        copies = 2;  // at-least-once delivery: every receiver sees it twice
+      }
+    }
+  }
   std::size_t receivers = 0;
   for (const AgentId other : staying_[sender.node]) {
     if (other == id) continue;
     AgentCell& rc = cell(other);
-    if (rc.status == AgentStatus::Halted) continue;  // Definition 1
-    rc.mailbox.push_back(message);
+    if (rc.status == AgentStatus::Halted ||
+        rc.status == AgentStatus::Crashed) {
+      continue;  // Definition 1 halts; crash-stop corpses receive nothing
+    }
+    for (std::size_t copy = 0; copy < copies; ++copy) {
+      rc.mailbox.push_back(message);
+    }
     rc.wake_ts = std::max(rc.wake_ts, sender.last_ts);
     const bool was_enabled = enabled_pos_[other] != kNotEnabled;
     refresh_enabled(other);

@@ -134,6 +134,48 @@ class ExecutionState {
   /// Force-steps a specific agent (tests); returns false if not enabled.
   bool step_agent(AgentId id);
 
+  // ---- dynamic-ring rewiring (sim/fault.h) --------------------------------
+
+  /// True while a scheduled rewiring (FaultPlan::rewire_at) awaits its
+  /// replacement-cycle choice. run()/step()/run_chunk() resolve it at the
+  /// next choice point via Scheduler::pick_index; drivers that step agents
+  /// directly (the model checker) must resolve it themselves with
+  /// apply_rewire() before the next action.
+  [[nodiscard]] bool pending_rewire() const noexcept { return pending_rewire_; }
+
+  /// Number of replacement cycles a pending rewiring can choose among
+  /// (φ(node_count); see sim/fault.h).
+  [[nodiscard]] std::size_t rewire_candidate_count() const noexcept {
+    return rewire_candidates_;
+  }
+
+  /// Resolves the pending rewiring by installing candidate
+  /// `candidate_index` (index into the ascending coprime-stride list).
+  /// Throws std::logic_error when no rewiring is pending and
+  /// std::out_of_range on a bad index. Changes no agent's enabledness —
+  /// only where future moves lead.
+  void apply_rewire(std::size_t candidate_index);
+
+  /// The stride of the live successor map; 0 = the instance topology's own
+  /// successor (no rewiring applied yet).
+  [[nodiscard]] std::size_t live_stride() const noexcept { return live_stride_; }
+
+  /// Rewirings applied so far.
+  [[nodiscard]] std::size_t rewires_applied() const noexcept {
+    return rewires_applied_;
+  }
+
+  /// The *live* forward neighbour of `v`: the instance topology's successor
+  /// until a rewiring fires, then the stride ring (v + d) mod n. Every move
+  /// the execution makes goes through this — consumers of the
+  /// {node, next(node)} footprint bound (sim/footprint.h) must use it, not
+  /// Topology::next, or a rewired run would unsound their node sets.
+  [[nodiscard]] NodeId live_next(NodeId v) const noexcept {
+    if (live_stride_ == 0) return topo_->next(v);
+    const NodeId moved = v + live_stride_;
+    return moved >= tokens_.size() ? moved - tokens_.size() : moved;
+  }
+
   /// Lane-stepping entry (sim::BatchArena's per-action call): executes one
   /// atomic action for `id`, which MUST currently be enabled — typically
   /// Scheduler::draw_batch's choice, so the membership re-check step_agent
@@ -258,6 +300,15 @@ class ExecutionState {
   /// sort key of mc::SymmetryCanonicalizer's agent-permutation quotient.
   [[nodiscard]] std::uint64_t agent_digest(AgentId id) const;
 
+  /// Folds the *live* fault state (current stride, pending/consumed
+  /// rewires, crash cursor, remaining drop/dup budgets) into `state` — but
+  /// only when the instance's FaultPlan carries fault events, so fault-free
+  /// digests are byte-identical to the pre-fault-layer ones. Shared by
+  /// config_digest() and mc::SymmetryCanonicalizer (which must fold exactly
+  /// the same fields, or the symmetry quotient would merge states whose
+  /// adversaries can still act differently).
+  void fold_fault_state(std::uint64_t& state) const noexcept;
+
   [[nodiscard]] std::size_t actions_executed() const noexcept {
     return action_counter_;
   }
@@ -305,6 +356,12 @@ class ExecutionState {
   void refresh_enabled_impl(AgentId id);
   void add_to_staying(AgentId id);
   void remove_from_staying(AgentId id);
+  /// Fires every fault event due at the current action counter (crash-stop
+  /// faults take effect; rewire points become pending). Called at reset and
+  /// after every action — guarded by has_fault_events_, so the fault-free
+  /// hot path pays one predicted branch.
+  void apply_due_faults();
+  void apply_crash(AgentId id);
   [[nodiscard]] bool should_be_enabled(AgentId id) const;
   template <bool Fault>
   [[nodiscard]] bool should_be_enabled_impl(AgentId id) const;
@@ -335,6 +392,17 @@ class ExecutionState {
   std::array<NodeId, 2> last_action_nodes_{};      // footprint of last action
   std::size_t last_action_node_count_ = 0;
   AgentId last_acting_agent_ = kNoAgentActing;
+
+  // Live fault state (reset() derives it all from options_.faults).
+  bool has_fault_events_ = false;   // plan has crashes/rewires/drops/dups
+  std::size_t crash_cursor_ = 0;    // next unfired entry of faults.crashes
+  std::size_t rewire_cursor_ = 0;   // next unreached entry of faults.rewire_at
+  bool pending_rewire_ = false;
+  std::size_t live_stride_ = 0;     // 0 = topology successor
+  std::size_t rewires_applied_ = 0;
+  std::size_t rewire_candidates_ = 0;  // φ(n), cached at reset
+  std::size_t drops_remaining_ = 0;
+  std::size_t dups_remaining_ = 0;
 
   static constexpr std::size_t kNotEnabled = static_cast<std::size_t>(-1);
 };

@@ -44,11 +44,14 @@ struct ActionFootprint {
 
 /// Footprint of `agent`'s next action from the current configuration of
 /// `state`. `agent`'s node is its staying node, or its destination while in
-/// transit — in both cases the node the next action executes at.
+/// transit — in both cases the node the next action executes at. Uses the
+/// *live* successor (ExecutionState::live_next), so after a dynamic-ring
+/// rewiring (sim/fault.h) the bound covers the rewired edge the move would
+/// actually take, not the stale topology edge.
 [[nodiscard]] inline ActionFootprint action_footprint(
     const ExecutionState& state, AgentId agent) {
   const NodeId node = state.agent_node(agent);
-  return ActionFootprint{node, state.topology().next(node)};
+  return ActionFootprint{node, state.live_next(node)};
 }
 
 /// True when the next actions of `a` and `b` have disjoint conservative

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/agent.h"
+#include "sim/fault.h"
 #include "sim/topology.h"
 #include "sim/types.h"
 
@@ -37,6 +38,17 @@ struct SimOptions {
   /// broken algorithm, never a legitimate outcome for this paper's
   /// algorithms.
   std::size_t max_actions = 0;
+  /// Structured fault schedule (crash-stop faults, link faults, dynamic-ring
+  /// rewiring — see sim/fault.h). Empty (default) = the fault-free paper
+  /// model. The Instance constructor normalizes the plan (sorting its event
+  /// lists), folds the two DEPRECATED legacy fields below into it, and
+  /// validates it against the instance's dimensions.
+  FaultPlan faults;
+  /// DEPRECATED — legacy alias for faults.non_fifo, kept so historical
+  /// callers and recorded traces keep working unchanged; the Instance
+  /// constructor merges it into `faults` and mirrors the resolved value
+  /// back, so reading either field after construction sees the same truth.
+  ///
   /// TEST-ONLY fault injection: weakens the FIFO link guarantee. When set,
   /// an in-transit agent may arrive from *any* queue position — overtaking
   /// agents ahead of it — as long as it does not pass an agent still in its
@@ -49,6 +61,8 @@ struct SimOptions {
   /// default — leans on FIFO order (see known_k_logmem.h). Never set it in
   /// experiments that reproduce the paper's model.
   bool fault_non_fifo_links = false;
+  /// DEPRECATED — legacy alias for faults.non_fifo_min_phase (see above).
+  ///
   /// Narrows the fault window: overtaking is permitted only when the jumper
   /// and every agent it passes have reached this phase tag (metrics phase,
   /// see AgentContext::set_phase). Phases are how multi-phase algorithms

@@ -70,6 +70,22 @@ class Scheduler {
   /// Chooses the next agent to act from `enabled` (never empty, unordered).
   [[nodiscard]] virtual AgentId pick(const std::vector<AgentId>& enabled) = 0;
 
+  /// Chooses an index in [0, bound) at a *non-agent* choice point — today,
+  /// which replacement cycle a pending dynamic-ring rewiring installs
+  /// (sim/fault.h). Part of the same choice stream as pick(): the recording
+  /// and replaying schedulers in src/explore intercept it, so rewiring
+  /// choices land in ScheduleTrace::choices and replay byte-identically.
+  /// `bound` is ≥ 1. A deliberately separate virtual (NOT routed through
+  /// pick()): pick()'s implementations index agent-count-sized tables by
+  /// the returned id, which candidate indices would overflow.
+  ///
+  /// Default: the last candidate — for rewiring, the largest coprime
+  /// stride, the most disruptive deterministic choice. Randomized kinds
+  /// draw from their stream instead.
+  [[nodiscard]] virtual std::size_t pick_index(std::size_t bound) {
+    return bound - 1;
+  }
+
   [[nodiscard]] virtual std::string_view name() const = 0;
 
   /// Completed lockstep rounds; 0 for schedulers without round structure.
@@ -139,6 +155,9 @@ class RandomScheduler final : public Scheduler {
     // Depends on enabled's (insertion-with-swap-remove) order: part of the
     // frozen schedule derivation, like the Rng stream itself.
     return enabled[rng_.index(enabled.size())];
+  }
+  std::size_t pick_index(std::size_t bound) override {
+    return rng_.index(bound);
   }
   [[nodiscard]] std::string_view name() const override { return "random"; }
 
@@ -223,6 +242,9 @@ class BurstScheduler final : public Scheduler {
     }
     current_ = enabled[rng_.index(enabled.size())];
     return current_;
+  }
+  std::size_t pick_index(std::size_t bound) override {
+    return rng_.index(bound);
   }
   [[nodiscard]] std::string_view name() const override { return "burst"; }
 

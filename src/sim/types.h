@@ -31,12 +31,18 @@ inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
 ///  - Suspended:  in p_i, parked until a message arrives, *terminal unless
 ///                woken* — the suspended state of Definition 2.
 ///  - Halted:     in p_i, forever inert — the halt state of Definition 1.
+///  - Crashed:    dead by a crash-stop fault (sim/fault.h), frozen wherever
+///                it stood: still a member of its link queue if it was in
+///                transit (and, under FIFO, blocking everyone behind it), or
+///                a visible corpse in p_i if it was staying/parked. Never
+///                enabled, never receives broadcasts, never acts again.
 enum class AgentStatus : std::uint8_t {
   InTransit,
   Staying,
   Waiting,
   Suspended,
   Halted,
+  Crashed,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(AgentStatus status) noexcept {
@@ -46,6 +52,7 @@ enum class AgentStatus : std::uint8_t {
     case AgentStatus::Waiting: return "waiting";
     case AgentStatus::Suspended: return "suspended";
     case AgentStatus::Halted: return "halted";
+    case AgentStatus::Crashed: return "crashed";
   }
   return "?";
 }

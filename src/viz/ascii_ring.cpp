@@ -18,6 +18,7 @@ using sim::AgentStatus;
     case AgentStatus::Waiting: return 'w';
     case AgentStatus::Suspended: return 'z';
     case AgentStatus::Halted: return 'h';
+    case AgentStatus::Crashed: return 'x';
   }
   return '?';
 }

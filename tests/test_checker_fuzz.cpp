@@ -320,6 +320,181 @@ TEST(ModelInvariantsFuzz, TokenDecreaseFailsWithTokenReason) {
   EXPECT_TRUE(check_model_invariants(sim, 0).ok);
 }
 
+// ---- crash-fault near misses (sim/fault.h) ----------------------------------
+//
+// Goal checks must tolerate dead agents: a crash-stop corpse is exempt from
+// the status scan and invisible to the position geometry, but everything a
+// corpse *blocks* — an occupied link queue, survivors left at skewed gaps —
+// must still be rejected, with the reason naming the blocked thing rather
+// than the corpse.
+
+TEST(CrashFaultFuzz, CrashedAfterHaltCorpseIsInvisibleToTheGoal) {
+  // Control case: k = 2 at uniform homes, both halt in place (round-robin:
+  // agent 0 at action 1, agent 1 at action 2), then agent 1's crash fires at
+  // action 2 — a corpse frozen in its staying set, not in a queue. The
+  // single survivor's one gap is n = ⌊n/1⌋, so the oracle judges the live
+  // deployment uniform despite the corpse at node 4.
+  SimOptions options;
+  options.faults.crashes = {{1, 2}};
+  Simulator sim(8, {0, 4},
+                [](AgentId) { return std::make_unique<HaltAgent>(); }, options);
+  ASSERT_TRUE(drain(sim).quiescent());
+  ASSERT_EQ(sim.status(1), AgentStatus::Crashed);
+  const CheckResult goal = UniformDeploymentOracle(true).check_goal(sim);
+  EXPECT_TRUE(goal.ok) << goal.reason;
+}
+
+TEST(CrashFaultFuzz, SurvivorsAtSkewedGapsFailWithGapReason) {
+  // Dead-agent goal reason: three agents halt at the uniform 9/3 spacing,
+  // then one is crashed out (after its halt, so no queue is occupied). The
+  // two survivors sit at gaps {3, 6} — neither ⌊9/2⌋ nor ⌈9/2⌉ — so the
+  // geometry over *live* agents must fail with the gap reason (never by
+  // blaming the corpse's status).
+  SimOptions options;
+  options.faults.crashes = {{2, 3}};
+  Simulator sim(9, {0, 3, 6},
+                [](AgentId) { return std::make_unique<HaltAgent>(); }, options);
+  ASSERT_TRUE(drain(sim).quiescent());
+  ASSERT_EQ(sim.status(2), AgentStatus::Crashed);
+  EXPECT_FAILS_WITH(UniformDeploymentOracle(true).check_goal(sim), "gap ");
+}
+
+TEST(CrashFaultFuzz, CorpseFrozenOnALinkIsReportedThroughWhatItBlocks) {
+  // A walker crashed mid-transit freezes inside its link queue forever. The
+  // status scan skips the corpse, so the violation surfaces as the frozen
+  // queue itself (or, under FIFO, as a live agent starved behind it) — sweep
+  // the crash time to catch the walker in transit at least once.
+  bool caught_in_queue = false;
+  for (std::size_t at_action = 1; at_action < 8; ++at_action) {
+    SimOptions options;
+    options.faults.crashes = {{0, at_action}};
+    Simulator sim(
+        8, {0, 4},
+        [](AgentId id) {
+          return id == 0 ? std::unique_ptr<AgentProgram>(
+                               std::make_unique<test::EndlessWalkerAgent>())
+                         : std::unique_ptr<AgentProgram>(
+                               std::make_unique<HaltAgent>());
+        },
+        options);
+    ASSERT_TRUE(drain(sim).quiescent());
+    ASSERT_EQ(sim.status(0), AgentStatus::Crashed);
+    std::size_t queued = 0;
+    for (NodeId node = 0; node < 8; ++node) queued += sim.queue_length(node);
+    if (queued == 0) continue;  // crashed while staying, not in transit
+    caught_in_queue = true;
+    EXPECT_FAILS_WITH(UniformDeploymentOracle(true).check_goal(sim),
+                      "link queue");
+  }
+  EXPECT_TRUE(caught_in_queue) << "no crash time froze the walker on a link";
+}
+
+// ---- dynamic-ring rewiring near misses (sim/fault.h) ------------------------
+
+namespace {
+
+/// Lowest-id agent picks with a scripted rewiring choice: candidate
+/// `stride_index` at every rewiring point. Lets a test aim the dynamic-ring
+/// adversary at one exact replacement cycle.
+class StrideScriptScheduler final : public Scheduler {
+ public:
+  explicit StrideScriptScheduler(std::size_t stride_index)
+      : stride_index_(stride_index) {}
+  void reset(std::size_t /*agent_count*/) override {}
+  AgentId pick(const std::vector<AgentId>& enabled) override {
+    return *std::min_element(enabled.begin(), enabled.end());
+  }
+  std::size_t pick_index(std::size_t bound) override {
+    return stride_index_ % bound;
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "stride-script";
+  }
+
+ private:
+  std::size_t stride_index_;
+};
+
+}  // namespace
+
+TEST(RewireFaultFuzz, IdentityRewiringKeepsTheDeploymentLegal) {
+  // Control case: the rewiring fires but the script picks candidate 0 —
+  // stride 1, the original ring — so the walker's 3 hops from node 1 still
+  // land on node 4 and the oracle passes. Pins that a rewiring *point* alone
+  // changes nothing; only the chosen cycle can.
+  SimOptions options;
+  options.faults.rewire_at = {1};
+  Simulator sim(
+      8, {0, 1},
+      [](AgentId id) {
+        return id == 0 ? std::unique_ptr<AgentProgram>(
+                             std::make_unique<HaltAgent>())
+                       : std::unique_ptr<AgentProgram>(
+                             std::make_unique<test::WalkerAgent>(3));
+      },
+      options);
+  StrideScriptScheduler scheduler(0);
+  ASSERT_TRUE(sim.run(scheduler).quiescent());
+  ASSERT_EQ(sim.rewires_applied(), 1u);
+  const CheckResult goal = UniformDeploymentOracle(true).check_goal(sim);
+  EXPECT_TRUE(goal.ok) << goal.reason;
+}
+
+TEST(RewireFaultFuzz, AdversarialRewiringSkewsTheDeploymentWithGapReason) {
+  // Rewired-ring near miss: same instance, but the script picks candidate 3
+  // — stride 7 on n = 8, the reversed ring — so the walker's 3 hops from
+  // node 1 land on (1 + 3·7) mod 8 = 6 instead of 4. Positions {0, 6} have
+  // gaps {6, 2}; the geometry must fail with the gap reason, and only the
+  // rewiring choice separates this from the passing control above.
+  SimOptions options;
+  options.faults.rewire_at = {1};
+  Simulator sim(
+      8, {0, 1},
+      [](AgentId id) {
+        return id == 0 ? std::unique_ptr<AgentProgram>(
+                             std::make_unique<HaltAgent>())
+                       : std::unique_ptr<AgentProgram>(
+                             std::make_unique<test::WalkerAgent>(3));
+      },
+      options);
+  StrideScriptScheduler scheduler(3);
+  ASSERT_TRUE(sim.run(scheduler).quiescent());
+  ASSERT_EQ(sim.rewires_applied(), 1u);
+  ASSERT_EQ(sim.live_stride(), 7u);
+  EXPECT_FAILS_WITH(UniformDeploymentOracle(true).check_goal(sim), "gap ");
+}
+
+TEST(RewireFaultFuzz, ModelInvariantsHoldAtEveryStepUnderCrashAndRewire) {
+  // The fuzzer's per-action oracle must keep holding along faulty
+  // executions: crashes freeze agents and rewirings swap the live successor
+  // map, but neither may break queue/status/token consistency at any step.
+  Rng rng(411);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t k = 2 + rng.index(4);
+    const std::size_t n = 8 + rng.index(9);
+    SimOptions options;
+    options.faults.crashes = {
+        {static_cast<AgentId>(rng.index(k)), 1 + rng.index(2 * n)}};
+    options.faults.rewire_at = {1 + rng.index(n), 2 * n + rng.index(n)};
+    options.faults.normalize();
+    Simulator sim(
+        n, gen::random_homes(n, k, rng),
+        [k](AgentId) {
+          return std::make_unique<test::WalkerAgent>(/*steps=*/k + 3,
+                                                     /*drop_token=*/true);
+        },
+        options);
+    RandomScheduler scheduler(rng());
+    scheduler.reset(k);
+    std::size_t min_tokens = 0;
+    while (sim.step(scheduler)) {
+      const CheckResult invariants = check_model_invariants(sim, min_tokens);
+      ASSERT_TRUE(invariants.ok) << invariants.reason;
+      min_tokens = sim.total_tokens();
+    }
+  }
+}
+
 TEST(ModelInvariantsFuzz, HoldsAtEveryStepOfRandomRuns) {
   // The fuzzer's per-action oracle must hold along *every* legal execution;
   // sweep random schedules as a sanity floor for the negative cases above.

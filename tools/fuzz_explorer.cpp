@@ -98,8 +98,16 @@ int record_mode(const std::string& path, core::Algorithm algorithm,
 int fuzz_mode(const explore::FuzzOptions& options, const std::string& out_dir) {
   const explore::FuzzReport report = explore::run_fuzz(options);
   std::cout << "fuzz: algorithm=" << core::to_string(options.algorithm)
-            << " oracle=" << explore::to_string(options.oracle)
-            << " iterations=" << report.iterations
+            << " oracle=" << explore::to_string(options.oracle);
+  // Budgets in the header line only when set, so fault-free CI logs diff
+  // clean against historical runs.
+  if (options.fault_crash_budget != 0) {
+    std::cout << " crash-budget=" << options.fault_crash_budget;
+  }
+  if (options.fault_rewire_budget != 0) {
+    std::cout << " rewire-budget=" << options.fault_rewire_budget;
+  }
+  std::cout << " iterations=" << report.iterations
             << " actions=" << report.total_actions
             << " failures=" << report.failures << " digest=" << report.digest
             << '\n';
@@ -209,6 +217,28 @@ int main(int argc, char** argv) {
     options.fault_min_phase = cli.get_size(
         "fault-min-phase", 0,
         "restrict the non-FIFO fault to actions at/after this phase tag");
+    const std::string faults_spec =
+        cli.get("faults",
+                "per-iteration fault budgets, comma list of crash=N and "
+                "rewire=N (e.g. --faults=crash=1,rewire=2); drawn faults land "
+                "in each trace and replay byte-identically",
+                "")
+            .value_or("");
+    if (!faults_spec.empty()) {
+      std::istringstream list(faults_spec);
+      for (std::string item; std::getline(list, item, ',');) {
+        const std::size_t eq = item.find('=');
+        const std::string key = item.substr(0, eq);
+        if (eq == std::string::npos || (key != "crash" && key != "rewire")) {
+          throw std::invalid_argument("--faults: bad token '" + item +
+                                      "' (want crash=N or rewire=N)");
+        }
+        const std::size_t value =
+            static_cast<std::size_t>(std::stoull(item.substr(eq + 1)));
+        (key == "crash" ? options.fault_crash_budget
+                        : options.fault_rewire_budget) = value;
+      }
+    }
     const std::string homes_csv =
         cli.get("homes",
                 "comma-separated home nodes: fuzz this fixed instance "

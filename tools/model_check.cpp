@@ -123,6 +123,16 @@ int main(int argc, char** argv) {
     const std::size_t fault_min_phase = cli.get_size(
         "fault-min-phase", 0,
         "restrict the non-FIFO fault to actions at/after this phase tag");
+    const std::string fault_budget_spec =
+        cli.get("fault-budget",
+                "enumerate bounded fault plans on top of every schedule: "
+                "comma list of crash=N and rewire=N "
+                "(e.g. --fault-budget=crash=1,rewire=2)",
+                "")
+            .value_or("");
+    const std::size_t fault_max_action = cli.get_size(
+        "fault-max-action", 8,
+        "latest action index enumerated fault events may fire at");
     const std::size_t max_actions = cli.get_size(
         "max-actions", 0, "per-schedule action cap (0 = simulator auto limit)");
     const bool grid_mode = cli.get_flag(
@@ -140,6 +150,23 @@ int main(int argc, char** argv) {
           "lock-free shared visited set across shards) and proves the goal, "
           "or emits a replayable counterexample");
       return 0;
+    }
+
+    mc::FaultBudget fault_budget;
+    fault_budget.max_fault_action = fault_max_action;
+    if (!fault_budget_spec.empty()) {
+      std::istringstream list(fault_budget_spec);
+      for (std::string item; std::getline(list, item, ',');) {
+        const std::size_t eq = item.find('=');
+        const std::string key = item.substr(0, eq);
+        if (eq == std::string::npos || (key != "crash" && key != "rewire")) {
+          throw std::invalid_argument("--fault-budget: bad token '" + item +
+                                      "' (want crash=N or rewire=N)");
+        }
+        const std::size_t value =
+            static_cast<std::size_t>(std::stoull(item.substr(eq + 1)));
+        (key == "crash" ? fault_budget.crashes : fault_budget.rewires) = value;
+      }
     }
 
     mc::McOptions options;
@@ -167,6 +194,13 @@ int main(int argc, char** argv) {
     if (grid_mode) {
       if (topology != explore::FuzzTopology::Ring) {
         std::cerr << "udring_mc: --grid supports --topology=ring only\n";
+        return 2;
+      }
+      if (!fault_budget.empty()) {
+        // Budget enumeration multiplies the walk per instance; on a grid that
+        // silently explodes — require the single-instance mode.
+        std::cerr << "udring_mc: --fault-budget cannot be combined with "
+                     "--grid (check one instance at a time)\n";
         return 2;
       }
       if (!homes_csv.empty()) {
@@ -235,8 +269,17 @@ int main(int argc, char** argv) {
     if (problem.kind != core::Problem::Auto) {
       std::cout << " problem=" << core::to_string(problem);
     }
-    std::cout << (fault ? " +non-fifo-fault" : "") << '\n';
-    const mc::ModelCheckReport report = mc::check(request, options);
+    std::cout << (fault ? " +non-fifo-fault" : "");
+    if (!fault_budget.empty()) {
+      std::cout << " fault-budget=crash:" << fault_budget.crashes
+                << "+rewire:" << fault_budget.rewires << "@<="
+                << fault_budget.max_fault_action;
+    }
+    std::cout << '\n';
+    const mc::ModelCheckReport report =
+        fault_budget.empty() ? mc::check(request, options)
+                             : mc::check_with_faults(request, fault_budget,
+                                                     options);
     print_report(report);
     if (!report.ok) {
       return emit_counterexample(report, out_dir,
